@@ -1,0 +1,155 @@
+//! Conversions between [`Int`] and primitive integers.
+
+use crate::Int;
+
+macro_rules! from_unsigned {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Int {
+            fn from(v: $t) -> Int {
+                Int::from(v as u128)
+            }
+        }
+    )*};
+}
+
+macro_rules! from_signed {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Int {
+            fn from(v: $t) -> Int {
+                Int::from(v as i128)
+            }
+        }
+    )*};
+}
+
+from_unsigned!(u8, u16, u32, u64, usize);
+from_signed!(i8, i16, i32, i64, isize);
+
+impl From<u128> for Int {
+    fn from(v: u128) -> Int {
+        Int::from_parts(false, vec![v as u64, (v >> 64) as u64])
+    }
+}
+
+impl From<i128> for Int {
+    fn from(v: i128) -> Int {
+        let neg = v < 0;
+        let mag = v.unsigned_abs();
+        Int::from_parts(neg, vec![mag as u64, (mag >> 64) as u64])
+    }
+}
+
+impl From<bool> for Int {
+    fn from(v: bool) -> Int {
+        if v {
+            Int::one()
+        } else {
+            Int::zero()
+        }
+    }
+}
+
+/// Error returned when an [`Int`] does not fit the requested primitive type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TryFromIntError;
+
+impl std::fmt::Display for TryFromIntError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "integer out of range for target type")
+    }
+}
+
+impl std::error::Error for TryFromIntError {}
+
+impl TryFrom<&Int> for i128 {
+    type Error = TryFromIntError;
+
+    fn try_from(v: &Int) -> Result<i128, TryFromIntError> {
+        if v.mag.len() > 2 {
+            return Err(TryFromIntError);
+        }
+        let lo = v.mag.first().copied().unwrap_or(0) as u128;
+        let hi = v.mag.get(1).copied().unwrap_or(0) as u128;
+        let mag = (hi << 64) | lo;
+        if v.neg {
+            if mag > (1u128 << 127) {
+                return Err(TryFromIntError);
+            }
+            Ok((mag as i128).wrapping_neg())
+        } else {
+            i128::try_from(mag).map_err(|_| TryFromIntError)
+        }
+    }
+}
+
+impl TryFrom<Int> for i128 {
+    type Error = TryFromIntError;
+
+    fn try_from(v: Int) -> Result<i128, TryFromIntError> {
+        i128::try_from(&v)
+    }
+}
+
+impl TryFrom<&Int> for i64 {
+    type Error = TryFromIntError;
+
+    fn try_from(v: &Int) -> Result<i64, TryFromIntError> {
+        i128::try_from(v).and_then(|x| i64::try_from(x).map_err(|_| TryFromIntError))
+    }
+}
+
+impl TryFrom<&Int> for u64 {
+    type Error = TryFromIntError;
+
+    fn try_from(v: &Int) -> Result<u64, TryFromIntError> {
+        if v.neg || v.mag.len() > 1 {
+            return Err(TryFromIntError);
+        }
+        Ok(v.mag.first().copied().unwrap_or(0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_roundtrips() {
+        for v in [0i128, 1, -1, i64::MAX as i128, i64::MIN as i128, i128::MAX, i128::MIN + 1] {
+            assert_eq!(i128::try_from(Int::from(v)).expect("fits"), v);
+        }
+    }
+
+    #[test]
+    fn i128_min_roundtrip() {
+        assert_eq!(i128::try_from(Int::from(i128::MIN)).expect("fits"), i128::MIN);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        assert!(i128::try_from(Int::pow2(127)).is_err());
+        assert!(i128::try_from(Int::pow2(200)).is_err());
+        assert!(i128::try_from(-Int::pow2(127) - Int::one()).is_err());
+        assert_eq!(i128::try_from(-Int::pow2(127)).expect("fits"), i128::MIN);
+    }
+
+    #[test]
+    fn u64_conversion() {
+        assert_eq!(u64::try_from(&Int::from(7u64)), Ok(7));
+        assert!(u64::try_from(&Int::from(-7)).is_err());
+        assert!(u64::try_from(&Int::pow2(64)).is_err());
+    }
+
+    #[test]
+    fn bool_conversion() {
+        assert_eq!(Int::from(true), Int::one());
+        assert_eq!(Int::from(false), Int::zero());
+    }
+
+    #[test]
+    fn unsigned_sources() {
+        assert_eq!(Int::from(u64::MAX), Int::pow2(64) - Int::one());
+        assert_eq!(Int::from(u128::MAX), Int::pow2(128) - Int::one());
+        assert_eq!(Int::from(300u16), Int::from(300i32));
+    }
+}

@@ -1,0 +1,205 @@
+//! Decimal / hex / binary formatting and decimal parsing for [`Int`].
+
+use crate::Int;
+use std::fmt;
+use std::str::FromStr;
+
+impl Int {
+    /// Divide the magnitude in place by a small divisor, returning the
+    /// remainder. Used by the decimal printer.
+    fn div_mag_small(mag: &mut Vec<u64>, d: u64) -> u64 {
+        let mut rem = 0u128;
+        for limb in mag.iter_mut().rev() {
+            let cur = (rem << 64) | (*limb as u128);
+            *limb = (cur / d as u128) as u64;
+            rem = cur % d as u128;
+        }
+        while mag.last() == Some(&0) {
+            mag.pop();
+        }
+        rem as u64
+    }
+
+    /// Multiply the magnitude by a small factor and add a small addend.
+    /// Used by the decimal parser.
+    fn mul_add_mag_small(mag: &mut Vec<u64>, m: u64, a: u64) {
+        let mut carry = a as u128;
+        for limb in mag.iter_mut() {
+            let t = (*limb as u128) * (m as u128) + carry;
+            *limb = t as u64;
+            carry = t >> 64;
+        }
+        if carry != 0 {
+            mag.push(carry as u64);
+        }
+    }
+}
+
+impl fmt::Display for Int {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.pad_integral(true, "", "0");
+        }
+        // Peel off 19 decimal digits at a time.
+        let mut mag = self.mag.clone();
+        let mut chunks = Vec::new();
+        while !mag.is_empty() {
+            chunks.push(Int::div_mag_small(&mut mag, 10_000_000_000_000_000_000));
+        }
+        let mut s = chunks.last().expect("nonzero").to_string();
+        for c in chunks.iter().rev().skip(1) {
+            s.push_str(&format!("{c:019}"));
+        }
+        f.pad_integral(!self.neg, "", &s)
+    }
+}
+
+impl fmt::LowerHex for Int {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.pad_integral(true, "0x", "0");
+        }
+        let mut s = format!("{:x}", self.mag.last().expect("nonzero"));
+        for limb in self.mag.iter().rev().skip(1) {
+            s.push_str(&format!("{limb:016x}"));
+        }
+        f.pad_integral(!self.neg, "0x", &s)
+    }
+}
+
+impl fmt::Binary for Int {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.pad_integral(true, "0b", "0");
+        }
+        let mut s = format!("{:b}", self.mag.last().expect("nonzero"));
+        for limb in self.mag.iter().rev().skip(1) {
+            s.push_str(&format!("{limb:064b}"));
+        }
+        f.pad_integral(!self.neg, "0b", &s)
+    }
+}
+
+/// Error produced when parsing an [`Int`] from a decimal string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseIntError {
+    kind: ParseErrorKind,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ParseErrorKind {
+    Empty,
+    InvalidDigit(char),
+}
+
+impl fmt::Display for ParseIntError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            ParseErrorKind::Empty => write!(f, "cannot parse integer from empty string"),
+            ParseErrorKind::InvalidDigit(c) => write!(f, "invalid digit '{c}' in integer"),
+        }
+    }
+}
+
+impl std::error::Error for ParseIntError {}
+
+impl FromStr for Int {
+    type Err = ParseIntError;
+
+    /// Parses an optionally signed decimal integer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseIntError`] for empty input or non-digit characters.
+    fn from_str(s: &str) -> Result<Int, ParseIntError> {
+        let (neg, digits) = match s.strip_prefix('-') {
+            Some(rest) => (true, rest),
+            None => (false, s.strip_prefix('+').unwrap_or(s)),
+        };
+        if digits.is_empty() {
+            return Err(ParseIntError { kind: ParseErrorKind::Empty });
+        }
+        let mut mag: Vec<u64> = Vec::new();
+        for c in digits.chars() {
+            let d = c
+                .to_digit(10)
+                .ok_or(ParseIntError { kind: ParseErrorKind::InvalidDigit(c) })?;
+            Int::mul_add_mag_small(&mut mag, 10, d as u64);
+        }
+        Ok(Int::from_parts(neg, mag))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_small() {
+        assert_eq!(Int::from(0).to_string(), "0");
+        assert_eq!(Int::from(12345).to_string(), "12345");
+        assert_eq!(Int::from(-12345).to_string(), "-12345");
+    }
+
+    #[test]
+    fn display_multi_limb() {
+        assert_eq!(
+            Int::pow2(64).to_string(),
+            "18446744073709551616"
+        );
+        assert_eq!(
+            Int::pow2(128).to_string(),
+            "340282366920938463463374607431768211456"
+        );
+        assert_eq!(
+            (-Int::pow2(128)).to_string(),
+            "-340282366920938463463374607431768211456"
+        );
+    }
+
+    #[test]
+    fn display_zero_padding_chunks() {
+        // A value whose lower decimal chunk has leading zeros.
+        let v = Int::pow2(64) + Int::one(); // 18446744073709551617
+        assert_eq!(v.to_string(), "18446744073709551617");
+        let v = Int::from(10_000_000_000_000_000_000u64) * Int::from(3u32) + Int::from(7u32);
+        assert_eq!(v.to_string(), "30000000000000000007");
+    }
+
+    #[test]
+    fn hex_and_binary() {
+        assert_eq!(format!("{:x}", Int::from(255)), "ff");
+        assert_eq!(format!("{:#x}", Int::from(-255)), "-0xff");
+        assert_eq!(format!("{:x}", Int::pow2(68)), "100000000000000000");
+        assert_eq!(format!("{:b}", Int::from(10)), "1010");
+        assert_eq!(format!("{:b}", Int::pow2(65)), format!("10{}", "0".repeat(64)));
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        for s in ["0", "1", "-1", "99999999999999999999999999", "-340282366920938463463374607431768211456"] {
+            let v: Int = s.parse().expect("valid");
+            assert_eq!(v.to_string(), s);
+        }
+        assert_eq!("+42".parse::<Int>().expect("valid"), Int::from(42));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!("".parse::<Int>().is_err());
+        assert!("-".parse::<Int>().is_err());
+        assert!("12a".parse::<Int>().is_err());
+        assert!("0x10".parse::<Int>().is_err());
+    }
+
+    #[test]
+    fn parse_display_agree_with_arithmetic() {
+        let a: Int = "123456789012345678901234567890".parse().expect("valid");
+        let b = Int::from(123456789u64) * Int::pow2(70);
+        assert_eq!((&a * &b).to_string(), {
+            // (a*b) printed then reparsed must be identical
+            let p = &a * &b;
+            p.to_string().parse::<Int>().expect("valid").to_string()
+        });
+    }
+}

@@ -1,0 +1,31 @@
+//! Arbitrary-precision signed integers for SCA polynomial coefficients.
+//!
+//! Backward rewriting of an `n`-bit divider manipulates polynomial
+//! coefficients as large as `2^(2n-2)`; for the 128-bit dividers of the
+//! paper's Table II this exceeds every primitive integer type, so the
+//! workspace carries its own small bignum. The representation is
+//! sign + magnitude with little-endian `u64` limbs, normalized so that the
+//! magnitude never has trailing zero limbs and zero is never negative.
+//!
+//! The type is deliberately minimal: the ring operations, shifts,
+//! comparisons and radix-10/16 formatting that the SCA engine needs —
+//! nothing more.
+//!
+//! # Examples
+//!
+//! ```
+//! use sbif_apint::Int;
+//!
+//! let a = Int::pow2(130);           // 2^130, too big for i128
+//! let b = &a * &Int::from(-3);
+//! assert_eq!(&a + &b, -(&a + &a));
+//! assert_eq!(a.to_string(), "1361129467683753853853498429727072845824");
+//! ```
+
+mod convert;
+mod fmt;
+mod int;
+mod ops;
+
+pub use fmt::ParseIntError;
+pub use int::{Int, Sign};

@@ -1,0 +1,96 @@
+//! A fast, non-cryptographic hasher for the unique and computed tables.
+//!
+//! BDD packages live and die by hash-table throughput; the standard
+//! library's SipHash is DoS-resistant but several times slower than
+//! needed here. This is the classic Fx multiply-mix (as used by rustc),
+//! implemented locally because no hashing crate is in the allowed
+//! dependency set. Keys are fixed-width integers produced by our own
+//! code, so HashDoS is not a concern.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiply-mix hasher over machine words.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher(u64);
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.0 = (self.0.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.mix(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.mix(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.mix(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.mix(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.mix(v as u64);
+    }
+}
+
+/// `HashMap` build-hasher using [`FxHasher`].
+pub type FxBuild = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with the fast hasher.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuild>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distributes_consecutive_keys() {
+        // Consecutive integers must not collide in the low bits (the
+        // part HashMap actually uses).
+        let mut seen = std::collections::HashSet::new();
+        for i in 0u64..10_000 {
+            let mut h = FxHasher::default();
+            h.write_u64(i);
+            seen.insert(h.finish() & 0xFFFF);
+        }
+        // With 65536 buckets and 10k keys, a decent hash keeps most
+        // buckets distinct.
+        assert!(seen.len() > 8_000, "only {} distinct low-16 hashes", seen.len());
+    }
+
+    #[test]
+    fn hashmap_roundtrip() {
+        let mut m: FxHashMap<(u32, u32, u32), u32> = FxHashMap::default();
+        for i in 0..1000u32 {
+            m.insert((i, i * 2, i * 3), i);
+        }
+        for i in 0..1000u32 {
+            assert_eq!(m.get(&(i, i * 2, i * 3)), Some(&i));
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! A Reduced Ordered Binary Decision Diagram (ROBDD) package.
+//!
+//! Sect. V of the paper proves the remainder condition
+//! `vc2: 0 ≤ R < D` with BDDs: the predicate has a linear-size BDD under
+//! an interleaved ordering, and a backward traversal of the circuit
+//! (composing gate functions into the predicate) yields the weakest
+//! precondition `WPC`, which must be implied by the input constraint `C`.
+//! The paper uses CUDD \[30\] with a static fanin order \[25\] and dynamic
+//! (symmetric) sifting \[26\]; this crate implements those pieces from
+//! scratch:
+//!
+//! * a [`BddManager`] with a global unique table, computed-table caching,
+//!   mark-and-sweep garbage collection, and index-stable nodes;
+//! * the classic operations: [`ite`](BddManager::ite), Boolean
+//!   connectives, cofactors, [`compose`](BddManager::compose),
+//!   quantification, evaluation and model counting;
+//! * **dynamic variable reordering**: in-place adjacent-level swaps,
+//!   sifting, and symmetric sifting (grouping symmetric variables);
+//! * circuit helpers: word comparison predicates, a static interleaved
+//!   fanin order, and the weakest-precondition backward substitution.
+//!
+//! # Examples
+//!
+//! ```
+//! use sbif_bdd::BddManager;
+//!
+//! let mut m = BddManager::new();
+//! let x = m.var(0);
+//! let y = m.var(1);
+//! let f = m.xor(x, y);
+//! let ny = m.not(y);
+//! let g = m.ite(x, ny, y);
+//! assert_eq!(f, g); // canonical
+//! ```
+
+mod circuit;
+mod fasthash;
+mod manager;
+mod ops;
+mod reorder;
+
+pub use circuit::{
+    bdd_of_signal, interleaved_fanin_order, remainder_in_range, unsigned_less,
+    weakest_precondition, BddWord, WpcStats,
+};
+pub use manager::{Bdd, BddManager, VarId};
+pub use reorder::ReorderStats;

@@ -1,0 +1,542 @@
+//! The BDD node store: unique table, variable order, garbage collection.
+
+use crate::fasthash::FxHashMap;
+use std::collections::HashMap;
+
+/// A BDD variable, identified by a dense index. Variable identity is
+/// stable under reordering; only the variable's *level* moves.
+pub type VarId = u32;
+
+/// A handle to a BDD node (index-stable across reordering and garbage
+/// collection, as long as the node is kept live via GC roots).
+///
+/// `Bdd` values are only meaningful together with the [`BddManager`] that
+/// created them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Bdd(pub(crate) u32);
+
+impl Bdd {
+    /// The internal node index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Node {
+    pub var: VarId,
+    pub low: Bdd,
+    pub high: Bdd,
+}
+
+/// Sentinel variable id for the terminal nodes (level = +∞).
+pub(crate) const TERMINAL_VAR: VarId = u32::MAX;
+
+/// A Reduced Ordered BDD manager.
+///
+/// Nodes live in an arena; reduced-ness is maintained by the unique
+/// table, ordered-ness by the `var2level` permutation (which dynamic
+/// reordering mutates). Dead nodes are reclaimed by mark-and-sweep
+/// [`gc`](BddManager::gc) against caller-provided roots and their indices
+/// recycled through a free list.
+///
+/// # Examples
+///
+/// ```
+/// use sbif_bdd::BddManager;
+///
+/// let mut m = BddManager::new();
+/// let a = m.var(0);
+/// let b = m.var(1);
+/// let f = m.and(a, b);
+/// assert_eq!(m.eval(f, |v| v == 0 || v == 1), true);
+/// assert_eq!(m.eval(f, |v| v == 0), false);
+/// ```
+#[derive(Debug)]
+pub struct BddManager {
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) unique: FxHashMap<(VarId, Bdd, Bdd), Bdd>,
+    pub(crate) cache: FxHashMap<(u8, Bdd, Bdd, Bdd), Bdd>,
+    pub(crate) var2level: Vec<u32>,
+    pub(crate) level2var: Vec<VarId>,
+    free: Vec<Bdd>,
+    pub(crate) dead: Vec<bool>,
+    /// When set (during reordering), `mk` logs newly allocated node ids
+    /// here so the swap bookkeeping sees nodes recycled from the free
+    /// list as well.
+    pub(crate) mk_log: Option<Vec<Bdd>>,
+    /// Live-node threshold that triggers automatic reordering in
+    /// [`maybe_reorder`](BddManager::maybe_reorder).
+    pub reorder_threshold: usize,
+    /// Peak number of allocated nodes ever observed (Table II col. 8).
+    pub peak_nodes: usize,
+}
+
+impl Default for BddManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BddManager {
+    /// The constant FALSE.
+    pub const FALSE: Bdd = Bdd(0);
+    /// The constant TRUE.
+    pub const TRUE: Bdd = Bdd(1);
+
+    /// Creates a manager holding only the two terminals.
+    pub fn new() -> Self {
+        let term = Node { var: TERMINAL_VAR, low: Bdd(0), high: Bdd(0) };
+        BddManager {
+            nodes: vec![term, term],
+            unique: FxHashMap::default(),
+            cache: FxHashMap::default(),
+            var2level: Vec::new(),
+            level2var: Vec::new(),
+            free: Vec::new(),
+            dead: vec![false, false],
+            mk_log: None,
+            reorder_threshold: 100_000,
+            peak_nodes: 2,
+        }
+    }
+
+    /// Number of live (declared and not retired) variables — the number
+    /// of levels in the current order.
+    pub fn num_vars(&self) -> usize {
+        self.level2var.len()
+    }
+
+    /// Ensures variables `0..=v` exist (new variables go to the bottom of
+    /// the order) and returns the function of variable `v`.
+    pub fn var(&mut self, v: VarId) -> Bdd {
+        while self.var2level.len() <= v as usize {
+            let lvl = self.level2var.len() as u32;
+            self.var2level.push(lvl);
+            self.level2var.push(self.var2level.len() as VarId - 1);
+        }
+        self.mk(v, Self::FALSE, Self::TRUE)
+    }
+
+    /// The negated variable.
+    pub fn nvar(&mut self, v: VarId) -> Bdd {
+        self.var(v);
+        self.mk(v, Self::TRUE, Self::FALSE)
+    }
+
+    /// The level of a variable (0 = top).
+    #[inline]
+    pub fn level_of(&self, v: VarId) -> u32 {
+        if v == TERMINAL_VAR {
+            u32::MAX
+        } else {
+            self.var2level[v as usize]
+        }
+    }
+
+    /// The current variable order, top to bottom.
+    pub fn order(&self) -> &[VarId] {
+        &self.level2var
+    }
+
+    /// Removes a variable from the order. The caller guarantees that no
+    /// live node is labelled with `v` and that `v` will never be used
+    /// again (e.g. a gate-output variable that has just been composed
+    /// away). Retiring keeps the level set small, which is what makes
+    /// frequent dynamic reordering affordable during long backward
+    /// traversals.
+    ///
+    /// Retiring a variable that was never declared is a no-op (it has no
+    /// level to remove).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` was already retired.
+    pub fn retire_var(&mut self, v: VarId) {
+        if v as usize >= self.var2level.len() {
+            return; // never declared: nothing to retire
+        }
+        let lvl = self.var2level[v as usize];
+        assert_ne!(lvl, u32::MAX, "variable {v} already retired");
+        self.level2var.remove(lvl as usize);
+        self.var2level[v as usize] = u32::MAX;
+        for l in lvl as usize..self.level2var.len() {
+            self.var2level[self.level2var[l] as usize] = l as u32;
+        }
+    }
+
+    /// Whether `v` is declared and not retired.
+    pub fn is_live_var(&self, v: VarId) -> bool {
+        (v as usize) < self.var2level.len() && self.var2level[v as usize] != u32::MAX
+    }
+
+    /// Declares all variables of `order` (if needed) and installs it as
+    /// the variable order, top to bottom, by rebuilding the permutation.
+    ///
+    /// Must be called before any nodes over these variables exist.
+    ///
+    /// # Panics
+    ///
+    /// Panics if non-terminal nodes already exist, or if `order` contains
+    /// duplicates or misses a declared variable.
+    pub fn set_order(&mut self, order: &[VarId]) {
+        assert!(
+            self.nodes.len() == 2 && self.free.is_empty(),
+            "set_order requires an empty manager"
+        );
+        let max = order.iter().copied().max().map_or(0, |m| m as usize + 1);
+        assert_eq!(order.len(), max, "order must be a permutation of 0..max");
+        self.var2level = vec![u32::MAX; order.len()];
+        self.level2var = order.to_vec();
+        for (lvl, &v) in order.iter().enumerate() {
+            assert_eq!(self.var2level[v as usize], u32::MAX, "duplicate variable in order");
+            self.var2level[v as usize] = lvl as u32;
+        }
+    }
+
+    /// The reduced node `(v, low, high)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if the children's levels do not lie below
+    /// `v`'s level.
+    pub(crate) fn mk(&mut self, v: VarId, low: Bdd, high: Bdd) -> Bdd {
+        if low == high {
+            return low;
+        }
+        debug_assert!(self.level_of(v) < self.level_of(self.nodes[low.index()].var));
+        debug_assert!(self.level_of(v) < self.level_of(self.nodes[high.index()].var));
+        if let Some(&n) = self.unique.get(&(v, low, high)) {
+            self.dead[n.index()] = false;
+            return n;
+        }
+        let node = Node { var: v, low, high };
+        let id = match self.free.pop() {
+            Some(id) => {
+                self.nodes[id.index()] = node;
+                self.dead[id.index()] = false;
+                id
+            }
+            None => {
+                let id = Bdd(self.nodes.len() as u32);
+                self.nodes.push(node);
+                self.dead.push(false);
+                id
+            }
+        };
+        self.unique.insert((v, low, high), id);
+        if let Some(log) = &mut self.mk_log {
+            log.push(id);
+        }
+        self.peak_nodes = self.peak_nodes.max(self.nodes.len() - self.free.len());
+        id
+    }
+
+    /// `true` iff `f` is one of the terminals.
+    #[inline]
+    pub fn is_const(&self, f: Bdd) -> bool {
+        f.0 <= 1
+    }
+
+    /// The top variable of `f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is a terminal.
+    pub fn top_var(&self, f: Bdd) -> VarId {
+        assert!(!self.is_const(f), "terminals have no top variable");
+        self.nodes[f.index()].var
+    }
+
+    /// The low (else) child.
+    pub fn low(&self, f: Bdd) -> Bdd {
+        self.nodes[f.index()].low
+    }
+
+    /// The high (then) child.
+    pub fn high(&self, f: Bdd) -> Bdd {
+        self.nodes[f.index()].high
+    }
+
+    /// Evaluates `f` under an assignment.
+    pub fn eval<F: Fn(VarId) -> bool>(&self, f: Bdd, assignment: F) -> bool {
+        let mut cur = f;
+        while !self.is_const(cur) {
+            let n = &self.nodes[cur.index()];
+            cur = if assignment(n.var) { n.high } else { n.low };
+        }
+        cur == Self::TRUE
+    }
+
+    /// Number of nodes reachable from `f` (including terminals).
+    pub fn size(&self, f: Bdd) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![f];
+        while let Some(n) = stack.pop() {
+            if seen.insert(n) && !self.is_const(n) {
+                stack.push(self.nodes[n.index()].low);
+                stack.push(self.nodes[n.index()].high);
+            }
+        }
+        seen.len()
+    }
+
+    /// Number of live (allocated, not freed) nodes in the manager.
+    pub fn live_nodes(&self) -> usize {
+        self.nodes.len() - self.free.len()
+    }
+
+    /// The support of `f` (variables it depends on), ascending by id.
+    pub fn support(&self, f: Bdd) -> Vec<VarId> {
+        let mut seen = std::collections::HashSet::new();
+        let mut vars = std::collections::BTreeSet::new();
+        let mut stack = vec![f];
+        while let Some(n) = stack.pop() {
+            if seen.insert(n) && !self.is_const(n) {
+                let node = &self.nodes[n.index()];
+                vars.insert(node.var);
+                stack.push(node.low);
+                stack.push(node.high);
+            }
+        }
+        vars.into_iter().collect()
+    }
+
+    /// Mark-and-sweep garbage collection: everything not reachable from
+    /// `roots` is freed and its index recycled. Also clears the computed
+    /// table. Returns the number of nodes freed.
+    pub fn gc(&mut self, roots: &[Bdd]) -> usize {
+        let mut marked = vec![false; self.nodes.len()];
+        marked[0] = true;
+        marked[1] = true;
+        let mut stack: Vec<Bdd> = roots.to_vec();
+        while let Some(n) = stack.pop() {
+            if !marked[n.index()] {
+                marked[n.index()] = true;
+                stack.push(self.nodes[n.index()].low);
+                stack.push(self.nodes[n.index()].high);
+            }
+        }
+        let mut freed = 0;
+        let already_free: std::collections::HashSet<u32> =
+            self.free.iter().map(|b| b.0).collect();
+        #[allow(clippy::needless_range_loop)] // index is the node id itself
+        for i in 2..self.nodes.len() {
+            if !marked[i] && !already_free.contains(&(i as u32)) {
+                let n = self.nodes[i];
+                // Only remove the unique entry if it still points at this
+                // node — a later allocation may legitimately own the key.
+                if self.unique.get(&(n.var, n.low, n.high)) == Some(&Bdd(i as u32)) {
+                    self.unique.remove(&(n.var, n.low, n.high));
+                }
+                self.free.push(Bdd(i as u32));
+                self.dead[i] = true;
+                freed += 1;
+            }
+        }
+        self.cache.clear();
+        freed
+    }
+
+    /// Counts satisfying assignments of `f` over the declared variables.
+    ///
+    /// Returns the count as `f64` (exact for < 2^53).
+    pub fn sat_count(&self, f: Bdd) -> f64 {
+        let total_vars = self.num_vars() as u32;
+        let mut memo: HashMap<Bdd, f64> = HashMap::new();
+        fn go(
+            m: &BddManager,
+            f: Bdd,
+            memo: &mut HashMap<Bdd, f64>,
+        ) -> f64 {
+            if f == BddManager::FALSE {
+                return 0.0;
+            }
+            if f == BddManager::TRUE {
+                return 1.0;
+            }
+            if let Some(&c) = memo.get(&f) {
+                return c;
+            }
+            let n = m.nodes[f.index()];
+            let lvl = m.level_of(n.var);
+            let lo = go(m, n.low, memo);
+            let hi = go(m, n.high, memo);
+            let lo_lvl = m.level_of_node(n.low);
+            let hi_lvl = m.level_of_node(n.high);
+            let c = lo * (2f64).powi((lo_lvl.min(m.num_vars() as u32) - lvl - 1) as i32)
+                + hi * (2f64).powi((hi_lvl.min(m.num_vars() as u32) - lvl - 1) as i32);
+            memo.insert(f, c);
+            c
+        }
+        let count = go(self, f, &mut memo);
+        let top_lvl = self.level_of_node(f);
+        count * (2f64).powi(top_lvl.min(total_vars) as i32)
+    }
+
+    /// Level of a node's variable; terminals are at level `num_vars`.
+    pub(crate) fn level_of_node(&self, f: Bdd) -> u32 {
+        if self.is_const(f) {
+            self.num_vars() as u32
+        } else {
+            self.level_of(self.nodes[f.index()].var)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminals() {
+        let m = BddManager::new();
+        assert!(m.is_const(BddManager::TRUE));
+        assert!(m.is_const(BddManager::FALSE));
+        assert_ne!(BddManager::TRUE, BddManager::FALSE);
+        assert!(m.eval(BddManager::TRUE, |_| false));
+        assert!(!m.eval(BddManager::FALSE, |_| true));
+    }
+
+    #[test]
+    fn reduction_rules() {
+        let mut m = BddManager::new();
+        let x = m.var(0);
+        // mk with equal children collapses
+        let same = m.mk(0, x, x);
+        assert_eq!(same, x);
+        // unique table shares
+        let x2 = m.var(0);
+        assert_eq!(x, x2);
+    }
+
+    #[test]
+    fn eval_and_size() {
+        let mut m = BddManager::new();
+        let a = m.var(0);
+        let b = m.var(1);
+        let f = m.and(a, b);
+        assert_eq!(m.size(f), 4); // 2 internal + 2 terminals
+        assert!(m.eval(f, |_| true));
+        assert!(!m.eval(f, |v| v == 0));
+    }
+
+    #[test]
+    fn support_set() {
+        let mut m = BddManager::new();
+        let a = m.var(0);
+        let c = m.var(2);
+        let f = m.or(a, c);
+        assert_eq!(m.support(f), vec![0, 2]);
+        assert!(m.support(BddManager::TRUE).is_empty());
+    }
+
+    #[test]
+    fn gc_frees_unreachable() {
+        let mut m = BddManager::new();
+        let a = m.var(0);
+        let b = m.var(1);
+        let f = m.and(a, b);
+        let g = m.xor(a, b); // will become garbage
+        let live_before = m.live_nodes();
+        let freed = m.gc(&[f, a, b]);
+        assert!(freed > 0, "xor nodes should be freed");
+        assert_eq!(m.live_nodes(), live_before - freed);
+        // f still evaluates correctly, and new allocations recycle slots.
+        assert!(m.eval(f, |_| true));
+        let g2 = m.xor(a, b);
+        assert!(m.eval(g2, |v| v == 0));
+        let _ = g; // old handle must not be used after gc — by contract
+    }
+
+    #[test]
+    fn sat_count_small() {
+        let mut m = BddManager::new();
+        let a = m.var(0);
+        let b = m.var(1);
+        let c = m.var(2);
+        let ab = m.and(a, b);
+        let f = m.or(ab, c);
+        // over 3 vars: |ab ∨ c| = 4 + 4 - 2 = ... enumerate: a∧b (2 for c) + c (4) − a∧b∧c (1) = 2+4-1 = 5
+        assert_eq!(m.sat_count(f) as u64, 5);
+        assert_eq!(m.sat_count(BddManager::TRUE) as u64, 8);
+        assert_eq!(m.sat_count(BddManager::FALSE) as u64, 0);
+    }
+
+    #[test]
+    fn set_order_reverses() {
+        let mut m = BddManager::new();
+        m.set_order(&[2, 1, 0]);
+        assert_eq!(m.level_of(2), 0);
+        assert_eq!(m.level_of(0), 2);
+        let a = m.var(0);
+        let c = m.var(2);
+        let f = m.and(a, c);
+        // top variable must be the one highest in the order: var 2
+        assert_eq!(m.top_var(f), 2);
+    }
+
+    #[test]
+    fn retire_var_compacts_levels() {
+        let mut m = BddManager::new();
+        let a = m.var(0);
+        let b = m.var(1);
+        let c = m.var(2);
+        let bc = m.and(b, c);
+        let f = m.or(a, bc);
+        // Compose variable 1 away, then retire it.
+        let f2 = m.compose(f, 1, BddManager::TRUE);
+        assert!(!m.support(f2).contains(&1));
+        assert_eq!(m.num_vars(), 3);
+        m.gc(&[f2, a, b, c]);
+        // Node (1, ...) may still exist through `f`; retire only after
+        // dropping it.
+        m.gc(&[f2, a, c]);
+        m.retire_var(1);
+        assert_eq!(m.num_vars(), 2);
+        assert!(m.is_live_var(0) && !m.is_live_var(1) && m.is_live_var(2));
+        // Levels stay consistent: var 2 moved up.
+        assert_eq!(m.level_of(2), 1);
+        // The remaining function still evaluates correctly.
+        assert!(m.eval(f2, |v| v == 2));
+        assert!(m.eval(f2, |v| v == 0));
+        assert!(!m.eval(f2, |_| false));
+    }
+
+    #[test]
+    #[should_panic(expected = "already retired")]
+    fn double_retire_panics() {
+        let mut m = BddManager::new();
+        let _ = m.var(0);
+        let _ = m.var(1);
+        m.retire_var(0);
+        m.retire_var(0);
+    }
+
+    #[test]
+    fn reordering_works_after_retirement() {
+        let mut m = BddManager::new();
+        for i in 0..12u32 {
+            let _ = m.var(i);
+        }
+        let mut f = BddManager::TRUE;
+        for i in 0..4u32 {
+            let x = m.var(i);
+            let y = m.var(4 + i);
+            let eq = m.iff(x, y);
+            f = m.and(f, eq);
+        }
+        m.gc(&[f]);
+        for v in 8..12u32 {
+            m.retire_var(v);
+        }
+        assert_eq!(m.num_vars(), 8);
+        let before = m.size(f);
+        let stats = m.sift(&[f]);
+        assert!(stats.size_after <= before);
+        // Function preserved.
+        assert!(m.eval(f, |_| true));
+        assert!(!m.eval(f, |v| v == 0));
+    }
+}

@@ -1,0 +1,326 @@
+//! Boolean operations, cofactors, composition, quantification.
+
+use crate::manager::{Bdd, BddManager, VarId};
+
+/// Computed-table operation tags.
+const OP_ITE: u8 = 0;
+const OP_RESTRICT: u8 = 1;
+
+impl BddManager {
+    /// If-then-else: `f ? g : h` — the universal connective.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sbif_bdd::BddManager;
+    /// let mut m = BddManager::new();
+    /// let x = m.var(0);
+    /// let t = BddManager::TRUE;
+    /// let e = BddManager::FALSE;
+    /// assert_eq!(m.ite(x, t, e), x);
+    /// ```
+    pub fn ite(&mut self, f: Bdd, g: Bdd, h: Bdd) -> Bdd {
+        // Terminal cases.
+        if f == Self::TRUE {
+            return g;
+        }
+        if f == Self::FALSE {
+            return h;
+        }
+        if g == h {
+            return g;
+        }
+        if g == Self::TRUE && h == Self::FALSE {
+            return f;
+        }
+        if let Some(&r) = self.cache.get(&(OP_ITE, f, g, h)) {
+            return r;
+        }
+        // Split on the top variable (minimal level among the three).
+        let lf = self.level_of_node(f);
+        let lg = self.level_of_node(g);
+        let lh = self.level_of_node(h);
+        let lvl = lf.min(lg).min(lh);
+        let v = self.level2var[lvl as usize];
+        let (f0, f1) = self.top_cofactors(f, v);
+        let (g0, g1) = self.top_cofactors(g, v);
+        let (h0, h1) = self.top_cofactors(h, v);
+        let low = self.ite(f0, g0, h0);
+        let high = self.ite(f1, g1, h1);
+        let r = self.mk(v, low, high);
+        self.cache.insert((OP_ITE, f, g, h), r);
+        r
+    }
+
+    /// The cofactors of `f` with respect to `v`, assuming `v` is at or
+    /// above `f`'s top level.
+    #[inline]
+    pub(crate) fn top_cofactors(&self, f: Bdd, v: VarId) -> (Bdd, Bdd) {
+        if self.is_const(f) || self.nodes[f.index()].var != v {
+            (f, f)
+        } else {
+            let n = &self.nodes[f.index()];
+            (n.low, n.high)
+        }
+    }
+
+    /// Negation.
+    pub fn not(&mut self, f: Bdd) -> Bdd {
+        self.ite(f, Self::FALSE, Self::TRUE)
+    }
+
+    /// Conjunction.
+    pub fn and(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        self.ite(f, g, Self::FALSE)
+    }
+
+    /// Disjunction.
+    pub fn or(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        self.ite(f, Self::TRUE, g)
+    }
+
+    /// Exclusive or.
+    pub fn xor(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        let ng = self.not(g);
+        self.ite(f, ng, g)
+    }
+
+    /// Equivalence.
+    pub fn iff(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        let ng = self.not(g);
+        self.ite(f, g, ng)
+    }
+
+    /// Implication `f → g`.
+    pub fn implies(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        self.ite(f, g, Self::TRUE)
+    }
+
+    /// `true` iff `f → g` is a tautology.
+    pub fn implies_taut(&mut self, f: Bdd, g: Bdd) -> bool {
+        self.implies(f, g) == Self::TRUE
+    }
+
+    /// The restriction `f[v := val]` for a variable at any level.
+    pub fn restrict(&mut self, f: Bdd, v: VarId, val: bool) -> Bdd {
+        if self.is_const(f) || v as usize >= self.var2level.len() {
+            return f; // undeclared variables cannot occur in any node
+        }
+        let fl = self.level_of_node(f);
+        let vl = self.level_of(v);
+        if fl > vl {
+            return f; // v cannot appear below its level
+        }
+        let key = (OP_RESTRICT, f, Bdd(v), Bdd(val as u32));
+        if let Some(&r) = self.cache.get(&key) {
+            return r;
+        }
+        let n = self.nodes[f.index()];
+        let r = if n.var == v {
+            if val {
+                n.high
+            } else {
+                n.low
+            }
+        } else {
+            let low = self.restrict(n.low, v, val);
+            let high = self.restrict(n.high, v, val);
+            self.mk(n.var, low, high)
+        };
+        self.cache.insert(key, r);
+        r
+    }
+
+    /// Functional composition `f[v := g]` — the step of the backward
+    /// traversal in Sect. V: replace a gate-output variable by the BDD of
+    /// the gate function.
+    pub fn compose(&mut self, f: Bdd, v: VarId, g: Bdd) -> Bdd {
+        if self.is_const(f) || v as usize >= self.var2level.len() {
+            return f; // undeclared variables cannot occur in any node
+        }
+        let fl = self.level_of_node(f);
+        let vl = self.level_of(v);
+        if vl == u32::MAX {
+            return f; // retired variables cannot occur in any node
+        }
+        if fl > vl {
+            return f; // v cannot occur below its own level
+        }
+        if fl == vl {
+            // v is f's top variable: both cofactors are immediate.
+            let (f0, f1) = self.top_cofactors(f, v);
+            return self.ite(g, f1, f0);
+        }
+        let f1 = self.restrict(f, v, true);
+        let f0 = self.restrict(f, v, false);
+        self.ite(g, f1, f0)
+    }
+
+    /// Existential quantification over a single variable.
+    pub fn exists(&mut self, f: Bdd, v: VarId) -> Bdd {
+        let f1 = self.restrict(f, v, true);
+        let f0 = self.restrict(f, v, false);
+        self.or(f0, f1)
+    }
+
+    /// Universal quantification over a single variable.
+    pub fn forall(&mut self, f: Bdd, v: VarId) -> Bdd {
+        let f1 = self.restrict(f, v, true);
+        let f0 = self.restrict(f, v, false);
+        self.and(f0, f1)
+    }
+
+    /// One satisfying assignment as `(var, value)` pairs (for variables
+    /// on the path; others are free), or `None` if `f` is FALSE.
+    pub fn one_sat(&self, f: Bdd) -> Option<Vec<(VarId, bool)>> {
+        if f == Self::FALSE {
+            return None;
+        }
+        let mut path = Vec::new();
+        let mut cur = f;
+        while !self.is_const(cur) {
+            let n = &self.nodes[cur.index()];
+            if n.low != Self::FALSE {
+                path.push((n.var, false));
+                cur = n.low;
+            } else {
+                path.push((n.var, true));
+                cur = n.high;
+            }
+        }
+        debug_assert_eq!(cur, Self::TRUE);
+        Some(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Checks `got` against a truth-table oracle over `vars` variables.
+    fn check_tt(m: &BddManager, got: Bdd, vars: u32, oracle: impl Fn(u32) -> bool) {
+        for bits in 0..(1u32 << vars) {
+            let asg = |v: VarId| (bits >> v) & 1 == 1;
+            assert_eq!(m.eval(got, asg), oracle(bits), "bits={bits:b}");
+        }
+    }
+
+    #[test]
+    fn connectives_truth_tables() {
+        let mut m = BddManager::new();
+        let a = m.var(0);
+        let b = m.var(1);
+        let and = m.and(a, b);
+        check_tt(&m, and, 2, |x| x & 3 == 3);
+        let or = m.or(a, b);
+        check_tt(&m, or, 2, |x| x & 3 != 0);
+        let xor = m.xor(a, b);
+        check_tt(&m, xor, 2, |x| (x ^ (x >> 1)) & 1 == 1);
+        let iff = m.iff(a, b);
+        check_tt(&m, iff, 2, |x| (x ^ (x >> 1)) & 1 == 0);
+        let imp = m.implies(a, b);
+        check_tt(&m, imp, 2, |x| x & 1 == 0 || x & 2 == 2);
+        let na = m.not(a);
+        check_tt(&m, na, 2, |x| x & 1 == 0);
+    }
+
+    #[test]
+    fn ite_is_canonical() {
+        let mut m = BddManager::new();
+        let a = m.var(0);
+        let b = m.var(1);
+        let c = m.var(2);
+        // (a ∧ b) ∨ (¬a ∧ c) built two different ways
+        let ab = m.and(a, b);
+        let na = m.not(a);
+        let nac = m.and(na, c);
+        let f1 = m.or(ab, nac);
+        let f2 = m.ite(a, b, c);
+        assert_eq!(f1, f2);
+    }
+
+    #[test]
+    fn restrict_any_level() {
+        let mut m = BddManager::new();
+        let a = m.var(0);
+        let b = m.var(1);
+        let c = m.var(2);
+        let bc = m.and(b, c);
+        let f = m.or(a, bc);
+        // restrict middle variable
+        let f_b1 = m.restrict(f, 1, true);
+        let expect = m.or(a, c);
+        assert_eq!(f_b1, expect);
+        let f_b0 = m.restrict(f, 1, false);
+        assert_eq!(f_b0, a);
+        // restricting an absent variable is the identity
+        assert_eq!(m.restrict(f, 7, true), f);
+    }
+
+    #[test]
+    fn compose_substitutes() {
+        let mut m = BddManager::new();
+        let a = m.var(0);
+        let b = m.var(1);
+        let c = m.var(2);
+        let f = m.xor(a, b);
+        let g = m.and(b, c);
+        // f[a := b∧c] = (b∧c) ⊕ b
+        let got = m.compose(f, 0, g);
+        let expect = m.xor(g, b);
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn quantification() {
+        let mut m = BddManager::new();
+        let a = m.var(0);
+        let b = m.var(1);
+        let f = m.and(a, b);
+        assert_eq!(m.exists(f, 0), b);
+        assert_eq!(m.forall(f, 0), BddManager::FALSE);
+        let g = m.or(a, b);
+        assert_eq!(m.forall(g, 0), b);
+        assert_eq!(m.exists(g, 0), BddManager::TRUE);
+    }
+
+    #[test]
+    fn one_sat_paths() {
+        let mut m = BddManager::new();
+        let a = m.var(0);
+        let b = m.var(1);
+        let na = m.not(a);
+        let f = m.and(na, b);
+        let sat = m.one_sat(f).expect("satisfiable");
+        let asg = |v: VarId| sat.iter().find(|&&(x, _)| x == v).map(|&(_, val)| val).unwrap_or(false);
+        assert!(m.eval(f, asg));
+        assert!(m.one_sat(BddManager::FALSE).is_none());
+        assert_eq!(m.one_sat(BddManager::TRUE), Some(vec![]));
+    }
+
+    #[test]
+    fn tautology_checks() {
+        let mut m = BddManager::new();
+        let a = m.var(0);
+        let b = m.var(1);
+        let ab = m.and(a, b);
+        assert!(m.implies_taut(ab, a));
+        assert!(!m.implies_taut(a, ab));
+        assert!(m.implies_taut(BddManager::FALSE, a));
+        assert!(m.implies_taut(a, BddManager::TRUE));
+    }
+
+    #[test]
+    fn three_var_exhaustive_majority() {
+        let mut m = BddManager::new();
+        let a = m.var(0);
+        let b = m.var(1);
+        let c = m.var(2);
+        let ab = m.and(a, b);
+        let ac = m.and(a, c);
+        let bc = m.and(b, c);
+        let t = m.or(ab, ac);
+        let maj = m.or(t, bc);
+        check_tt(&m, maj, 3, |x| (x & 1) + ((x >> 1) & 1) + ((x >> 2) & 1) >= 2);
+    }
+}

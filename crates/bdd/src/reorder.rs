@@ -1,0 +1,480 @@
+//! Dynamic variable reordering: adjacent-level swaps, sifting and
+//! symmetric sifting (Panda/Somenzi \[26\], simplified).
+//!
+//! Node indices are stable across reordering: a node keeps its identity
+//! (and the pseudo-Boolean function it represents); only its `var` label
+//! and children may be rewritten by the classic in-place swap of two
+//! adjacent levels. Canonicity guarantees the rewritten upper-level nodes
+//! can never collide with retained lower-level nodes — two distinct nodes
+//! never represent the same function.
+
+use crate::manager::{Bdd, BddManager, VarId};
+
+/// Statistics of one reordering pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReorderStats {
+    /// Live nodes before the pass.
+    pub size_before: usize,
+    /// Live nodes after the pass.
+    pub size_after: usize,
+    /// Adjacent-level swaps performed.
+    pub swaps: u64,
+    /// Variables (or symmetry groups) sifted.
+    pub sifted: usize,
+    /// Symmetry groups detected (symmetric sifting only).
+    pub groups: usize,
+}
+
+/// Transient state of a reordering pass.
+struct ReorderEnv {
+    /// Reference counts (parent edges + external roots).
+    rc: Vec<u32>,
+    /// Node lists per level; entries may be stale (dead or relabeled)
+    /// and are filtered lazily.
+    subtables: Vec<Vec<Bdd>>,
+    /// Exact live-node count, maintained across swaps.
+    cur_size: usize,
+    swaps: u64,
+}
+
+impl BddManager {
+    /// Builds the reordering environment: refcounts and per-level node
+    /// lists. Call after [`gc`](Self::gc) so no dead nodes remain.
+    fn reorder_env(&mut self, roots: &[Bdd]) -> ReorderEnv {
+        let nlevels = self.level2var.len();
+        let mut rc = vec![0u32; self.nodes.len()];
+        let mut subtables = vec![Vec::new(); nlevels];
+        let mut live = 0usize;
+        for i in 2..self.nodes.len() {
+            if self.dead[i] {
+                continue;
+            }
+            let n = self.nodes[i];
+            if n.var == crate::manager::TERMINAL_VAR {
+                continue;
+            }
+            live += 1;
+            rc[n.low.index()] += 1;
+            rc[n.high.index()] += 1;
+            subtables[self.level_of(n.var) as usize].push(Bdd(i as u32));
+        }
+        for r in roots {
+            rc[r.index()] += 1;
+        }
+        ReorderEnv { rc, subtables, cur_size: live, swaps: 0 }
+    }
+
+    fn rc_incr(env: &mut ReorderEnv, f: Bdd) {
+        if f.index() >= env.rc.len() {
+            env.rc.resize(f.index() + 1, 0);
+        }
+        env.rc[f.index()] += 1;
+    }
+
+    /// Decrements a reference and recursively kills nodes whose count
+    /// drops to zero.
+    fn rc_decr_kill(&mut self, env: &mut ReorderEnv, f: Bdd) {
+        let mut stack = vec![f];
+        while let Some(n) = stack.pop() {
+            if self.is_const(n) {
+                continue;
+            }
+            env.rc[n.index()] -= 1;
+            if env.rc[n.index()] == 0 {
+                let node = self.nodes[n.index()];
+                self.unique.remove(&(node.var, node.low, node.high));
+                self.dead[n.index()] = true;
+                // Neutralize the stored key so a later allocation of the
+                // same (var, low, high) cannot be shadowed by this corpse
+                // at the final GC.
+                self.nodes[n.index()] =
+                    crate::manager::Node { var: crate::manager::TERMINAL_VAR, low: n, high: n };
+                env.cur_size -= 1;
+                stack.push(node.low);
+                stack.push(node.high);
+            }
+        }
+    }
+
+    /// Swaps the variables at `lvl` and `lvl + 1` in place.
+    fn swap_levels(&mut self, env: &mut ReorderEnv, lvl: usize) {
+        env.swaps += 1;
+        let u = self.level2var[lvl];
+        let w = self.level2var[lvl + 1];
+        // Update the permutation first so `mk`'s level invariant holds
+        // for the nodes created below.
+        self.level2var[lvl] = w;
+        self.level2var[lvl + 1] = u;
+        self.var2level[u as usize] = lvl as u32 + 1;
+        self.var2level[w as usize] = lvl as u32;
+
+        let old_u = std::mem::take(&mut env.subtables[lvl]);
+        let old_w = std::mem::take(&mut env.subtables[lvl + 1]);
+        let mut upper: Vec<Bdd> = old_w; // w-nodes keep identity, move up
+        let mut lower: Vec<Bdd> = Vec::with_capacity(old_u.len());
+
+        let mut created: Vec<Bdd> = Vec::new();
+        self.mk_log = Some(Vec::new());
+        for n in old_u {
+            if self.dead[n.index()] || self.nodes[n.index()].var != u {
+                continue; // stale entry
+            }
+            let node = self.nodes[n.index()];
+            let (f0, f1) = (node.low, node.high);
+            let f0_w = !self.is_const(f0) && self.nodes[f0.index()].var == w;
+            let f1_w = !self.is_const(f1) && self.nodes[f1.index()].var == w;
+            if !f0_w && !f1_w {
+                lower.push(n);
+                continue;
+            }
+            let (f00, f01) = if f0_w {
+                (self.nodes[f0.index()].low, self.nodes[f0.index()].high)
+            } else {
+                (f0, f0)
+            };
+            let (f10, f11) = if f1_w {
+                (self.nodes[f1.index()].low, self.nodes[f1.index()].high)
+            } else {
+                (f1, f1)
+            };
+            let g0 = self.mk(u, f00, f10);
+            let g1 = self.mk(u, f01, f11);
+            let fresh = self.mk_log.as_mut().map(std::mem::take).unwrap_or_default();
+            for nn in fresh {
+                if nn.index() >= env.rc.len() {
+                    env.rc.resize(nn.index() + 1, 0);
+                }
+                env.rc[nn.index()] = 0; // slot may be recycled: reset
+                env.cur_size += 1;
+                // The fresh node's child edges are new references.
+                let child = self.nodes[nn.index()];
+                Self::rc_incr(env, child.low);
+                Self::rc_incr(env, child.high);
+                created.push(nn);
+            }
+            Self::rc_incr(env, g0);
+            Self::rc_incr(env, g1);
+            self.unique.remove(&(u, f0, f1));
+            self.nodes[n.index()] = crate::manager::Node { var: w, low: g0, high: g1 };
+            debug_assert!(
+                !self.unique.contains_key(&(w, g0, g1)),
+                "swap collision impossible by canonicity"
+            );
+            self.unique.insert((w, g0, g1), n);
+            self.rc_decr_kill(env, f0);
+            self.rc_decr_kill(env, f1);
+            upper.push(n);
+        }
+        self.mk_log = None;
+        lower.extend(created);
+        env.subtables[lvl] = upper;
+        env.subtables[lvl + 1] = lower;
+    }
+
+    /// Live nodes currently at `lvl` (filtering stale entries).
+    fn subtable_size(&self, env: &ReorderEnv, lvl: usize) -> usize {
+        let v = self.level2var[lvl];
+        env.subtables[lvl]
+            .iter()
+            .filter(|n| !self.dead[n.index()] && self.nodes[n.index()].var == v)
+            .count()
+    }
+
+    /// Moves the variable group occupying levels `[top, top+len)` down by
+    /// one level (bubbling the variable below it through the group).
+    fn group_down(&mut self, env: &mut ReorderEnv, top: usize, len: usize) {
+        for l in (top..top + len).rev() {
+            self.swap_levels(env, l);
+        }
+    }
+
+    /// Moves the group up by one level.
+    fn group_up(&mut self, env: &mut ReorderEnv, top: usize, len: usize) {
+        for l in top - 1..top - 1 + len {
+            self.swap_levels(env, l);
+        }
+    }
+
+    /// Sifts one group of `len` adjacent variables starting at level
+    /// `start` to its locally optimal position.
+    fn sift_group(&mut self, env: &mut ReorderEnv, start: usize, len: usize, max_swaps: u64) {
+        let nlevels = self.level2var.len();
+        let mut top = start;
+        let mut best_size = env.cur_size;
+        let mut best_top = top;
+        let max_growth = env.cur_size + env.cur_size / 5 + 16;
+        // Phase 1: down to the bottom.
+        while top + len < nlevels && env.swaps < max_swaps {
+            self.group_down(env, top, len);
+            top += 1;
+            if env.cur_size < best_size {
+                best_size = env.cur_size;
+                best_top = top;
+            }
+            if env.cur_size > max_growth {
+                break;
+            }
+        }
+        // Phase 2: up to the top.
+        while top > 0 && env.swaps < max_swaps {
+            self.group_up(env, top, len);
+            top -= 1;
+            if env.cur_size < best_size {
+                best_size = env.cur_size;
+                best_top = top;
+            }
+            if env.cur_size > max_growth && top < best_top {
+                break;
+            }
+        }
+        // Phase 3: return to the best position seen.
+        while top < best_top {
+            self.group_down(env, top, len);
+            top += 1;
+        }
+        while top > best_top {
+            self.group_up(env, top, len);
+            top -= 1;
+        }
+    }
+
+    /// Sifting reordering: moves each variable (largest subtables first,
+    /// up to `max_vars` of them) through the whole order and leaves it at
+    /// the position minimizing the live node count.
+    ///
+    /// `roots` are the BDDs that must stay alive; all other nodes may be
+    /// collected.
+    pub fn sift(&mut self, roots: &[Bdd]) -> ReorderStats {
+        self.reorder_pass(roots, false)
+    }
+
+    /// Symmetric sifting: like [`sift`](Self::sift), but adjacent
+    /// variables detected as symmetric are grouped and moved together.
+    pub fn sift_symmetric(&mut self, roots: &[Bdd]) -> ReorderStats {
+        self.reorder_pass(roots, true)
+    }
+
+    fn reorder_pass(&mut self, roots: &[Bdd], symmetric: bool) -> ReorderStats {
+        self.cache.clear();
+        self.gc(roots);
+        let mut env = self.reorder_env(roots);
+        let mut stats = ReorderStats {
+            size_before: env.cur_size,
+            ..ReorderStats::default()
+        };
+        let nlevels = self.level2var.len();
+        if nlevels < 2 {
+            stats.size_after = env.cur_size;
+            return stats;
+        }
+        // Variables by decreasing subtable size.
+        let mut by_size: Vec<(usize, VarId)> = (0..nlevels)
+            .map(|l| (self.subtable_size(&env, l), self.level2var[l]))
+            .filter(|&(s, _)| s >= 2)
+            .collect();
+        by_size.sort_unstable_by_key(|&(size, _)| std::cmp::Reverse(size));
+        let max_vars = 64;
+        let max_swaps = 2_000_000u64;
+        let mut processed: std::collections::HashSet<VarId> = std::collections::HashSet::new();
+
+        for &(_, v) in by_size.iter().take(max_vars) {
+            if env.swaps >= max_swaps || processed.contains(&v) {
+                continue;
+            }
+            let mut top = self.var2level[v as usize] as usize;
+            let mut len = 1;
+            if symmetric {
+                // Grow the group with adjacent symmetric variables.
+                while top + len < nlevels && self.adjacent_symmetric(&env, top + len - 1) {
+                    len += 1;
+                }
+                while top > 0 && self.adjacent_symmetric(&env, top - 1) {
+                    top -= 1;
+                    len += 1;
+                }
+                if len > 1 {
+                    stats.groups += 1;
+                }
+            }
+            for l in top..top + len {
+                processed.insert(self.level2var[l]);
+            }
+            self.sift_group(&mut env, top, len, max_swaps);
+            stats.sifted += 1;
+        }
+        stats.swaps = env.swaps;
+        stats.size_after = env.cur_size;
+        self.cache.clear();
+        self.gc(roots);
+        stats
+    }
+
+    /// Heuristic check that the variables at `lvl` and `lvl + 1` are
+    /// (positively) symmetric in every function through them: every
+    /// upper-level node must satisfy `f01 == f10`.
+    fn adjacent_symmetric(&self, env: &ReorderEnv, lvl: usize) -> bool {
+        if lvl + 1 >= self.level2var.len() {
+            return false;
+        }
+        let u = self.level2var[lvl];
+        let w = self.level2var[lvl + 1];
+        let mut any = false;
+        for n in &env.subtables[lvl] {
+            if self.dead[n.index()] || self.nodes[n.index()].var != u {
+                continue;
+            }
+            let node = self.nodes[n.index()];
+            let f01 = if !self.is_const(node.low) && self.nodes[node.low.index()].var == w {
+                self.nodes[node.low.index()].high
+            } else {
+                node.low
+            };
+            let f10 = if !self.is_const(node.high) && self.nodes[node.high.index()].var == w {
+                self.nodes[node.high.index()].low
+            } else {
+                node.high
+            };
+            if f01 != f10 {
+                return false;
+            }
+            any = true;
+        }
+        any
+    }
+
+    /// Triggers a symmetric-sifting pass when the live node count has
+    /// crossed [`reorder_threshold`](Self::reorder_threshold) (the
+    /// threshold doubles after each pass, CUDD-style). Returns the pass
+    /// statistics if reordering ran.
+    pub fn maybe_reorder(&mut self, roots: &[Bdd]) -> Option<ReorderStats> {
+        if self.live_nodes() <= self.reorder_threshold {
+            return None;
+        }
+        let stats = self.sift_symmetric(roots);
+        // Re-arm at twice the post-reorder size (CUDD's policy), but
+        // never below the configured floor — with variable retirement
+        // keeping the level set small, frequent passes stay affordable
+        // and are what keep the traversal's intermediate BDDs compact.
+        self.reorder_threshold = (stats.size_after * 2).max(self.reorder_threshold);
+        Some(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds the interleaved-vs-separated comparator example: with a bad
+    /// order (all a's above all b's) `a == b` over k bits is exponential;
+    /// sifting must shrink it drastically.
+    fn equality_bdd(m: &mut BddManager, k: u32, interleave: bool) -> Bdd {
+        let mut f = BddManager::TRUE;
+        for i in 0..k {
+            let (va, vb) = if interleave { (2 * i, 2 * i + 1) } else { (i, k + i) };
+            let a = m.var(va);
+            let b = m.var(vb);
+            let eq = m.iff(a, b);
+            f = m.and(f, eq);
+        }
+        f
+    }
+
+    /// Collects a function's truth table over `vars` variables.
+    fn truth_table(m: &BddManager, f: Bdd, vars: u32) -> Vec<bool> {
+        (0..(1u32 << vars)).map(|bits| m.eval(f, |v| (bits >> v) & 1 == 1)).collect()
+    }
+
+    #[test]
+    fn swap_preserves_functions() {
+        let mut m = BddManager::new();
+        let a = m.var(0);
+        let b = m.var(1);
+        let c = m.var(2);
+        let ab = m.and(a, b);
+        let f = m.xor(ab, c);
+        let g = m.or(a, c);
+        let tf = truth_table(&m, f, 3);
+        let tg = truth_table(&m, g, 3);
+        let roots = vec![f, g, a, b, c];
+        let mut env = m.reorder_env(&roots);
+        for lvl in [0usize, 1, 0, 1, 1, 0] {
+            m.swap_levels(&mut env, lvl);
+            assert_eq!(truth_table(&m, f, 3), tf, "f changed after swap at {lvl}");
+            assert_eq!(truth_table(&m, g, 3), tg, "g changed after swap at {lvl}");
+        }
+    }
+
+    #[test]
+    fn swap_size_bookkeeping_is_exact() {
+        let mut m = BddManager::new();
+        let f = equality_bdd(&mut m, 4, false);
+        let roots = vec![f];
+        m.gc(&roots);
+        let mut env = m.reorder_env(&roots);
+        for lvl in 0..7 {
+            m.swap_levels(&mut env, lvl);
+            // Recount live nodes from scratch and compare.
+            let recount: usize = (0..m.level2var.len()).map(|l| m.subtable_size(&env, l)).sum();
+            assert_eq!(env.cur_size, recount, "after swap at {lvl}");
+        }
+    }
+
+    #[test]
+    fn sifting_shrinks_bad_equality_order() {
+        let k = 6;
+        let mut m = BddManager::new();
+        let f = equality_bdd(&mut m, k, false);
+        let tt = truth_table(&m, f, 2 * k);
+        let before = m.size(f);
+        let stats = m.sift(&[f]);
+        let after = m.size(f);
+        assert_eq!(truth_table(&m, f, 2 * k), tt, "sifting must preserve the function");
+        // Separated order needs ~3·2^k nodes; interleaved needs 3k+2.
+        assert!(after < before / 4, "sift: {before} -> {after} ({stats:?})");
+        assert!(after <= 3 * (k as usize) + 2 + 2, "near-optimal expected, got {after}");
+    }
+
+    #[test]
+    fn symmetric_sifting_groups_symmetric_vars() {
+        // Totally symmetric function: x0 + x1 + x2 + x3 >= 2 (majority-ish).
+        let mut m = BddManager::new();
+        let vars: Vec<Bdd> = (0..4).map(|i| m.var(i)).collect();
+        let mut f = BddManager::FALSE;
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                let p = m.and(vars[i], vars[j]);
+                f = m.or(f, p);
+            }
+        }
+        let tt = truth_table(&m, f, 4);
+        let stats = m.sift_symmetric(&[f]);
+        assert_eq!(truth_table(&m, f, 4), tt);
+        assert!(stats.groups >= 1, "expected a symmetry group, got {stats:?}");
+    }
+
+    #[test]
+    fn maybe_reorder_triggers_on_threshold() {
+        let mut m = BddManager::new();
+        m.reorder_threshold = 50;
+        let f = equality_bdd(&mut m, 6, false);
+        let stats = m.maybe_reorder(&[f]);
+        assert!(stats.is_some());
+        assert!(m.reorder_threshold >= 100 || m.live_nodes() * 2 <= 100);
+        // Second call right away should not re-trigger (below threshold).
+        assert!(m.maybe_reorder(&[f]).is_none());
+    }
+
+    #[test]
+    fn gc_after_reorder_keeps_roots_valid() {
+        let mut m = BddManager::new();
+        let f = equality_bdd(&mut m, 5, false);
+        let tt = truth_table(&m, f, 10);
+        m.sift(&[f]);
+        m.gc(&[f]);
+        assert_eq!(truth_table(&m, f, 10), tt);
+        // Manager stays usable for new operations.
+        let x = m.var(20);
+        let g = m.and(f, x);
+        assert!(m.eval(g, |_| true));
+    }
+}

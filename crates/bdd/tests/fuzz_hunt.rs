@@ -1,0 +1,178 @@
+//! Randomized stress tests of dynamic reordering and garbage
+//! collection: random circuits are built, sifted and collected while
+//! their truth tables are checked against a reference.
+
+use sbif_bdd::{Bdd, BddManager, VarId};
+
+struct Rng(u64);
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+fn truth_table(m: &BddManager, f: Bdd, vars: u32) -> Vec<bool> {
+    (0..(1u64 << vars))
+        .map(|bits| m.eval(f, |v| (bits >> v) & 1 == 1))
+        .collect()
+}
+
+/// Check structural invariants: reducedness, ordering, unique table consistency,
+/// and canonicity (no two live reachable nodes with the same key / function).
+fn check_invariants(m: &BddManager, roots: &[Bdd]) {
+    use std::collections::{HashMap, HashSet};
+    let mut seen: HashSet<Bdd> = HashSet::new();
+    let mut stack: Vec<Bdd> = roots.to_vec();
+    let mut keys: HashMap<(VarId, Bdd, Bdd), Bdd> = HashMap::new();
+    while let Some(n) = stack.pop() {
+        if !seen.insert(n) || m.is_const(n) {
+            continue;
+        }
+        let v = m.top_var(n);
+        let (lo, hi) = (m.low(n), m.high(n));
+        assert_ne!(lo, hi, "redundant node {n:?} (var {v})");
+        assert!(m.is_live_var(v), "reachable node {n:?} labeled retired var {v}");
+        for c in [lo, hi] {
+            if !m.is_const(c) {
+                let cv = m.top_var(c);
+                assert!(
+                    m.level_of(v) < m.level_of(cv),
+                    "ordering violated: {v}@{} above {cv}@{}",
+                    m.level_of(v),
+                    m.level_of(cv)
+                );
+            }
+        }
+        if let Some(prev) = keys.insert((v, lo, hi), n) {
+            panic!("canonicity violated: nodes {prev:?} and {n:?} share key ({v},{lo:?},{hi:?})");
+        }
+        stack.push(lo);
+        stack.push(hi);
+    }
+}
+
+#[test]
+fn fuzz_reorder_gc_preserves_functions() {
+    for seed in 1..60u64 {
+        let mut rng = Rng(seed.wrapping_mul(0x9E3779B97F4A7C15) | 1);
+        let nvars = 6 + rng.below(3) as u32; // 6..8
+        let mut m = BddManager::new();
+        m.reorder_threshold = 20 + rng.below(50) as usize;
+        let mut pool: Vec<Bdd> = (0..nvars).map(|v| m.var(v)).collect();
+        let mut roots: Vec<(Bdd, Vec<bool>)> = Vec::new();
+        for step in 0..200 {
+            let op = rng.below(10);
+            match op {
+                0..=5 => {
+                    let a = pool[rng.below(pool.len() as u64) as usize];
+                    let b = pool[rng.below(pool.len() as u64) as usize];
+                    let f = match rng.below(5) {
+                        0 => m.and(a, b),
+                        1 => m.or(a, b),
+                        2 => m.xor(a, b),
+                        3 => m.iff(a, b),
+                        _ => m.not(a),
+                    };
+                    pool.push(f);
+                    if pool.len() > 12 {
+                        // drop a random non-var element (becomes garbage)
+                        let i = nvars as usize + rng.below((pool.len() - nvars as usize) as u64) as usize;
+                        pool.swap_remove(i);
+                    }
+                    if rng.below(4) == 0 {
+                        let tt = truth_table(&m, f, nvars);
+                        roots.push((f, tt));
+                        if roots.len() > 4 {
+                            roots.remove(0);
+                        }
+                    }
+                }
+                6 => {
+                    let mut r: Vec<Bdd> = pool.clone();
+                    r.extend(roots.iter().map(|(f, _)| *f));
+                    m.gc(&r);
+                }
+                7 => {
+                    let mut r: Vec<Bdd> = pool.clone();
+                    r.extend(roots.iter().map(|(f, _)| *f));
+                    m.sift(&r);
+                }
+                8 => {
+                    let mut r: Vec<Bdd> = pool.clone();
+                    r.extend(roots.iter().map(|(f, _)| *f));
+                    m.sift_symmetric(&r);
+                }
+                _ => {
+                    let mut r: Vec<Bdd> = pool.clone();
+                    r.extend(roots.iter().map(|(f, _)| *f));
+                    m.maybe_reorder(&r);
+                }
+            }
+            // verify
+            let all_roots: Vec<Bdd> = pool
+                .iter()
+                .copied()
+                .chain(roots.iter().map(|(f, _)| *f))
+                .collect();
+            check_invariants(&m, &all_roots);
+            for (f, tt) in &roots {
+                let got = truth_table(&m, *f, nvars);
+                assert_eq!(&got, tt, "seed {seed} step {step} function changed");
+            }
+        }
+    }
+}
+
+#[test]
+fn fuzz_retirement_with_reorder() {
+    // Compose-away style: build functions, compose vars out, retire, sift.
+    for seed in 1..40u64 {
+        let mut rng = Rng(seed.wrapping_mul(0xD1B54A32D192ED03) | 1);
+        let nvars = 8u32;
+        let mut m = BddManager::new();
+        let mut f = BddManager::TRUE;
+        for i in 0..nvars / 2 {
+            let x = m.var(i);
+            let y = m.var(nvars / 2 + i);
+            let g = match rng.below(3) {
+                0 => m.iff(x, y),
+                1 => m.xor(x, y),
+                _ => m.or(x, y),
+            };
+            f = m.and(f, g);
+        }
+        let tt = truth_table(&m, f, nvars);
+        // Compose out a few vars by constants/vars, retire them, sift after each.
+        let mut live_tt = tt.clone();
+        let mut retired: Vec<u32> = Vec::new();
+        for _ in 0..3 {
+            let v = rng.below(nvars as u64) as u32;
+            if retired.contains(&v) {
+                continue;
+            }
+            let val = rng.below(2) == 1;
+            f = m.restrict(f, v, val);
+            // update reference tt: fix bit v to val
+            live_tt = (0..(1u64 << nvars))
+                .map(|bits| {
+                    let b = if val { bits | (1 << v) } else { bits & !(1 << v) };
+                    live_tt[b as usize]
+                })
+                .collect();
+            m.gc(&[f]);
+            m.retire_var(v);
+            retired.push(v);
+            let stats = m.sift(&[f]);
+            let _ = stats;
+            check_invariants(&m, &[f]);
+            let got = truth_table(&m, f, nvars);
+            assert_eq!(got, live_tt, "seed {seed} after retiring {v}");
+        }
+    }
+}

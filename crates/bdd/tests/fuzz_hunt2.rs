@@ -1,0 +1,147 @@
+//! Randomized stress tests of the weakest-precondition usage pattern:
+//! compose out variables one by one, retire them, reorder, and check
+//! the truth table and canonicity invariants after every step.
+
+use sbif_bdd::{Bdd, BddManager};
+
+struct Rng(u64);
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+fn tt(m: &BddManager, f: Bdd, vars: u32) -> Vec<bool> {
+    (0..(1u64 << vars)).map(|b| m.eval(f, |v| (b >> v) & 1 == 1)).collect()
+}
+
+fn random_func(m: &mut BddManager, rng: &mut Rng, vars: &[u32], depth: usize) -> Bdd {
+    if depth == 0 || vars.is_empty() {
+        if vars.is_empty() {
+            return if rng.below(2) == 0 { BddManager::TRUE } else { BddManager::FALSE };
+        }
+        let v = vars[rng.below(vars.len() as u64) as usize];
+        let x = m.var(v);
+        return if rng.below(2) == 0 { x } else { m.not(x) };
+    }
+    let a = random_func(m, rng, vars, depth - 1);
+    let b = random_func(m, rng, vars, depth - 1);
+    match rng.below(5) {
+        0 => m.and(a, b),
+        1 => m.or(a, b),
+        2 => m.xor(a, b),
+        3 => m.iff(a, b),
+        _ => m.not(a),
+    }
+}
+
+#[test]
+fn fuzz_wpc_style_compose_retire_reorder() {
+    for seed in 1..80u64 {
+        let mut rng = Rng(seed.wrapping_mul(0x9E3779B97F4A7C15) | 1);
+        let nvars = 10u32;
+        let mut m = BddManager::new();
+        m.reorder_threshold = 8 + rng.below(40) as usize;
+        let all: Vec<u32> = (0..nvars).collect();
+        let mut f = random_func(&mut m, &mut rng, &all, 4);
+        let mut reference = tt(&m, f, nvars); // truth table over all 10 vars
+        // Compose out vars 9,8,...,4 one by one with functions over lower vars.
+        for v in (4..nvars).rev() {
+            let lower: Vec<u32> = (0..v).collect();
+            let g = random_func(&mut m, &mut rng, &lower, 3);
+            let gtt = tt(&m, g, nvars);
+            f = m.compose(f, v, g);
+            // reference[bits] := reference[bits with bit v := g(bits)]
+            reference = (0..(1u64 << nvars))
+                .map(|bits| {
+                    let gv = gtt[bits as usize];
+                    let b = if gv { bits | (1 << v) } else { bits & !(1 << v) };
+                    reference[b as usize]
+                })
+                .collect();
+            m.gc(&[f]);
+            m.retire_var(v);
+            m.maybe_reorder(&[f]);
+            let got = tt(&m, f, nvars);
+            assert_eq!(got, reference, "seed {seed} after composing out var {v}");
+            // canonicity probe: double negation must return the same node
+            let nf = m.not(f);
+            let nnf = m.not(nf);
+            assert_eq!(nnf, f, "seed {seed}: double negation changed identity");
+        }
+        // Force explicit sifting passes at the end and re-check.
+        m.sift(&[f]);
+        assert_eq!(tt(&m, f, nvars), reference, "seed {seed} after final sift");
+        m.sift_symmetric(&[f]);
+        assert_eq!(tt(&m, f, nvars), reference, "seed {seed} after sym sift");
+    }
+}
+
+#[test]
+fn fuzz_canonicity_equal_functions_share_ids() {
+    for seed in 1..60u64 {
+        let mut rng = Rng(seed.wrapping_mul(0xD1B54A32D192ED03) | 1);
+        let nvars = 7u32;
+        let mut m = BddManager::new();
+        m.reorder_threshold = 10;
+        let all: Vec<u32> = (0..nvars).collect();
+        let mut roots: Vec<Bdd> = Vec::new();
+        for _ in 0..12 {
+            let f = random_func(&mut m, &mut rng, &all, 3);
+            roots.push(f);
+            m.maybe_reorder(&roots);
+            if rng.below(3) == 0 {
+                m.gc(&roots);
+            }
+            // After each mutation, rebuild every root's function from its
+            // truth table via Shannon expansion and demand the identical id.
+            for &r in &roots {
+                let t = tt(&m, r, nvars);
+                let rebuilt = from_tt(&mut m, &t, nvars);
+                assert_eq!(rebuilt, r, "seed {seed}: canonicity violated");
+            }
+        }
+    }
+}
+
+/// Builds the canonical BDD for a truth table bottom-up *through the
+/// public API*; if the manager is canonical this returns the same node id
+/// as any existing BDD of the same function.
+fn from_tt(m: &mut BddManager, t: &[bool], nvars: u32) -> Bdd {
+    // order-independent: use ite over var BDDs from the top of the current order
+    fn go(m: &mut BddManager, t: &[bool], vars: &[u32]) -> Bdd {
+        if t.iter().all(|&b| b) {
+            return BddManager::TRUE;
+        }
+        if t.iter().all(|&b| !b) {
+            return BddManager::FALSE;
+        }
+        let v = vars[0];
+        // split on v: entries where bit v of the index is 0/1
+        let mut t0 = Vec::with_capacity(t.len() / 2);
+        let mut t1 = Vec::with_capacity(t.len() / 2);
+        for (i, &b) in t.iter().enumerate() {
+            if (i >> v) & 1 == 1 {
+                t1.push(b);
+            } else {
+                t0.push(b);
+            }
+        }
+        // Reindex: removing bit v compacts indices; build sub-tables over
+        // remaining vars by brute force instead (simpler): evaluate.
+        let lo = go(m, &t0, &vars[1..]);
+        let hi = go(m, &t1, &vars[1..]);
+        let xv = m.var(v);
+        m.ite(xv, hi, lo)
+    }
+    // vars sorted descending so that removing the highest bit keeps
+    // index compaction consistent.
+    let vars: Vec<u32> = (0..nvars).rev().collect();
+    go(m, t, &vars)
+}

@@ -1,0 +1,40 @@
+//! Benchmarks of the BDD package: construction, composition, sifting.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sbif_bdd::{unsigned_less, BddManager, BddWord};
+
+fn bench_bdd(c: &mut Criterion) {
+    c.bench_function("bdd_comparator_interleaved_16", |b| {
+        b.iter(|| {
+            let mut m = BddManager::new();
+            let order: Vec<u32> = (0..16u32).rev().flat_map(|i| [i, 16 + i]).collect();
+            m.set_order(&order);
+            let a = BddWord((0..16).collect());
+            let bw = BddWord((16..32).collect());
+            let lt = unsigned_less(&mut m, &a, &bw);
+            std::hint::black_box(m.size(lt));
+        })
+    });
+    c.bench_function("bdd_sift_equality_8", |b| {
+        b.iter(|| {
+            let mut m = BddManager::new();
+            // Bad order: all a's above all b's.
+            let mut f = BddManager::TRUE;
+            for i in 0..8u32 {
+                let x = m.var(i);
+                let y = m.var(8 + i);
+                let eq = m.iff(x, y);
+                f = m.and(f, eq);
+            }
+            let stats = m.sift(&[f]);
+            assert!(stats.size_after < stats.size_before);
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_bdd
+}
+criterion_main!(benches);

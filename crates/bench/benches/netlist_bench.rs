@@ -1,0 +1,33 @@
+//! Benchmarks of the netlist substrate: generation, simulation, I/O
+//! (Table II col. 4 measures the read path).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sbif_netlist::build::nonrestoring_divider;
+use sbif_netlist::io::{read_bnet, write_bnet};
+
+fn bench_netlist(c: &mut Criterion) {
+    c.bench_function("build_divider_n32", |b| {
+        b.iter(|| std::hint::black_box(nonrestoring_divider(32)))
+    });
+    let div = nonrestoring_divider(32);
+    let words: Vec<u64> = (0..div.netlist.inputs().len() as u64)
+        .map(|i| i.wrapping_mul(0x9E3779B97F4A7C15))
+        .collect();
+    c.bench_function("simulate64_divider_n32", |b| {
+        b.iter(|| std::hint::black_box(div.netlist.simulate64(&words)))
+    });
+    let text = write_bnet(&div.netlist);
+    c.bench_function("read_bnet_divider_n32", |b| {
+        b.iter(|| read_bnet(std::hint::black_box(&text)).expect("parses"))
+    });
+    c.bench_function("write_bnet_divider_n32", |b| {
+        b.iter(|| std::hint::black_box(write_bnet(&div.netlist)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_netlist
+}
+criterion_main!(benches);

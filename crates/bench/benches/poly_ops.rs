@@ -1,0 +1,46 @@
+//! Microbenchmarks of the pseudo-Boolean polynomial kernel.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use sbif_apint::Int;
+use sbif_poly::{Monomial, Poly, Var};
+
+/// A dense-ish polynomial over `vars` variables with `terms` terms.
+fn sample_poly(vars: u32, terms: u64) -> Poly {
+    let mut pairs = Vec::new();
+    let mut state = 0x9E3779B97F4A7C15u64;
+    for k in 0..terms {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let deg = (state % 4) as usize + 1;
+        let vs: Vec<Var> = (0..deg)
+            .map(|i| Var(((state >> (8 * i)) % vars as u64) as u32))
+            .collect();
+        pairs.push((Monomial::from_vars(vs), Int::from(k as i64 % 17 - 8)));
+    }
+    Poly::from_pairs(pairs)
+}
+
+fn bench_poly(c: &mut Criterion) {
+    let a = sample_poly(24, 400);
+    let b = sample_poly(24, 60);
+    c.bench_function("poly_add_400_60", |bench| {
+        bench.iter(|| std::hint::black_box(&a) + std::hint::black_box(&b))
+    });
+    c.bench_function("poly_mul_400x8", |bench| {
+        let small = sample_poly(24, 8);
+        bench.iter(|| std::hint::black_box(&a) * std::hint::black_box(&small))
+    });
+    c.bench_function("poly_substitute_gate", |bench| {
+        let gate = Poly::xor(&Poly::from_var(Var(30)), &Poly::from_var(Var(31)));
+        bench.iter_batched(
+            || a.clone(),
+            |p| p.substitute(Var(3), std::hint::black_box(&gate)),
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("poly_eval_400", |bench| {
+        bench.iter(|| std::hint::black_box(&a).eval(|v| v.0 % 3 == 0))
+    });
+}
+
+criterion_group!(benches, bench_poly);
+criterion_main!(benches);

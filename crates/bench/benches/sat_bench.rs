@@ -1,0 +1,49 @@
+//! Benchmarks of the CDCL solver on divider miters (Table II col. 2) and
+//! classic hard instances.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sbif_cec::{sat_cec, CecResult};
+use sbif_netlist::build::{divider_miter, nonrestoring_divider, restoring_divider};
+use sbif_sat::{Budget, Lit, Solver};
+
+fn bench_sat(c: &mut Criterion) {
+    for n in [3usize, 4] {
+        let a = nonrestoring_divider(n);
+        let b = restoring_divider(n);
+        let m = divider_miter(&a.netlist, &b.netlist, n);
+        c.bench_function(&format!("sat_miter_n{n}"), |bench| {
+            bench.iter(|| {
+                let outcome = sat_cec(&m, "miter", Budget::new());
+                assert_eq!(outcome.result, CecResult::Equivalent);
+            })
+        });
+    }
+    c.bench_function("sat_pigeonhole_7_6", |bench| {
+        bench.iter(|| {
+            let (holes, pigeons) = (6i64, 7i64);
+            let mut s = Solver::new();
+            for _ in 0..holes * pigeons {
+                s.new_var();
+            }
+            let p = |i: i64, j: i64| Lit::from_dimacs(i * holes + j + 1);
+            for i in 0..pigeons {
+                s.add_clause((0..holes).map(|j| p(i, j)));
+            }
+            for j in 0..holes {
+                for i1 in 0..pigeons {
+                    for i2 in (i1 + 1)..pigeons {
+                        s.add_clause([!p(i1, j), !p(i2, j)]);
+                    }
+                }
+            }
+            assert_eq!(s.solve(), sbif_sat::SolveResult::Unsat);
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_sat
+}
+criterion_main!(benches);

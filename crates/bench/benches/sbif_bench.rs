@@ -1,0 +1,36 @@
+//! Benchmarks of Alg. 1 (Table II cols. 5–6).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sbif_core::sbif::{divider_sim_words, forward_information, SbifConfig};
+use sbif_netlist::build::nonrestoring_divider;
+
+fn bench_sbif(c: &mut Criterion) {
+    for n in [8usize, 16] {
+        let div = nonrestoring_divider(n);
+        let sim = divider_sim_words(&div, 1, 2);
+        c.bench_function(&format!("sbif_forward_n{n}"), |b| {
+            b.iter(|| {
+                let (classes, stats) = forward_information(
+                    &div.netlist,
+                    Some(div.constraint),
+                    &sim,
+                    SbifConfig::default(),
+                );
+                assert!(stats.proven > 0);
+                std::hint::black_box(classes);
+            })
+        });
+    }
+    // Simulation alone, for the candidate-detection share.
+    let div = nonrestoring_divider(32);
+    c.bench_function("sbif_simulation_n32", |b| {
+        b.iter(|| std::hint::black_box(divider_sim_words(&div, 1, 2)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_sbif
+}
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Benchmarks of the BDD-based vc2 proof (Table II cols. 8–9).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sbif_core::vc2::{check_vc2, Vc2Config};
+use sbif_netlist::build::nonrestoring_divider;
+
+fn bench_vc2(c: &mut Criterion) {
+    for n in [4usize, 8] {
+        let div = nonrestoring_divider(n);
+        c.bench_function(&format!("vc2_n{n}"), |b| {
+            b.iter(|| {
+                let report = check_vc2(&div, Vc2Config::default());
+                assert!(report.holds);
+                std::hint::black_box(report.peak_nodes);
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_vc2
+}
+criterion_main!(benches);

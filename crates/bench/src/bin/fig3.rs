@@ -1,0 +1,21 @@
+//! Reproduces **Fig. 3** of the paper: sizes of the intermediate
+//! polynomials during plain backward rewriting of the 8-bit divider,
+//! substitution by substitution. Emits CSV (`step,terms`).
+//!
+//! Usage: `fig3 [n] [term_limit]` (defaults: 8, 20_000_000).
+
+use sbif_bench::fig3_series;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(8);
+    let limit: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(20_000_000);
+    eprintln!("Fig. 3: polynomial sizes during verification of the {n}-bit divider");
+    println!("step,terms");
+    let series = fig3_series(n, limit);
+    for (i, t) in series.iter().enumerate() {
+        println!("{},{}", i + 1, t);
+    }
+    let peak = series.iter().max().copied().unwrap_or(0);
+    eprintln!("steps: {}, peak: {peak}, final: {}", series.len(), series.last().copied().unwrap_or(0));
+}

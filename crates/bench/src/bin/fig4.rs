@@ -1,0 +1,36 @@
+//! Reproduces **Fig. 4** of the paper: peak polynomial sizes for n-bit
+//! dividers with and without SBIF.
+//!
+//! Usage: `fig4 [max_n_sbif] [max_n_plain] [term_limit]`
+//! (defaults: 32, 8, 20_000_000; the paper runs SBIF to 128 — pass a
+//! larger first argument to go further).
+
+use sbif_bench::fig4_peak;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let max_sbif: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(32);
+    let max_plain: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(8);
+    let limit: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(20_000_000);
+    println!("Fig. 4: peak polynomial sizes (term limit {limit})");
+    println!("{:>4} | {:>12} | {:>12}", "n", "no SBIF", "with SBIF");
+    println!("-----+--------------+-------------");
+    let sizes = [2usize, 4, 8, 16, 24, 32, 48, 64, 96, 128];
+    for &n in sizes.iter().filter(|&&n| n <= max_sbif.max(max_plain)) {
+        let plain = if n <= max_plain {
+            fig4_peak(n, false, limit)
+                .map(|p| p.to_string())
+                .unwrap_or_else(|| "MEMOUT".into())
+        } else {
+            "-".into()
+        };
+        let sbif = if n <= max_sbif {
+            fig4_peak(n, true, limit)
+                .map(|p| p.to_string())
+                .unwrap_or_else(|| "MEMOUT".into())
+        } else {
+            "-".into()
+        };
+        println!("{n:>4} | {plain:>12} | {sbif:>12}");
+    }
+}

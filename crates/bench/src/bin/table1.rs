@@ -1,0 +1,27 @@
+//! Reproduces **Table I** of the paper: peak sizes of the intermediate
+//! polynomials during plain (no-SBIF) backward rewriting of non-restoring
+//! dividers.
+//!
+//! Usage: `table1 [max_n] [term_limit]` (defaults: 16, 20_000_000).
+
+use sbif_bench::table1_peak;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let max_n: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(16);
+    let limit: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(20_000_000);
+    println!("Table I: peak polynomial sizes, plain backward rewriting (term limit {limit})");
+    println!("{:>4} | {:>12}", "n", "peak size");
+    println!("-----+-------------");
+    let mut n = 2;
+    while n <= max_n {
+        match table1_peak(n, limit) {
+            Some(p) => println!("{n:>4} | {p:>12}"),
+            None => {
+                println!("{n:>4} | {:>12}", "MEMOUT");
+                break;
+            }
+        }
+        n *= 2;
+    }
+}

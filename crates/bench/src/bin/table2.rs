@@ -1,0 +1,43 @@
+//! Reproduces **Table II** of the paper: verifying non-restoring
+//! dividers — plain SAT and sweeping-CEC baselines vs. the SCA+SBIF flow
+//! (read / SBIF / rewrite) and the BDD-based vc2 check.
+//!
+//! Usage: `table2 [sizes...] [--timeout SECS] [--no-baselines]`
+//! (default sizes: 2 4 8 16 24 32; the paper goes to 128 — expect the
+//! baselines to time out beyond ~16 and pass `--no-baselines` for the
+//! largest widths).
+
+use sbif_bench::{render_table2, table2_row, Table2Config};
+use std::time::Duration;
+
+fn main() {
+    let mut sizes: Vec<usize> = Vec::new();
+    let mut cfg = Table2Config::default();
+    let mut args = std::env::args().skip(1).peekable();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--timeout" => {
+                let secs: u64 = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--timeout needs seconds");
+                cfg.baseline_timeout = Duration::from_secs(secs);
+            }
+            "--no-baselines" => cfg.skip_baselines = true,
+            other => sizes.push(other.parse().expect("size argument")),
+        }
+    }
+    if sizes.is_empty() {
+        sizes = vec![2, 4, 8, 16, 24, 32];
+    }
+    println!(
+        "Table II: verifying non-restoring dividers (baseline timeout {:?})",
+        cfg.baseline_timeout
+    );
+    let mut rows = Vec::new();
+    for n in sizes {
+        eprintln!("running n = {n} ...");
+        rows.push(table2_row(n, cfg));
+        println!("{}", render_table2(&rows));
+    }
+}

@@ -1,0 +1,229 @@
+//! Detection of half/full-adder atomic blocks.
+//!
+//! The paper's experiments "employ heuristics for detecting atomic blocks
+//! (restricted to half and full adders) and for finding a good
+//! substitution order \[10\], \[11\]". This module implements the structural
+//! detection; the substitution ordering derived from it lives in
+//! [`crate::rewrite`].
+
+use sbif_netlist::{BinOp, Gate, Netlist, Sig};
+
+/// The kind of a detected atomic block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockKind {
+    /// `sum = a ⊕ b`, `carry = a ∧ b`.
+    HalfAdder,
+    /// `sum = (a ⊕ b) ⊕ cin`, `carry = (a ∧ b) ∨ ((a ⊕ b) ∧ cin)`.
+    FullAdder,
+}
+
+/// A detected adder block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AtomicBlock {
+    /// Half or full adder.
+    pub kind: BlockKind,
+    /// The block inputs (`a`, `b` and, for a full adder, `cin`).
+    pub inputs: Vec<Sig>,
+    /// The sum output.
+    pub sum: Sig,
+    /// The carry output.
+    pub carry: Sig,
+    /// Internal signals of the block (empty for half adders).
+    pub internal: Vec<Sig>,
+}
+
+/// Detects half- and full-adder blocks structurally.
+///
+/// A full adder is recognized from its carry OR gate
+/// `cout = (a ∧ b) ∨ (t ∧ cin)` with `t = a ⊕ b` and a sum gate
+/// `t ⊕ cin`; a half adder from an XOR/AND pair over the same fanins.
+/// XOR/AND pairs consumed by a full adder are not additionally reported
+/// as half adders.
+///
+/// # Examples
+///
+/// ```
+/// use sbif_core::blocks::{detect_atomic_blocks, BlockKind};
+/// use sbif_netlist::{build::full_adder, Netlist};
+///
+/// let mut nl = Netlist::new();
+/// let a = nl.input("a");
+/// let b = nl.input("b");
+/// let c = nl.input("c");
+/// let _ = full_adder(&mut nl, a, b, c);
+/// let blocks = detect_atomic_blocks(&nl);
+/// assert_eq!(blocks.len(), 1);
+/// assert_eq!(blocks[0].kind, BlockKind::FullAdder);
+/// ```
+pub fn detect_atomic_blocks(nl: &Netlist) -> Vec<AtomicBlock> {
+    let mut used = vec![false; nl.num_signals()];
+    let mut blocks = Vec::new();
+
+    let xor_of = |s: Sig| -> Option<(Sig, Sig)> {
+        match *nl.gate(s) {
+            Gate::Binary(BinOp::Xor, a, b) => Some((a, b)),
+            _ => None,
+        }
+    };
+    let and_of = |s: Sig| -> Option<(Sig, Sig)> {
+        match *nl.gate(s) {
+            Gate::Binary(BinOp::And, a, b) => Some((a, b)),
+            _ => None,
+        }
+    };
+
+    // Index XOR gates by their (sorted) fanin pair to find sum partners.
+    let mut xor_by_fanins: std::collections::HashMap<(Sig, Sig), Vec<Sig>> =
+        std::collections::HashMap::new();
+    for s in nl.signals() {
+        if let Some((a, b)) = xor_of(s) {
+            let key = if a <= b { (a, b) } else { (b, a) };
+            xor_by_fanins.entry(key).or_default().push(s);
+        }
+    }
+    let find_xor = |x: Sig, y: Sig| -> Option<Sig> {
+        let key = if x <= y { (x, y) } else { (y, x) };
+        xor_by_fanins.get(&key).and_then(|v| v.first().copied())
+    };
+
+    // Full adders: start from the OR of two ANDs.
+    for s in nl.signals() {
+        let (l, r) = match *nl.gate(s) {
+            Gate::Binary(BinOp::Or, l, r) => (l, r),
+            _ => continue,
+        };
+        let (Some((la, lb)), Some((ra, rb))) = (and_of(l), and_of(r)) else {
+            continue;
+        };
+        // One AND must be over (a, b), the other over (a ⊕ b, cin).
+        let candidates = [(la, lb, ra, rb), (ra, rb, la, lb)];
+        'cand: for &(a, b, p1, p2) in &candidates {
+            let Some(t) = find_xor(a, b) else { continue };
+            // (p1, p2) must be (t, cin) in some order.
+            let cin = if p1 == t {
+                p2
+            } else if p2 == t {
+                p1
+            } else {
+                continue;
+            };
+            let Some(sum) = find_xor(t, cin) else { continue };
+            if sum == s {
+                continue 'cand; // degenerate
+            }
+            let g = if and_of(l).map(|(x, y)| (x.min(y), x.max(y)))
+                == Some((a.min(b), a.max(b)))
+            {
+                l
+            } else {
+                r
+            };
+            let p = if g == l { r } else { l };
+            blocks.push(AtomicBlock {
+                kind: BlockKind::FullAdder,
+                inputs: vec![a, b, cin],
+                sum,
+                carry: s,
+                internal: vec![t, g, p],
+            });
+            for &u in &[s, sum, t, g, p] {
+                used[u.index()] = true;
+            }
+            break;
+        }
+    }
+
+    // Half adders: remaining XOR/AND pairs over identical fanins.
+    for s in nl.signals() {
+        if used[s.index()] {
+            continue;
+        }
+        let Some((a, b)) = and_of(s) else { continue };
+        let Some(sum) = find_xor(a, b) else { continue };
+        if used[sum.index()] {
+            continue;
+        }
+        blocks.push(AtomicBlock {
+            kind: BlockKind::HalfAdder,
+            inputs: vec![a, b],
+            sum,
+            carry: s,
+            internal: vec![],
+        });
+        used[s.index()] = true;
+        used[sum.index()] = true;
+    }
+
+    blocks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbif_netlist::build::{array_multiplier, nonrestoring_divider, ripple_adder};
+    use sbif_netlist::{Netlist, Word};
+
+    #[test]
+    fn ripple_adder_has_one_fa_per_bit() {
+        let mut nl = Netlist::new();
+        let a = Word::inputs(&mut nl, "a", 8);
+        let b = Word::inputs(&mut nl, "b", 8);
+        let cin = nl.input("cin");
+        let _ = ripple_adder(&mut nl, &a, &b, cin);
+        let blocks = detect_atomic_blocks(&nl);
+        let fas = blocks.iter().filter(|b| b.kind == BlockKind::FullAdder).count();
+        assert_eq!(fas, 8);
+    }
+
+    #[test]
+    fn half_adder_detected() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let s = nl.xor(a, b);
+        let c = nl.and(a, b);
+        let blocks = detect_atomic_blocks(&nl);
+        assert_eq!(blocks.len(), 1);
+        assert_eq!(blocks[0].kind, BlockKind::HalfAdder);
+        assert_eq!(blocks[0].sum, s);
+        assert_eq!(blocks[0].carry, c);
+    }
+
+    #[test]
+    fn multiplier_is_covered_by_adders() {
+        let m = array_multiplier(4, 4);
+        let blocks = detect_atomic_blocks(&m.netlist);
+        let fas = blocks.iter().filter(|b| b.kind == BlockKind::FullAdder).count();
+        let has = blocks.iter().filter(|b| b.kind == BlockKind::HalfAdder).count();
+        // 3 reduction rows of 4 cells; the first cell of each row and
+        // the top cell of the first row have constant operands and fold
+        // into half adders.
+        assert_eq!(fas, 8, "full adders");
+        assert!(has >= 3, "half adders: {has}");
+    }
+
+    #[test]
+    fn divider_stages_contain_full_adders() {
+        let div = nonrestoring_divider(4);
+        let blocks = detect_atomic_blocks(&div.netlist);
+        let fas = blocks.iter().filter(|b| b.kind == BlockKind::FullAdder).count();
+        // Each of the n CAS rows is w = 2n−1 bits of full adders (some
+        // degenerate at the edges thanks to constant folding), plus the
+        // correction adder.
+        assert!(fas >= 20, "found only {fas} full adders");
+    }
+
+    #[test]
+    fn no_false_positives_on_random_logic() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let c = nl.input("c");
+        let x = nl.and(a, b);
+        let y = nl.or(x, c);
+        let z = nl.nand(y, a);
+        nl.add_output("z", z);
+        // AND(a,b) exists but no XOR(a,b): no half adder.
+        assert!(detect_atomic_blocks(&nl).is_empty());
+    }
+}

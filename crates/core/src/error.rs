@@ -1,0 +1,67 @@
+//! Error types of the verification flow.
+
+use std::fmt;
+
+/// Errors that abort a verification run (as opposed to a *negative
+/// verification result*, which is reported, not thrown).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// Backward rewriting exceeded the configured term limit — the
+    /// "MEMOUT" entries of the paper's Table I.
+    TermLimitExceeded {
+        /// The configured limit.
+        limit: usize,
+        /// The number of terms at the moment rewriting gave up.
+        reached: usize,
+        /// Substitution steps performed before the blow-up.
+        steps: usize,
+    },
+    /// A wall-clock budget was exhausted — the "TO" entries of Table II.
+    Timeout {
+        /// The phase that timed out (e.g. `"sbif"`, `"rewrite"`, `"vc2"`).
+        phase: &'static str,
+    },
+    /// The netlist does not have the divider interface the flow expects.
+    MalformedInterface(String),
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::TermLimitExceeded { limit, reached, steps } => write!(
+                f,
+                "polynomial blow-up: {reached} terms after {steps} substitutions \
+                 (limit {limit})"
+            ),
+            VerifyError::Timeout { phase } => write!(f, "budget exhausted during {phase}"),
+            VerifyError::MalformedInterface(msg) => {
+                write!(f, "netlist lacks the divider interface: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = VerifyError::TermLimitExceeded { limit: 10, reached: 11, steps: 3 };
+        assert!(e.to_string().contains("blow-up"));
+        assert!(e.to_string().contains("11"));
+        let e = VerifyError::Timeout { phase: "sbif" };
+        assert!(e.to_string().contains("sbif"));
+        let e = VerifyError::MalformedInterface("no q bus".into());
+        assert!(e.to_string().contains("no q bus"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> =
+            Box::new(VerifyError::Timeout { phase: "vc2" });
+        assert!(e.to_string().contains("vc2"));
+    }
+}

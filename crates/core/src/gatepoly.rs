@@ -1,0 +1,128 @@
+//! Gate polynomials (Sect. II-A).
+//!
+//! Polynomial variables are identified with netlist signals:
+//! `Var(s.0)` represents signal `s`. Each gate's pseudo-Boolean function
+//! over its fanin variables is the polynomial substituted for the gate's
+//! output variable during backward rewriting.
+
+use sbif_netlist::{BinOp, Gate, Netlist, Sig, UnaryOp};
+use sbif_poly::{Poly, Var};
+
+/// The polynomial variable of a signal.
+#[inline]
+pub fn var_of(s: Sig) -> Var {
+    Var(s.0)
+}
+
+/// The gate polynomial of the gate driving `s`.
+///
+/// Primary inputs have no gate polynomial (they are the free variables of
+/// the final input signature), hence the `Option`.
+///
+/// # Examples
+///
+/// ```
+/// use sbif_netlist::Netlist;
+/// use sbif_core::gatepoly::gate_poly;
+///
+/// let mut nl = Netlist::new();
+/// let a = nl.input("a");
+/// let b = nl.input("b");
+/// let g = nl.xor(a, b);
+/// let p = gate_poly(&nl, g).expect("not an input");
+/// assert_eq!(p.to_string(), "x0 + x1 - 2*x0*x1");
+/// ```
+pub fn gate_poly(nl: &Netlist, s: Sig) -> Option<Poly> {
+    let p = match *nl.gate(s) {
+        Gate::Input => return None,
+        Gate::Const(v) => {
+            if v {
+                Poly::one()
+            } else {
+                Poly::zero()
+            }
+        }
+        Gate::Unary(op, a) => {
+            let pa = Poly::from_var(var_of(a));
+            match op {
+                UnaryOp::Buf => pa,
+                UnaryOp::Not => pa.complement(),
+            }
+        }
+        Gate::Binary(op, a, b) => {
+            let pa = Poly::from_var(var_of(a));
+            let pb = Poly::from_var(var_of(b));
+            match op {
+                BinOp::And => Poly::and(&pa, &pb),
+                BinOp::Or => Poly::or(&pa, &pb),
+                BinOp::Xor => Poly::xor(&pa, &pb),
+                BinOp::Nand => Poly::and(&pa, &pb).complement(),
+                BinOp::Nor => Poly::or(&pa, &pb).complement(),
+                BinOp::Xnor => Poly::xor(&pa, &pb).complement(),
+                BinOp::AndNot => Poly::and(&pa, &pb.complement()),
+            }
+        }
+    };
+    Some(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbif_apint::Int;
+    use sbif_netlist::Netlist;
+
+    #[test]
+    fn every_gate_polynomial_matches_simulation() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let gates = vec![
+            nl.and(a, b),
+            nl.or(a, b),
+            nl.xor(a, b),
+            nl.nand(a, b),
+            nl.nor(a, b),
+            nl.xnor(a, b),
+            nl.and_not(a, b),
+            nl.not(a),
+        ];
+        for &g in &gates {
+            let p = gate_poly(&nl, g).expect("not an input");
+            for av in [false, true] {
+                for bv in [false, true] {
+                    let sim = nl.simulate_bool(&[av, bv]);
+                    let asg = |v: Var| {
+                        if v == var_of(a) {
+                            av
+                        } else {
+                            bv
+                        }
+                    };
+                    assert_eq!(
+                        p.eval(asg),
+                        Int::from(sim[g.index()]),
+                        "{:?} a={av} b={bv}",
+                        nl.gate(g)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inputs_have_no_polynomial() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        assert!(gate_poly(&nl, a).is_none());
+    }
+
+    #[test]
+    fn constants() {
+        let mut nl = Netlist::new();
+        let z = nl.const0();
+        let o = nl.const1();
+        assert!(gate_poly(&nl, z).expect("const").is_zero());
+        assert_eq!(gate_poly(&nl, o).expect("const"), Poly::one());
+    }
+}

@@ -1,0 +1,454 @@
+//! SAT Based Information Forwarding (Alg. 1 of the paper).
+//!
+//! Backward rewriting alone cannot see facts that only *forward*
+//! propagation (from inputs to outputs) reveals — chiefly that the
+//! adder/subtractor stages of a divider never overflow. SBIF forwards
+//! that information as signal equivalences/antivalences:
+//!
+//! 1. simulate the circuit with random input vectors satisfying the
+//!    input constraint `C` (candidate detection),
+//! 2. for each signal, in topological order, check candidate partners
+//!    with a SAT solver on *windows* of bounded depth `d_max` around both
+//!    signals, with window fanins replaced by the topologically minimal
+//!    representatives of their already-computed classes (information
+//!    forwarding), under `C`,
+//! 3. merge proven pairs into equivalence classes with polarity.
+//!
+//! The result feeds Alg. 2 ([`crate::rewrite`]): replacing every signal
+//! by its class representative *before* substitution prevents the
+//! exponential blow-up of Sect. III.
+
+mod classes;
+mod sim;
+
+pub use classes::EquivClasses;
+pub use sim::divider_sim_words;
+
+use sbif_netlist::{Gate, Netlist, Sig};
+use sbif_sat::{Budget, Lit, NetlistEncoder, SolveResult, Solver};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Configuration of Alg. 1.
+#[derive(Debug, Clone, Copy)]
+pub struct SbifConfig {
+    /// Maximal window depth `d_max` (the paper reports depth 4 suffices
+    /// for the key antivalences).
+    pub window_depth: usize,
+    /// Conflict budget per SAT check; exhausted checks count as
+    /// "not proven" (sound: fewer merges, never wrong ones).
+    pub sat_conflicts: u64,
+    /// How many distinct candidate partners to try per signal before
+    /// giving up on it.
+    pub max_candidates: usize,
+}
+
+impl Default for SbifConfig {
+    fn default() -> Self {
+        SbifConfig { window_depth: 4, sat_conflicts: 2_000, max_candidates: 4 }
+    }
+}
+
+/// Statistics of an Alg. 1 run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SbifStats {
+    /// Simulation-detected candidate pairs examined.
+    pub candidates: usize,
+    /// SAT checks performed.
+    pub sat_checks: usize,
+    /// Equivalences/antivalences proven (the "#equiv" column of
+    /// Table II).
+    pub proven: usize,
+    /// Candidates not proven: the SAT check found a counterexample
+    /// *within the window*. Because window frontiers are free variables,
+    /// this does not imply the signals actually differ — only that the
+    /// window was too small to prove them equal.
+    pub refuted: usize,
+    /// Checks abandoned on the conflict budget.
+    pub unknown: usize,
+    /// Wall-clock microseconds spent inside SAT checks.
+    pub sat_micros: u128,
+}
+
+/// Runs Alg. 1: partitions the signals of `nl` into equivalence classes
+/// (with polarity) under the input constraint.
+///
+/// `constraint` is a signal of `nl` that must be assumed 1 in every SAT
+/// check (pass `None` for unconstrained sweeping); `sim_words` are the
+/// simulation words per input — they must satisfy the constraint (see
+/// [`divider_sim_words`]).
+///
+/// # Examples
+///
+/// ```
+/// use sbif_core::sbif::{divider_sim_words, forward_information, SbifConfig};
+/// use sbif_netlist::build::nonrestoring_divider;
+///
+/// let div = nonrestoring_divider(3);
+/// let sim = divider_sim_words(&div, 1, 2);
+/// let (classes, stats) =
+///     forward_information(&div.netlist, Some(div.constraint), &sim, SbifConfig::default());
+/// assert!(stats.proven > 0);
+/// // The paper's key fact: each quotient bit is antivalent to the sign
+/// // bit of its stage's partial remainder.
+/// for (j, &sign) in div.stage_signs.iter().enumerate() {
+///     let q = div.quotient[div.n - 1 - j];
+///     let (rq, pq) = classes.rep(q);
+///     let (rs, ps) = classes.rep(sign);
+///     assert_eq!(rq, rs);
+///     assert_eq!(pq, !ps);
+/// }
+/// ```
+pub fn forward_information(
+    nl: &Netlist,
+    constraint: Option<Sig>,
+    sim_words: &[Vec<u64>],
+    cfg: SbifConfig,
+) -> (EquivClasses, SbifStats) {
+    let mut classes = EquivClasses::new(nl.num_signals());
+    let mut stats = SbifStats::default();
+    let num_words = sim_words.first().map_or(0, |v| v.len());
+
+    // Line 2 of Alg. 1: simulate; build per-signal signatures.
+    let mut signatures: Vec<Vec<u64>> = vec![Vec::new(); nl.num_signals()];
+    for w in 0..num_words {
+        let plane: Vec<u64> = sim_words.iter().map(|v| v[w]).collect();
+        let vals = nl.simulate64(&plane);
+        for (s, &v) in vals.iter().enumerate() {
+            signatures[s].push(v);
+        }
+    }
+
+    // Normalized key: complement the signature when its first bit is set,
+    // so equivalent AND antivalent signals share a bucket.
+    let norm = |sig: &[u64]| -> (Vec<u64>, bool) {
+        let flipped = sig.first().is_some_and(|w| w & 1 == 1);
+        if flipped {
+            (sig.iter().map(|w| !w).collect(), true)
+        } else {
+            (sig.to_vec(), false)
+        }
+    };
+
+    let mut buckets: HashMap<Vec<u64>, Vec<(Sig, bool)>> = HashMap::new();
+
+    // Lines 5–11: process signals in topological order.
+    for a in nl.signals() {
+        let (key, flip_a) = norm(&signatures[a.index()]);
+        let bucket = buckets.entry(key).or_default();
+        let mut tried: Vec<Sig> = Vec::new();
+        // Try the topologically nearest candidates first: their windows
+        // overlap the most with a's, so the SAT checks are the most
+        // likely to succeed within depth d_max.
+        for &(b, flip_b) in bucket.iter().rev() {
+            if tried.len() >= cfg.max_candidates {
+                break;
+            }
+            let (rb, _) = classes.rep(b);
+            let (ra, _) = classes.rep(a);
+            if ra == rb || tried.contains(&rb) {
+                continue; // already same class, or representative tried
+            }
+            tried.push(rb);
+            stats.candidates += 1;
+            // ε: candidate equivalence iff the normalization flips agree.
+            let same_polarity = flip_a == flip_b;
+            let t0 = Instant::now();
+            let result = check_window_pair(nl, &classes, constraint, a, b, same_polarity, &cfg);
+            stats.sat_micros += t0.elapsed().as_micros();
+            stats.sat_checks += 1;
+            match result {
+                SolveResult::Unsat => {
+                    stats.proven += 1;
+                    classes.union(a, b, !same_polarity);
+                    break;
+                }
+                SolveResult::Sat => stats.refuted += 1,
+                SolveResult::Unknown => stats.unknown += 1,
+            }
+        }
+        bucket.push((a, flip_a));
+    }
+    classes.compress();
+    (classes, stats)
+}
+
+/// One windowed SAT check (line 10 of Alg. 1):
+/// `UNSAT(CNF(a ⊕ b^ε, W_a, W_b, C))`.
+///
+/// The windows contain the gates up to `d_max` levels behind `a` and `b`,
+/// with every fanin first replaced by the representative of its class
+/// (information forwarding); window frontiers are free variables, which
+/// keeps UNSAT answers sound. The constraint cone is encoded over the
+/// original gates.
+fn check_window_pair(
+    nl: &Netlist,
+    classes: &EquivClasses,
+    constraint: Option<Sig>,
+    a: Sig,
+    b: Sig,
+    same_polarity: bool,
+    cfg: &SbifConfig,
+) -> SolveResult {
+    let mut solver = Solver::new();
+    let mut enc = NetlistEncoder::new(nl);
+    if let Some(c) = constraint {
+        enc.encode_cone(&mut solver, nl, c);
+        let lc = enc.lit(&mut solver, c);
+        solver.add_clause([lc]);
+    }
+    // Encode both windows with representative-mapped fanins.
+    let mut encoded: std::collections::HashSet<Sig> = std::collections::HashSet::new();
+    for root in [a, b] {
+        encode_window(nl, classes, &mut solver, &mut enc, &mut encoded, root, cfg.window_depth);
+    }
+    let la = enc.lit(&mut solver, a);
+    let lb = enc.lit(&mut solver, b);
+    // Candidate equivalence: assert a ≠ b; candidate antivalence: a = b.
+    if same_polarity {
+        solver.add_clause([la, lb]);
+        solver.add_clause([!la, !lb]);
+    } else {
+        solver.add_clause([la, !lb]);
+        solver.add_clause([!la, lb]);
+    }
+    solver.solve_with(&[], Budget::new().with_conflicts(cfg.sat_conflicts))
+}
+
+/// Encodes the window `W_root` of depth `d_max`: a BFS backwards from
+/// `root` where every predecessor is first mapped to its class
+/// representative.
+fn encode_window(
+    nl: &Netlist,
+    classes: &EquivClasses,
+    solver: &mut Solver,
+    enc: &mut NetlistEncoder,
+    encoded: &mut std::collections::HashSet<Sig>,
+    root: Sig,
+    depth: usize,
+) {
+    let mut queue: Vec<(Sig, usize)> = vec![(root, 0)];
+    while let Some((s, d)) = queue.pop() {
+        if !encoded.insert(s) {
+            continue;
+        }
+        let out = enc.lit(solver, s);
+        match *nl.gate(s) {
+            Gate::Input => {}
+            Gate::Const(v) => {
+                solver.add_clause([if v { out } else { !out }]);
+            }
+            Gate::Unary(op, x) => {
+                let lx = mapped_lit(classes, solver, enc, x);
+                let rhs = match op {
+                    sbif_netlist::UnaryOp::Buf => lx,
+                    sbif_netlist::UnaryOp::Not => !lx,
+                };
+                solver.add_clause([!out, rhs]);
+                solver.add_clause([out, !rhs]);
+                if d < depth {
+                    queue.push((classes.rep(x).0, d + 1));
+                }
+            }
+            Gate::Binary(op, x, y) => {
+                let lx = mapped_lit(classes, solver, enc, x);
+                let ly = mapped_lit(classes, solver, enc, y);
+                add_binop_clauses(solver, op, out, lx, ly);
+                if d < depth {
+                    queue.push((classes.rep(x).0, d + 1));
+                    queue.push((classes.rep(y).0, d + 1));
+                }
+            }
+        }
+    }
+}
+
+/// The literal of `rep(s)`, negated when `s` is antivalent to its
+/// representative.
+fn mapped_lit(
+    classes: &EquivClasses,
+    solver: &mut Solver,
+    enc: &mut NetlistEncoder,
+    s: Sig,
+) -> Lit {
+    let (r, neg) = classes.rep(s);
+    let l = enc.lit(solver, r);
+    if neg {
+        !l
+    } else {
+        l
+    }
+}
+
+/// CNF clauses for `out = x <op> y`.
+fn add_binop_clauses(solver: &mut Solver, op: sbif_netlist::BinOp, out: Lit, x: Lit, y: Lit) {
+    use sbif_netlist::BinOp::*;
+    let and = |solver: &mut Solver, o: Lit, a: Lit, b: Lit| {
+        solver.add_clause([!o, a]);
+        solver.add_clause([!o, b]);
+        solver.add_clause([o, !a, !b]);
+    };
+    let xor = |solver: &mut Solver, o: Lit, a: Lit, b: Lit| {
+        solver.add_clause([!o, a, b]);
+        solver.add_clause([!o, !a, !b]);
+        solver.add_clause([o, !a, b]);
+        solver.add_clause([o, a, !b]);
+    };
+    match op {
+        And => and(solver, out, x, y),
+        Nand => and(solver, !out, x, y),
+        Or => and(solver, !out, !x, !y),
+        Nor => and(solver, out, !x, !y),
+        AndNot => and(solver, out, x, !y),
+        Xor => xor(solver, out, x, y),
+        Xnor => xor(solver, !out, x, y),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbif_netlist::build::nonrestoring_divider;
+
+    /// All class facts must hold on every valid input (soundness of the
+    /// whole Alg. 1 pipeline).
+    #[test]
+    fn classes_are_sound_under_constraint() {
+        for n in [2usize, 3, 4] {
+            let div = nonrestoring_divider(n);
+            let sim = divider_sim_words(&div, 3, 2);
+            let (classes, _) = forward_information(
+                &div.netlist,
+                Some(div.constraint),
+                &sim,
+                SbifConfig::default(),
+            );
+            // exhaustive check over valid inputs
+            for dv in 1u64..(1 << (n - 1)) {
+                for r0 in 0..(dv << (n - 1)) {
+                    let inputs: Vec<bool> = div
+                        .netlist
+                        .inputs()
+                        .iter()
+                        .map(|&s| {
+                            let name = div.netlist.name(s).expect("named");
+                            let (bus, idx) = name.split_once('[').map(|(b, r)| {
+                                (b, r.trim_end_matches(']').parse::<usize>().expect("idx"))
+                            }).expect("bus");
+                            let v = if bus == "r0" { r0 } else { dv };
+                            (v >> idx) & 1 == 1
+                        })
+                        .collect();
+                    let vals = div.netlist.simulate_bool(&inputs);
+                    for s in div.netlist.signals() {
+                        let (r, neg) = classes.rep(s);
+                        assert_eq!(
+                            vals[s.index()],
+                            vals[r.index()] ^ neg,
+                            "n={n} r0={r0} d={dv}: {s} vs rep {r}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quotient_sign_antivalences_found() {
+        let div = nonrestoring_divider(5);
+        let sim = divider_sim_words(&div, 11, 2);
+        let (classes, stats) = forward_information(
+            &div.netlist,
+            Some(div.constraint),
+            &sim,
+            SbifConfig::default(),
+        );
+        assert!(stats.proven > 0);
+        for (j, &sign) in div.stage_signs.iter().enumerate() {
+            let q = div.quotient[div.n - 1 - j];
+            let (rq, pq) = classes.rep(q);
+            let (rs, ps) = classes.rep(sign);
+            assert_eq!(rq, rs, "stage {j}: q and sign must share a class");
+            assert_eq!(pq, !ps, "stage {j}: antivalent polarity");
+        }
+    }
+
+    #[test]
+    fn stage_controls_antivalent_to_previous_signs() {
+        // ctrl_j = ¬sign_{j−1} — the fact that kills the overflow terms.
+        let div = nonrestoring_divider(4);
+        let sim = divider_sim_words(&div, 5, 2);
+        let (classes, _) = forward_information(
+            &div.netlist,
+            Some(div.constraint),
+            &sim,
+            SbifConfig::default(),
+        );
+        // At least one non-singleton class must contain a stage sign.
+        let has_sign_class = div
+            .stage_signs
+            .iter()
+            .any(|&s| !classes.is_rep(s) || classes.classes().iter().any(|(r, _)| *r == s));
+        assert!(has_sign_class);
+    }
+
+    #[test]
+    fn constant_signals_collapse_onto_constants() {
+        // For n = 2 the constraint forces d[0] = 1 and r0[2] = 0, so
+        // those inputs join the constant classes; the representatives
+        // are the constants (they are created first).
+        let div = nonrestoring_divider(2);
+        let sim = divider_sim_words(&div, 17, 2);
+        let (classes, _) = forward_information(
+            &div.netlist,
+            Some(div.constraint),
+            &sim,
+            SbifConfig::default(),
+        );
+        let d0 = div.netlist.inputs()[2]; // r0[0], r0[1], d[0]
+        assert_eq!(div.netlist.name(d0), Some("d[0]"));
+        let (rep, neg) = classes.rep(d0);
+        // d[0] ≡ 1 under C: merged with a constant signal.
+        assert!(div.netlist.gate(rep).is_const(), "rep of d[0] must be a constant");
+        let const_val = div.netlist.const_value(rep).expect("const");
+        assert!(const_val ^ neg, "d[0] is 1 under C");
+    }
+
+    #[test]
+    fn unconstrained_sweep_is_sound_everywhere() {
+        let div = nonrestoring_divider(3);
+        // Unconstrained: simulate with arbitrary input patterns.
+        let ni = div.netlist.inputs().len();
+        let sim: Vec<Vec<u64>> = (0..ni)
+            .map(|i| vec![0x9E3779B97F4A7C15u64.rotate_left(7 * i as u32)])
+            .collect();
+        let (classes, _) = forward_information(&div.netlist, None, &sim, SbifConfig::default());
+        for bits in 0u64..(1 << ni) {
+            let inputs: Vec<bool> = (0..ni).map(|i| (bits >> i) & 1 == 1).collect();
+            let vals = div.netlist.simulate_bool(&inputs);
+            for s in div.netlist.signals() {
+                let (r, neg) = classes.rep(s);
+                assert_eq!(vals[s.index()], vals[r.index()] ^ neg, "bits={bits:b}");
+            }
+        }
+    }
+
+    #[test]
+    fn depth_zero_windows_prove_nothing_semantic() {
+        // With d_max = 0 only the roots' own gates are encoded; the
+        // quotient/sign antivalence needs at least the shared fanins, so
+        // far fewer facts are provable than with depth 4.
+        let div = nonrestoring_divider(4);
+        let sim = divider_sim_words(&div, 9, 2);
+        let shallow = SbifConfig { window_depth: 0, ..SbifConfig::default() };
+        let (_, s0) =
+            forward_information(&div.netlist, Some(div.constraint), &sim, shallow);
+        let (_, s4) = forward_information(
+            &div.netlist,
+            Some(div.constraint),
+            &sim,
+            SbifConfig::default(),
+        );
+        assert!(s4.proven > s0.proven, "deeper windows must prove more ({} vs {})", s4.proven, s0.proven);
+    }
+}

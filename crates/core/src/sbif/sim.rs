@@ -1,0 +1,151 @@
+//! Constrained random simulation (line 1–2 of Alg. 1): input vectors
+//! satisfying `C = (0 ≤ R⁰ < D·2^(n−1))`.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sbif_netlist::build::Divider;
+
+/// Samples `words` simulation words (64 patterns each) per primary input
+/// of the divider, all satisfying the input constraint `C`.
+///
+/// The constraint is equivalent to `hi < D` where `hi` is the upper
+/// `n−1` bits of the dividend, so a pattern is built from a uniform
+/// divisor and a uniform `hi` (swapped when necessary), with uniform low
+/// dividend bits.
+///
+/// The result is indexed `[input][word]` in the netlist's input order and
+/// can be fed directly to [`sbif_netlist::Netlist::simulate64`].
+pub fn divider_sim_words(div: &Divider, seed: u64, words: usize) -> Vec<Vec<u64>> {
+    let n = div.n;
+    let num_lo = n - 1; // r0[0 .. n-2]
+    let num_hi = n - 1; // r0[n-1 .. 2n-3]
+    let num_d = n - 1;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    // bit planes, little endian per bus
+    let mut lo = vec![vec![0u64; words]; num_lo];
+    let mut hi = vec![vec![0u64; words]; num_hi];
+    let mut d = vec![vec![0u64; words]; num_d];
+    for w in 0..words {
+        for k in 0..64 {
+            // Sample divisor and hi bits; enforce hi < d.
+            let mut db: Vec<bool> = (0..num_d).map(|_| rng.gen()).collect();
+            let mut hb: Vec<bool> = (0..num_hi).map(|_| rng.gen()).collect();
+            match cmp_bits(&hb, &db) {
+                std::cmp::Ordering::Less => {}
+                std::cmp::Ordering::Greater => std::mem::swap(&mut db, &mut hb),
+                std::cmp::Ordering::Equal => {
+                    for x in hb.iter_mut() {
+                        *x = false;
+                    }
+                }
+            }
+            if db.iter().all(|&x| !x) {
+                // D = 0 admits no valid dividend: force D = 1, hi = 0.
+                db[0] = true;
+                for x in hb.iter_mut() {
+                    *x = false;
+                }
+            }
+            for (i, &bit) in db.iter().enumerate() {
+                if bit {
+                    d[i][w] |= 1 << k;
+                }
+            }
+            for (i, &bit) in hb.iter().enumerate() {
+                if bit {
+                    hi[i][w] |= 1 << k;
+                }
+            }
+            for plane in lo.iter_mut() {
+                if rng.gen::<bool>() {
+                    plane[w] |= 1 << k;
+                }
+            }
+        }
+    }
+    // Assemble in the netlist's input order.
+    div.netlist
+        .inputs()
+        .iter()
+        .map(|&s| {
+            let name = div.netlist.name(s).expect("inputs are named");
+            let (bus, idx) = name
+                .split_once('[')
+                .map(|(b, rest)| {
+                    (b, rest.trim_end_matches(']').parse::<usize>().expect("index"))
+                })
+                .expect("bus-indexed input");
+            match bus {
+                "r0" if idx < num_lo => lo[idx].clone(),
+                "r0" => hi[idx - num_lo].clone(),
+                "d" => d[idx].clone(),
+                other => panic!("unexpected divider input bus {other:?}"),
+            }
+        })
+        .collect()
+}
+
+/// Lexicographic comparison of little-endian bit vectors as unsigned
+/// integers.
+fn cmp_bits(a: &[bool], b: &[bool]) -> std::cmp::Ordering {
+    debug_assert_eq!(a.len(), b.len());
+    for i in (0..a.len()).rev() {
+        match (a[i], b[i]) {
+            (false, true) => return std::cmp::Ordering::Less,
+            (true, false) => return std::cmp::Ordering::Greater,
+            _ => {}
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbif_netlist::build::nonrestoring_divider;
+
+    #[test]
+    fn cmp_bits_orders() {
+        use std::cmp::Ordering::*;
+        assert_eq!(cmp_bits(&[false, true], &[true, false]), Greater);
+        assert_eq!(cmp_bits(&[true, false], &[false, true]), Less);
+        assert_eq!(cmp_bits(&[true, true], &[true, true]), Equal);
+    }
+
+    #[test]
+    fn all_patterns_satisfy_constraint() {
+        for n in [2usize, 3, 5, 8] {
+            let div = nonrestoring_divider(n);
+            let words = divider_sim_words(&div, 42, 2);
+            assert_eq!(words.len(), div.netlist.inputs().len());
+            for w in 0..2 {
+                let plane: Vec<u64> = words.iter().map(|v| v[w]).collect();
+                let vals = div.netlist.simulate64(&plane);
+                assert_eq!(
+                    vals[div.constraint.index()],
+                    u64::MAX,
+                    "n={n} word={w}: some pattern violates C"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn patterns_are_diverse() {
+        let div = nonrestoring_divider(8);
+        let words = divider_sim_words(&div, 7, 1);
+        // The low dividend bits are uniform: each plane should be
+        // neither all-zero nor all-one.
+        let lo0 = words[0][0];
+        assert!(lo0 != 0 && lo0 != u64::MAX);
+        // Different seeds give different vectors.
+        let other = divider_sim_words(&div, 8, 1);
+        assert_ne!(words, other);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let div = nonrestoring_divider(4);
+        assert_eq!(divider_sim_words(&div, 1, 2), divider_sim_words(&div, 1, 2));
+    }
+}

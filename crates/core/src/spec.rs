@@ -1,0 +1,238 @@
+//! Specification polynomials.
+//!
+//! * The divider specification of Sect. III:
+//!   `SP = Q·D + R − R⁰` over the quotient/remainder output variables and
+//!   the dividend/divisor input variables. Backward rewriting must reduce
+//!   it to the zero polynomial iff verification condition (vc1) holds.
+//! * The signed ripple-adder polynomials of Lemma 2, used to validate the
+//!   analytic term counts `|C_n| = ½(3^(n+1) − 1)` and
+//!   `|P_n| = 2·3^(n+1) − 1`.
+//! * A multiplier specification `⟨a⟩·⟨b⟩ − ⟨p⟩`, the circuit family on
+//!   which plain backward rewriting (no SBIF) already succeeds.
+
+use crate::gatepoly::var_of;
+use sbif_apint::Int;
+use sbif_netlist::build::{Divider, Multiplier};
+use sbif_netlist::Word;
+use sbif_poly::{signed_word, unsigned_word, Poly, Var};
+
+/// Word of polynomial variables for a signal word.
+fn word_vars(w: &Word) -> Vec<Var> {
+    w.iter().map(|&s| var_of(s)).collect()
+}
+
+/// The divider specification polynomial `SP = Q·D + R − R⁰` (Sect. III).
+///
+/// `Q` and `D` are unsigned words; `R` is a two's-complement word
+/// (its top bit carries weight `−2^(2n−2)`); `R⁰` is unsigned with its
+/// constant-zero sign position.
+///
+/// # Examples
+///
+/// ```
+/// use sbif_core::spec::divider_spec;
+/// use sbif_netlist::build::nonrestoring_divider;
+///
+/// let div = nonrestoring_divider(2);
+/// let sp = divider_spec(&div);
+/// assert!(sp.num_terms() > 0);
+/// ```
+pub fn divider_spec(div: &Divider) -> Poly {
+    let q = unsigned_word(&word_vars(&div.quotient));
+    let d = unsigned_word(&word_vars(&div.divisor));
+    let r = signed_word(&word_vars(&div.remainder));
+    let r0 = unsigned_word(&word_vars(&div.dividend));
+    &(&(&q * &d) + &r) - &r0
+}
+
+/// The multiplier specification polynomial `⟨a⟩·⟨b⟩ − ⟨p⟩`.
+pub fn multiplier_spec(mult: &Multiplier) -> Poly {
+    let a = unsigned_word(&word_vars(&mult.a));
+    let b = unsigned_word(&word_vars(&mult.b));
+    let p = unsigned_word(&word_vars(&mult.product));
+    &(&a * &b) - &p
+}
+
+/// Variable convention for the Lemma 2 polynomials: `a_i = Var(i)`,
+/// `b_i = Var(n + 1 + i)`, incoming carry `c = Var(2n + 2)` for an
+/// `(n+1)`-bit signed adder with operand bits `0..=n`.
+pub fn adder_vars(n: usize) -> (Vec<Var>, Vec<Var>, Var) {
+    let a: Vec<Var> = (0..=n as u32).map(Var).collect();
+    let b: Vec<Var> = (0..=n as u32).map(|i| Var(n as u32 + 1 + i)).collect();
+    let c = Var(2 * n as u32 + 2);
+    (a, b, c)
+}
+
+/// The carry polynomial `C_n` of Lemma 2: the pseudo-Boolean function of
+/// the carry bit `c_{n−1}` of the unsigned addition of
+/// `(a_{n−1}, …, a_0)`, `(b_{n−1}, …, b_0)` with incoming carry `c`,
+/// expressed over the input bits. Lemma 2: it has `½(3^(n+1) − 1)` terms
+/// for... (the carry *into* position `n`, i.e. out of position `n−1`).
+pub fn adder_carry_poly(n: usize) -> Poly {
+    let (a, b, c) = adder_vars(n);
+    // carry_0 = c; carry_{i+1} = maj(a_i, b_i, carry_i)
+    let mut carry = Poly::from_var(c);
+    for i in 0..n {
+        let pa = Poly::from_var(a[i]);
+        let pb = Poly::from_var(b[i]);
+        // maj(x, y, z) = xy + xz + yz − 2xyz
+        let ab = &pa * &pb;
+        let ac = &pa * &carry;
+        let bc = &pb * &carry;
+        let abc = &ab * &carry;
+        carry = &(&(&ab + &ac) + &bc) - &abc.scale(&Int::from(2));
+    }
+    carry
+}
+
+/// The overflow polynomial `P_n = C_n·(1 − a_n − b_n + 2·a_n·b_n) − a_n·b_n`
+/// of Lemma 2, with `2·3^(n+1) − 1` terms.
+pub fn adder_overflow_poly(n: usize) -> Poly {
+    let (a, b, _) = adder_vars(n);
+    let cn = adder_carry_poly(n);
+    let an = Poly::from_var(a[n]);
+    let bn = Poly::from_var(b[n]);
+    let anbn = &an * &bn;
+    let guard = &(&(&Poly::one() - &an) - &bn) + &anbn.scale(&Int::from(2));
+    &(&cn * &guard) - &anbn
+}
+
+/// The full signed-adder polynomial `A_n` of Lemma 2:
+/// `[a]₂ + [b]₂ + c − 2^(n+1)·P_n` — the pseudo-Boolean function computed
+/// by an `(n+1)`-bit two's-complement ripple adder when its result is
+/// read back as a two's-complement number.
+pub fn signed_adder_poly(n: usize) -> Poly {
+    let (a, b, c) = adder_vars(n);
+    let wa = signed_word(&a);
+    let wb = signed_word(&b);
+    let pc = Poly::from_var(c);
+    let pn = adder_overflow_poly(n);
+    &(&(&wa + &wb) + &pc) - &pn.shl(n as u32 + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbif_netlist::build::{array_multiplier, nonrestoring_divider};
+
+    #[test]
+    fn carry_poly_term_count_matches_lemma2() {
+        // |C_n| = ½(3^n − 1) + 3^... — Lemma 2 counts the carry into the
+        // sign position of an (n+1)-bit adder, built from n value bits:
+        // with our indexing, adder_carry_poly(n) has ½(3^(n+1) − 1) terms.
+        for n in 1..=6 {
+            let c = adder_carry_poly(n);
+            let expect = (3usize.pow(n as u32 + 1) - 1) / 2;
+            assert_eq!(c.num_terms(), expect, "n={n}");
+        }
+    }
+
+    #[test]
+    fn overflow_poly_term_count_matches_lemma2() {
+        for n in 1..=6 {
+            let p = adder_overflow_poly(n);
+            let expect = 2 * 3usize.pow(n as u32 + 1) - 1;
+            assert_eq!(p.num_terms(), expect, "n={n}");
+        }
+    }
+
+    #[test]
+    fn carry_poly_is_the_carry_function() {
+        // Check against direct arithmetic for n = 3.
+        let n = 3;
+        let c = adder_carry_poly(n);
+        for bits in 0u32..(1 << (2 * n + 3)) {
+            let asg = |v: Var| (bits >> v.0) & 1 == 1;
+            let av: u32 = (0..n as u32).map(|i| ((bits >> i) & 1) << i).sum();
+            let bv: u32 = (0..n as u32).map(|i| ((bits >> (n as u32 + 1 + i)) & 1) << i).sum();
+            let cin = (bits >> (2 * n as u32 + 2)) & 1;
+            let expect = (av + bv + cin) >> n;
+            assert_eq!(c.eval(asg), Int::from(expect), "bits={bits:b}");
+        }
+    }
+
+    #[test]
+    fn signed_adder_poly_semantics() {
+        // A_n must equal [s]₂ of the ripple-adder output whenever no
+        // overflow occurs, i.e. A_n = [a]₂+[b]₂+c − 2^(n+1)·P_n always
+        // equals the wrapped two's-complement result.
+        let n = 2;
+        let a_poly = signed_adder_poly(n);
+        let w = n + 1;
+        for bits in 0u32..(1 << (2 * w + 1)) {
+            let asg = |v: Var| (bits >> v.0) & 1 == 1;
+            let raw_a = bits & ((1 << w) - 1);
+            let raw_b = (bits >> w) & ((1 << w) - 1);
+            let cin = (bits >> (2 * w)) & 1;
+            let signed = |x: u32| -> i64 {
+                if x >> n & 1 == 1 {
+                    x as i64 - (1 << w)
+                } else {
+                    x as i64
+                }
+            };
+            // wrapped two's-complement sum
+            let total = (raw_a + raw_b + cin) & ((1 << w) - 1);
+            assert_eq!(
+                a_poly.eval(asg),
+                Int::from(signed(total)),
+                "a={raw_a} b={raw_b} c={cin}"
+            );
+        }
+    }
+
+    #[test]
+    fn divider_spec_vanishes_on_correct_outputs() {
+        // Evaluate SP with output variables forced to the simulated
+        // values: must be 0 for every input.
+        let div = nonrestoring_divider(3);
+        let sp = divider_spec(&div);
+        for dv in 0u64..4 {
+            for r0 in 0u64..16 {
+                let inputs: Vec<bool> = div
+                    .netlist
+                    .inputs()
+                    .iter()
+                    .map(|&s| {
+                        let name = div.netlist.name(s).expect("named");
+                        let (bus, idx) = name.split_once('[').map(|(b, r)| {
+                            (b, r.trim_end_matches(']').parse::<usize>().expect("idx"))
+                        }).expect("bus");
+                        let v = if bus == "r0" { r0 } else { dv };
+                        (v >> idx) & 1 == 1
+                    })
+                    .collect();
+                let vals = div.netlist.simulate_bool(&inputs);
+                assert!(
+                    sp.eval(|v| vals[v.0 as usize]).is_zero(),
+                    "SP != 0 at r0={r0} d={dv}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn multiplier_spec_vanishes_on_correct_outputs() {
+        let m = array_multiplier(3, 3);
+        let sp = multiplier_spec(&m);
+        for a in 0u64..8 {
+            for b in 0u64..8 {
+                let inputs: Vec<bool> = m
+                    .netlist
+                    .inputs()
+                    .iter()
+                    .map(|&s| {
+                        let name = m.netlist.name(s).expect("named");
+                        let (bus, idx) = name.split_once('[').map(|(bn, r)| {
+                            (bn, r.trim_end_matches(']').parse::<usize>().expect("idx"))
+                        }).expect("bus");
+                        let v = if bus == "a" { a } else { b };
+                        (v >> idx) & 1 == 1
+                    })
+                    .collect();
+                let vals = m.netlist.simulate_bool(&inputs);
+                assert!(sp.eval(|v| vals[v.0 as usize]).is_zero(), "{a}*{b}");
+            }
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! Signals and gates.
+
+use std::fmt;
+
+/// A signal (net) of a [`Netlist`](crate::Netlist), identified by a dense
+/// index. Every signal is driven by exactly one gate; the signal index is
+/// the gate index.
+///
+/// # Examples
+///
+/// ```
+/// use sbif_netlist::Netlist;
+///
+/// let mut nl = Netlist::new();
+/// let a = nl.input("a");
+/// assert_eq!(a.index(), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Sig(pub u32);
+
+impl Sig {
+    /// The dense index of this signal.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Sig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Unary gate operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnaryOp {
+    /// Identity buffer.
+    Buf,
+    /// Inverter.
+    Not,
+}
+
+impl UnaryOp {
+    /// Evaluate on a 64-bit simulation word.
+    #[inline]
+    pub fn eval64(self, a: u64) -> u64 {
+        match self {
+            UnaryOp::Buf => a,
+            UnaryOp::Not => !a,
+        }
+    }
+
+    /// Mnemonic used by the text format.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            UnaryOp::Buf => "BUF",
+            UnaryOp::Not => "NOT",
+        }
+    }
+}
+
+/// Two-input gate operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Conjunction.
+    And,
+    /// Disjunction.
+    Or,
+    /// Exclusive or.
+    Xor,
+    /// Negated conjunction.
+    Nand,
+    /// Negated disjunction.
+    Nor,
+    /// Equivalence.
+    Xnor,
+    /// `a ∧ ¬b` — produced by some comparator constructions.
+    AndNot,
+}
+
+impl BinOp {
+    /// Evaluate on 64-bit simulation words.
+    #[inline]
+    pub fn eval64(self, a: u64, b: u64) -> u64 {
+        match self {
+            BinOp::And => a & b,
+            BinOp::Or => a | b,
+            BinOp::Xor => a ^ b,
+            BinOp::Nand => !(a & b),
+            BinOp::Nor => !(a | b),
+            BinOp::Xnor => !(a ^ b),
+            BinOp::AndNot => a & !b,
+        }
+    }
+
+    /// Mnemonic used by the text format.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            BinOp::And => "AND",
+            BinOp::Or => "OR",
+            BinOp::Xor => "XOR",
+            BinOp::Nand => "NAND",
+            BinOp::Nor => "NOR",
+            BinOp::Xnor => "XNOR",
+            BinOp::AndNot => "ANDN",
+        }
+    }
+
+    /// All operators, for exhaustive tests.
+    pub fn all() -> [BinOp; 7] {
+        [
+            BinOp::And,
+            BinOp::Or,
+            BinOp::Xor,
+            BinOp::Nand,
+            BinOp::Nor,
+            BinOp::Xnor,
+            BinOp::AndNot,
+        ]
+    }
+}
+
+/// A gate driving one signal.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Gate {
+    /// A primary input.
+    Input,
+    /// A constant driver.
+    Const(bool),
+    /// A one-input gate.
+    Unary(UnaryOp, Sig),
+    /// A two-input gate.
+    Binary(BinOp, Sig, Sig),
+}
+
+impl Gate {
+    /// The fanin signals of this gate (0–2 of them).
+    pub fn fanins(&self) -> FaninIter {
+        let (a, b) = match *self {
+            Gate::Input | Gate::Const(_) => (None, None),
+            Gate::Unary(_, a) => (Some(a), None),
+            Gate::Binary(_, a, b) => (Some(a), Some(b)),
+        };
+        FaninIter { a, b }
+    }
+
+    /// `true` for primary inputs.
+    pub fn is_input(&self) -> bool {
+        matches!(self, Gate::Input)
+    }
+
+    /// `true` for constant drivers.
+    pub fn is_const(&self) -> bool {
+        matches!(self, Gate::Const(_))
+    }
+}
+
+/// Iterator over a gate's fanins; see [`Gate::fanins`].
+#[derive(Debug, Clone)]
+pub struct FaninIter {
+    a: Option<Sig>,
+    b: Option<Sig>,
+}
+
+impl Iterator for FaninIter {
+    type Item = Sig;
+    fn next(&mut self) -> Option<Sig> {
+        self.a.take().or_else(|| self.b.take())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binop_truth_tables() {
+        // Cross-check the 64-bit evaluators against Boolean definitions.
+        for op in BinOp::all() {
+            for a in [false, true] {
+                for b in [false, true] {
+                    let expect = match op {
+                        BinOp::And => a && b,
+                        BinOp::Or => a || b,
+                        BinOp::Xor => a ^ b,
+                        BinOp::Nand => !(a && b),
+                        BinOp::Nor => !(a || b),
+                        BinOp::Xnor => a == b,
+                        BinOp::AndNot => a && !b,
+                    };
+                    let wa = if a { u64::MAX } else { 0 };
+                    let wb = if b { u64::MAX } else { 0 };
+                    let got = op.eval64(wa, wb);
+                    assert_eq!(got, if expect { u64::MAX } else { 0 }, "{op:?} {a} {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unary_eval() {
+        assert_eq!(UnaryOp::Not.eval64(0), u64::MAX);
+        assert_eq!(UnaryOp::Buf.eval64(42), 42);
+    }
+
+    #[test]
+    fn fanin_iteration() {
+        assert_eq!(Gate::Input.fanins().count(), 0);
+        assert_eq!(Gate::Const(true).fanins().count(), 0);
+        let g = Gate::Unary(UnaryOp::Not, Sig(3));
+        assert_eq!(g.fanins().collect::<Vec<_>>(), vec![Sig(3)]);
+        let g = Gate::Binary(BinOp::And, Sig(1), Sig(2));
+        assert_eq!(g.fanins().collect::<Vec<_>>(), vec![Sig(1), Sig(2)]);
+    }
+
+    #[test]
+    fn mnemonics_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for op in BinOp::all() {
+            assert!(seen.insert(op.mnemonic()));
+        }
+        assert!(seen.insert(UnaryOp::Not.mnemonic()));
+        assert!(seen.insert(UnaryOp::Buf.mnemonic()));
+    }
+}

@@ -1,0 +1,270 @@
+//! The BNET plain-text netlist format.
+//!
+//! A minimal BLIF-like exchange format. Reading a generated divider from
+//! this format is what the "read" column of the paper's Table II
+//! measures.
+//!
+//! ```text
+//! # comment
+//! .inputs a b cin
+//! n3 = XOR a b
+//! n4 = AND a b
+//! n5 = XOR n3 cin
+//! n6 = AND n3 cin
+//! n7 = OR n4 n6
+//! .output sum n5
+//! .output cout n7
+//! .end
+//! ```
+//!
+//! Gate lines must appear in topological order (any netlist written by
+//! [`write_bnet`] satisfies this).
+
+use crate::{BinOp, Gate, Netlist, Sig, UnaryOp};
+use std::collections::HashMap;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Serializes a netlist to the BNET text format.
+///
+/// # Panics
+///
+/// Panics if a primary input is unnamed (inputs are always named when
+/// created through [`Netlist::input`]).
+pub fn write_bnet(nl: &Netlist) -> String {
+    let mut out = String::new();
+    out.push_str("# bnet v1\n");
+    let sig_name = |s: Sig| -> String {
+        match nl.name(s) {
+            Some(n) => n.to_string(),
+            None => format!("n{}", s.0),
+        }
+    };
+    for s in nl.signals() {
+        match *nl.gate(s) {
+            Gate::Input => {
+                let name = nl.name(s).expect("primary inputs must be named");
+                let _ = writeln!(out, ".inputs {name}");
+            }
+            Gate::Const(v) => {
+                let _ = writeln!(out, "{} = CONST{}", sig_name(s), v as u8);
+            }
+            Gate::Unary(op, a) => {
+                let _ = writeln!(out, "{} = {} {}", sig_name(s), op.mnemonic(), sig_name(a));
+            }
+            Gate::Binary(op, a, b) => {
+                let _ = writeln!(
+                    out,
+                    "{} = {} {} {}",
+                    sig_name(s),
+                    op.mnemonic(),
+                    sig_name(a),
+                    sig_name(b)
+                );
+            }
+        }
+    }
+    for (name, s) in nl.outputs() {
+        let _ = writeln!(out, ".output {} {}", name, sig_name(*s));
+    }
+    out.push_str(".end\n");
+    out
+}
+
+/// Error produced while parsing BNET text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBnetError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ParseBnetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bnet parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseBnetError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseBnetError {
+    ParseBnetError { line, message: message.into() }
+}
+
+/// Parses BNET text into a netlist.
+///
+/// Gates are reconstructed verbatim (no folding or structural hashing),
+/// so `read_bnet(&write_bnet(nl))` reproduces `nl` gate for gate.
+///
+/// # Errors
+///
+/// Returns [`ParseBnetError`] on malformed lines, references to unknown
+/// signals (including forward references — the file must be in
+/// topological order), duplicate definitions, or a missing `.end`.
+pub fn read_bnet(text: &str) -> Result<Netlist, ParseBnetError> {
+    let mut nl = Netlist::new();
+    let mut by_name: HashMap<String, Sig> = HashMap::new();
+    let mut ended = false;
+    let mut outputs: Vec<(usize, String, String)> = Vec::new();
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if ended {
+            return Err(err(lineno, "content after .end"));
+        }
+        if let Some(rest) = line.strip_prefix(".inputs") {
+            for name in rest.split_whitespace() {
+                if by_name.contains_key(name) {
+                    return Err(err(lineno, format!("duplicate signal {name:?}")));
+                }
+                let s = nl.input(name);
+                by_name.insert(name.to_string(), s);
+            }
+        } else if let Some(rest) = line.strip_prefix(".output") {
+            let mut it = rest.split_whitespace();
+            let (name, sig) = match (it.next(), it.next(), it.next()) {
+                (Some(n), Some(s), None) => (n, s),
+                _ => return Err(err(lineno, "expected `.output <name> <signal>`")),
+            };
+            outputs.push((lineno, name.to_string(), sig.to_string()));
+        } else if line == ".end" {
+            ended = true;
+        } else {
+            // `<name> = <OP> <args...>`
+            let (lhs, rhs) = line
+                .split_once('=')
+                .ok_or_else(|| err(lineno, "expected `<name> = <OP> ...`"))?;
+            let name = lhs.trim();
+            if name.is_empty() {
+                return Err(err(lineno, "empty signal name"));
+            }
+            if by_name.contains_key(name) {
+                return Err(err(lineno, format!("duplicate signal {name:?}")));
+            }
+            let mut it = rhs.split_whitespace();
+            let op = it.next().ok_or_else(|| err(lineno, "missing operator"))?;
+            let arg = |it: &mut std::str::SplitWhitespace<'_>| -> Result<Sig, ParseBnetError> {
+                let a = it
+                    .next()
+                    .ok_or_else(|| err(lineno, format!("{op} needs more operands")))?;
+                by_name
+                    .get(a)
+                    .copied()
+                    .ok_or_else(|| err(lineno, format!("unknown signal {a:?}")))
+            };
+            let gate = match op {
+                "CONST0" => Gate::Const(false),
+                "CONST1" => Gate::Const(true),
+                "NOT" => Gate::Unary(UnaryOp::Not, arg(&mut it)?),
+                "BUF" => Gate::Unary(UnaryOp::Buf, arg(&mut it)?),
+                "AND" => Gate::Binary(BinOp::And, arg(&mut it)?, arg(&mut it)?),
+                "OR" => Gate::Binary(BinOp::Or, arg(&mut it)?, arg(&mut it)?),
+                "XOR" => Gate::Binary(BinOp::Xor, arg(&mut it)?, arg(&mut it)?),
+                "NAND" => Gate::Binary(BinOp::Nand, arg(&mut it)?, arg(&mut it)?),
+                "NOR" => Gate::Binary(BinOp::Nor, arg(&mut it)?, arg(&mut it)?),
+                "XNOR" => Gate::Binary(BinOp::Xnor, arg(&mut it)?, arg(&mut it)?),
+                "ANDN" => Gate::Binary(BinOp::AndNot, arg(&mut it)?, arg(&mut it)?),
+                other => return Err(err(lineno, format!("unknown operator {other:?}"))),
+            };
+            if it.next().is_some() {
+                return Err(err(lineno, "trailing operands"));
+            }
+            let s = nl.push_gate(gate);
+            by_name.insert(name.to_string(), s);
+        }
+    }
+    if !ended {
+        return Err(err(text.lines().count().max(1), "missing .end"));
+    }
+    for (lineno, name, sig) in outputs {
+        let s = by_name
+            .get(&sig)
+            .copied()
+            .ok_or_else(|| err(lineno, format!("unknown output signal {sig:?}")))?;
+        nl.add_output(&name, s);
+    }
+    Ok(nl)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{array_multiplier, nonrestoring_divider};
+
+    #[test]
+    fn roundtrip_divider_gate_for_gate() {
+        let div = nonrestoring_divider(4);
+        let text = write_bnet(&div.netlist);
+        let back = read_bnet(&text).expect("parses");
+        assert_eq!(back.num_signals(), div.netlist.num_signals());
+        assert_eq!(back.inputs().len(), div.netlist.inputs().len());
+        assert_eq!(back.outputs().len(), div.netlist.outputs().len());
+        assert_eq!(back.gates(), div.netlist.gates());
+        // Behavioural agreement.
+        for (r0, d) in [(0u64, 1u64), (62, 7), (50, 7), (39, 5)] {
+            let x = div.netlist.eval_u64(&[("r0", r0), ("d", d)]);
+            let y = back.eval_u64(&[("r0", r0), ("d", d)]);
+            assert_eq!(x["q"], y["q"]);
+            assert_eq!(x["r"], y["r"]);
+        }
+    }
+
+    #[test]
+    fn roundtrip_multiplier() {
+        let m = array_multiplier(5, 5);
+        let back = read_bnet(&write_bnet(&m.netlist)).expect("parses");
+        for (x, y) in [(31u64, 31u64), (13, 7), (0, 19)] {
+            assert_eq!(
+                back.eval_u64(&[("a", x), ("b", y)])["p"],
+                x * y
+            );
+        }
+    }
+
+    #[test]
+    fn parse_minimal() {
+        let text = "\
+# tiny
+.inputs a b
+g = AND a b
+.output o g
+.end
+";
+        let nl = read_bnet(text).expect("parses");
+        assert_eq!(nl.num_signals(), 3);
+        assert_eq!(nl.eval_u64(&[("a", 1), ("b", 1)])["o"], 1);
+        assert_eq!(nl.eval_u64(&[("a", 1), ("b", 0)])["o"], 0);
+    }
+
+    #[test]
+    fn parse_errors_are_located() {
+        let cases = [
+            (".inputs a\nx = FROB a\n.end\n", 2, "unknown operator"),
+            (".inputs a\nx = AND a zz\n.end\n", 2, "unknown signal"),
+            (".inputs a\nx = AND a\n.end\n", 2, "more operands"),
+            (".inputs a\na = NOT a\n.end\n", 2, "duplicate"),
+            (".inputs a\n.output o a\n", 2, "missing .end"),
+            (".inputs a\n.end\nx = NOT a\n", 3, "after .end"),
+            (".inputs a\nx = AND a a a\n.end\n", 2, "trailing"),
+        ];
+        for (text, line, needle) in cases {
+            let e = read_bnet(text).expect_err("must fail");
+            assert_eq!(e.line, line, "{text:?}");
+            assert!(e.message.contains(needle), "{e} !~ {needle}");
+        }
+    }
+
+    #[test]
+    fn consts_roundtrip() {
+        let text = ".inputs a\nz = CONST0\no = CONST1\ng = XOR a z\n.output x g\n.output y o\n.end\n";
+        let nl = read_bnet(text).expect("parses");
+        assert_eq!(nl.eval_u64(&[("a", 1)])["x"], 1);
+        assert_eq!(nl.eval_u64(&[("a", 1)])["y"], 1);
+        assert_eq!(nl.eval_u64(&[("a", 0)])["x"], 0);
+    }
+}

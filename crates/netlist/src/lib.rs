@@ -1,0 +1,48 @@
+//! Gate-level netlists and arithmetic circuit generators.
+//!
+//! This crate provides the circuit substrate of the SBIF workspace:
+//!
+//! * [`Netlist`] — a flat, combinational gate-level netlist over two-input
+//!   gates, stored in topological order (a gate's fanins always precede
+//!   it), with named inputs and outputs;
+//! * bit-parallel [simulation](Netlist::simulate64) (64 patterns per
+//!   pass), the workhorse of SBIF candidate detection and of all
+//!   validation tests;
+//! * [`build`] — generators for ripple-carry adders, combined
+//!   adder/subtractors (CAS), comparators, array multipliers, and the
+//!   **non-restoring** and **restoring dividers** the paper verifies,
+//!   plus miters and the input-constraint circuit
+//!   `C = (0 ≤ R⁰ < D·2^(n−1))`;
+//! * a plain-text exchange format ([`io`]) used to measure the "read"
+//!   column of the paper's Table II.
+//!
+//! # Examples
+//!
+//! ```
+//! use sbif_netlist::build::nonrestoring_divider;
+//!
+//! let div = nonrestoring_divider(4);
+//! // 4-bit divisor, 7-bit dividend: 17 / 5 = 3 rem 2
+//! let out = div.netlist.eval_u64(&[("r0", 17), ("d", 5)]);
+//! assert_eq!(out["q"], 3);
+//! assert_eq!(out["r"], 2);
+//! ```
+
+pub mod build;
+mod gate;
+pub mod io;
+mod netlist;
+mod sim;
+mod word;
+
+pub use gate::{BinOp, Gate, Sig, UnaryOp};
+pub use netlist::{Netlist, NetlistStats};
+pub use word::Word;
+
+/// Convenient imports for circuit construction and verification flows.
+pub mod prelude {
+    pub use crate::build::{
+        constraint_circuit, miter, nonrestoring_divider, restoring_divider, Divider,
+    };
+    pub use crate::{Gate, Netlist, Sig, Word};
+}

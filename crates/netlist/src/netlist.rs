@@ -1,0 +1,569 @@
+//! The [`Netlist`] container and gate-construction API.
+
+use crate::{BinOp, Gate, Sig, UnaryOp};
+use std::collections::HashMap;
+
+/// A flat combinational gate-level netlist.
+///
+/// Gates are stored in topological order: every fanin index is strictly
+/// smaller than the gate's own index. This invariant is established at
+/// construction time and makes "process in (reverse) topological order" —
+/// the iteration pattern of backward rewriting and SBIF — a plain forward
+/// (backward) array scan.
+///
+/// The builder methods perform light constant folding and structural
+/// hashing, mimicking what any synthesis front end would do.
+///
+/// # Examples
+///
+/// ```
+/// use sbif_netlist::Netlist;
+///
+/// let mut nl = Netlist::new();
+/// let a = nl.input("a");
+/// let b = nl.input("b");
+/// let s = nl.xor(a, b);
+/// let c = nl.and(a, b);
+/// nl.add_output("sum", s);
+/// nl.add_output("carry", c);
+/// assert_eq!(nl.num_signals(), 4);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Netlist {
+    gates: Vec<Gate>,
+    names: Vec<Option<String>>,
+    inputs: Vec<Sig>,
+    outputs: Vec<(String, Sig)>,
+    strash: HashMap<Gate, Sig>,
+    const0: Option<Sig>,
+    const1: Option<Sig>,
+}
+
+/// Summary statistics of a netlist; see [`Netlist::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NetlistStats {
+    /// Number of primary inputs.
+    pub inputs: usize,
+    /// Number of primary outputs.
+    pub outputs: usize,
+    /// Number of two-input gates.
+    pub binary_gates: usize,
+    /// Number of inverters/buffers.
+    pub unary_gates: usize,
+    /// Number of constant drivers.
+    pub constants: usize,
+    /// Length of the longest input→output path, in gates.
+    pub depth: usize,
+}
+
+impl Netlist {
+    /// Creates an empty netlist.
+    pub fn new() -> Self {
+        Netlist::default()
+    }
+
+    /// Adds a primary input with the given name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already taken by another signal.
+    pub fn input(&mut self, name: &str) -> Sig {
+        let s = self.push(Gate::Input);
+        self.set_name(s, name);
+        self.inputs.push(s);
+        s
+    }
+
+    /// The constant-0 signal (created on first use).
+    pub fn const0(&mut self) -> Sig {
+        match self.const0 {
+            Some(s) => s,
+            None => {
+                let s = self.push(Gate::Const(false));
+                self.const0 = Some(s);
+                s
+            }
+        }
+    }
+
+    /// The constant-1 signal (created on first use).
+    pub fn const1(&mut self) -> Sig {
+        match self.const1 {
+            Some(s) => s,
+            None => {
+                let s = self.push(Gate::Const(true));
+                self.const1 = Some(s);
+                s
+            }
+        }
+    }
+
+    /// The constant signal for `value`.
+    pub fn constant(&mut self, value: bool) -> Sig {
+        if value {
+            self.const1()
+        } else {
+            self.const0()
+        }
+    }
+
+    /// If `s` is driven by a constant gate, its value.
+    pub fn const_value(&self, s: Sig) -> Option<bool> {
+        match self.gates[s.index()] {
+            Gate::Const(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Inserts a gate verbatim — no constant folding, no structural
+    /// hashing. Used by the BNET reader to reproduce a file gate for
+    /// gate. Gates inserted this way do not participate in structural
+    /// hashing of later builder calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a fanin index is not smaller than the new gate's index
+    /// (topological-order violation). Inputs inserted this way are
+    /// unnamed; prefer [`Netlist::input`].
+    pub fn push_gate(&mut self, gate: Gate) -> Sig {
+        if gate.is_input() {
+            let s = self.push(Gate::Input);
+            self.inputs.push(s);
+            return s;
+        }
+        self.push(gate)
+    }
+
+    fn push(&mut self, gate: Gate) -> Sig {
+        for f in gate.fanins() {
+            assert!(
+                f.index() < self.gates.len(),
+                "fanin {f} of new gate out of range — topological order violated"
+            );
+        }
+        let s = Sig(self.gates.len() as u32);
+        self.gates.push(gate);
+        self.names.push(None);
+        s
+    }
+
+    /// Adds a unary gate, folding constants and hashing structurally.
+    pub fn unary(&mut self, op: UnaryOp, a: Sig) -> Sig {
+        match (op, self.const_value(a)) {
+            (UnaryOp::Buf, _) => return a,
+            (UnaryOp::Not, Some(v)) => return self.constant(!v),
+            _ => {}
+        }
+        // ¬¬a = a
+        if op == UnaryOp::Not {
+            if let Gate::Unary(UnaryOp::Not, inner) = self.gates[a.index()] {
+                return inner;
+            }
+        }
+        let gate = Gate::Unary(op, a);
+        if let Some(&s) = self.strash.get(&gate) {
+            return s;
+        }
+        let s = self.push(gate.clone());
+        self.strash.insert(gate, s);
+        s
+    }
+
+    /// Adds a two-input gate, folding constants, trivial identities and
+    /// hashing structurally (commutative operators have their fanins
+    /// ordered canonically).
+    pub fn binary(&mut self, op: BinOp, a: Sig, b: Sig) -> Sig {
+        use BinOp::*;
+        let (ca, cb) = (self.const_value(a), self.const_value(b));
+        if let (Some(x), Some(y)) = (ca, cb) {
+            let v = op.eval64(x as u64, y as u64) & 1 == 1;
+            return self.constant(v);
+        }
+        // One constant operand.
+        if let Some(x) = ca {
+            return self.fold_one_const(op, b, x, true);
+        }
+        if let Some(y) = cb {
+            return self.fold_one_const(op, a, y, false);
+        }
+        // Equal operands.
+        if a == b {
+            return match op {
+                And | Or => a,
+                Xor | AndNot => self.const0(),
+                Xnor => self.const1(),
+                Nand | Nor => self.unary(UnaryOp::Not, a),
+            };
+        }
+        let commutative = !matches!(op, AndNot);
+        let (a, b) = if commutative && b < a { (b, a) } else { (a, b) };
+        let gate = Gate::Binary(op, a, b);
+        if let Some(&s) = self.strash.get(&gate) {
+            return s;
+        }
+        let s = self.push(gate.clone());
+        self.strash.insert(gate, s);
+        s
+    }
+
+    /// Simplify `op` where one operand is the constant `c`.
+    /// `const_is_lhs` records which side the constant was on (matters for
+    /// the non-commutative [`BinOp::AndNot`]).
+    fn fold_one_const(&mut self, op: BinOp, x: Sig, c: bool, const_is_lhs: bool) -> Sig {
+        use BinOp::*;
+        match (op, c) {
+            (And, true) | (Or, false) | (Xor, false) => x,
+            (And, false) | (Nor, true) => self.const0(),
+            (Or, true) | (Nand, false) => self.const1(),
+            (Xor, true) | (Nand, true) | (Nor, false) | (Xnor, false) => {
+                self.unary(UnaryOp::Not, x)
+            }
+            (Xnor, true) => x,
+            (AndNot, c) => {
+                if const_is_lhs {
+                    // c ∧ ¬x
+                    if c {
+                        self.unary(UnaryOp::Not, x)
+                    } else {
+                        self.const0()
+                    }
+                } else {
+                    // x ∧ ¬c
+                    if c {
+                        self.const0()
+                    } else {
+                        x
+                    }
+                }
+            }
+        }
+    }
+
+    /// `¬a`.
+    pub fn not(&mut self, a: Sig) -> Sig {
+        self.unary(UnaryOp::Not, a)
+    }
+
+    /// `a ∧ b`.
+    pub fn and(&mut self, a: Sig, b: Sig) -> Sig {
+        self.binary(BinOp::And, a, b)
+    }
+
+    /// `a ∨ b`.
+    pub fn or(&mut self, a: Sig, b: Sig) -> Sig {
+        self.binary(BinOp::Or, a, b)
+    }
+
+    /// `a ⊕ b`.
+    pub fn xor(&mut self, a: Sig, b: Sig) -> Sig {
+        self.binary(BinOp::Xor, a, b)
+    }
+
+    /// `a ≡ b`.
+    pub fn xnor(&mut self, a: Sig, b: Sig) -> Sig {
+        self.binary(BinOp::Xnor, a, b)
+    }
+
+    /// `¬(a ∧ b)`.
+    pub fn nand(&mut self, a: Sig, b: Sig) -> Sig {
+        self.binary(BinOp::Nand, a, b)
+    }
+
+    /// `¬(a ∨ b)`.
+    pub fn nor(&mut self, a: Sig, b: Sig) -> Sig {
+        self.binary(BinOp::Nor, a, b)
+    }
+
+    /// `a ∧ ¬b`.
+    pub fn and_not(&mut self, a: Sig, b: Sig) -> Sig {
+        self.binary(BinOp::AndNot, a, b)
+    }
+
+    /// 2:1 multiplexer `sel ? t : e`, built from basic gates.
+    pub fn mux(&mut self, sel: Sig, t: Sig, e: Sig) -> Sig {
+        let st = self.and(sel, t);
+        let se = self.and_not(e, sel);
+        self.or(st, se)
+    }
+
+    /// Declares `s` as a primary output under `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an output with that name exists already.
+    pub fn add_output(&mut self, name: &str, s: Sig) {
+        assert!(
+            self.outputs.iter().all(|(n, _)| n != name),
+            "duplicate output name {name:?}"
+        );
+        self.outputs.push((name.to_string(), s));
+    }
+
+    /// Attach a (diagnostic) name to a signal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already used by a different signal.
+    pub fn set_name(&mut self, s: Sig, name: &str) {
+        debug_assert!(
+            !self
+                .names
+                .iter()
+                .enumerate()
+                .any(|(i, n)| n.as_deref() == Some(name) && i != s.index()),
+            "duplicate signal name {name:?}"
+        );
+        self.names[s.index()] = Some(name.to_string());
+    }
+
+    /// The name of a signal, if it has one.
+    pub fn name(&self, s: Sig) -> Option<&str> {
+        self.names[s.index()].as_deref()
+    }
+
+    /// The gate driving `s`.
+    pub fn gate(&self, s: Sig) -> &Gate {
+        &self.gates[s.index()]
+    }
+
+    /// All gates in topological order.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Number of signals (= gates) in the netlist.
+    pub fn num_signals(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// The primary inputs, in declaration order.
+    pub fn inputs(&self) -> &[Sig] {
+        &self.inputs
+    }
+
+    /// The primary outputs `(name, signal)`, in declaration order.
+    pub fn outputs(&self) -> &[(String, Sig)] {
+        &self.outputs
+    }
+
+    /// The output signal registered under `name`.
+    pub fn output(&self, name: &str) -> Option<Sig> {
+        self.outputs.iter().find(|(n, _)| n == name).map(|&(_, s)| s)
+    }
+
+    /// All signals, ascending (= topological) order.
+    pub fn signals(&self) -> impl DoubleEndedIterator<Item = Sig> + ExactSizeIterator + '_ {
+        (0..self.gates.len() as u32).map(Sig)
+    }
+
+    /// Logic level of every signal (inputs/constants are level 0).
+    pub fn levels(&self) -> Vec<usize> {
+        let mut lv = vec![0usize; self.gates.len()];
+        for (i, g) in self.gates.iter().enumerate() {
+            lv[i] = g.fanins().map(|f| lv[f.index()] + 1).max().unwrap_or(0);
+        }
+        lv
+    }
+
+    /// Fanout lists: for every signal, the signals it feeds.
+    pub fn fanouts(&self) -> Vec<Vec<Sig>> {
+        let mut out = vec![Vec::new(); self.gates.len()];
+        for (i, g) in self.gates.iter().enumerate() {
+            for f in g.fanins() {
+                out[f.index()].push(Sig(i as u32));
+            }
+        }
+        out
+    }
+
+    /// The transitive fanin cone of `roots` (including the roots),
+    /// as a sorted signal list.
+    pub fn cone(&self, roots: &[Sig]) -> Vec<Sig> {
+        let mut seen = vec![false; self.gates.len()];
+        let mut stack: Vec<Sig> = roots.to_vec();
+        while let Some(s) = stack.pop() {
+            if seen[s.index()] {
+                continue;
+            }
+            seen[s.index()] = true;
+            stack.extend(self.gates[s.index()].fanins());
+        }
+        seen.iter()
+            .enumerate()
+            .filter_map(|(i, &b)| b.then_some(Sig(i as u32)))
+            .collect()
+    }
+
+    /// Summary statistics.
+    pub fn stats(&self) -> NetlistStats {
+        let mut st = NetlistStats {
+            inputs: self.inputs.len(),
+            outputs: self.outputs.len(),
+            ..NetlistStats::default()
+        };
+        for g in &self.gates {
+            match g {
+                Gate::Input => {}
+                Gate::Const(_) => st.constants += 1,
+                Gate::Unary(..) => st.unary_gates += 1,
+                Gate::Binary(..) => st.binary_gates += 1,
+            }
+        }
+        st.depth = self.levels().into_iter().max().unwrap_or(0);
+        st
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topological_invariant() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let c = nl.and(a, b);
+        let d = nl.or(c, a);
+        for s in [c, d] {
+            for f in nl.gate(s).fanins() {
+                assert!(f < s);
+            }
+        }
+    }
+
+    #[test]
+    fn constant_folding() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let one = nl.const1();
+        let zero = nl.const0();
+        assert_eq!(nl.and(a, one), a);
+        assert_eq!(nl.and(a, zero), zero);
+        assert_eq!(nl.or(a, zero), a);
+        assert_eq!(nl.or(a, one), one);
+        assert_eq!(nl.xor(a, zero), a);
+        let na = nl.xor(a, one);
+        assert_eq!(nl.gate(na), &Gate::Unary(UnaryOp::Not, a));
+        assert_eq!(nl.not(na), a); // double negation
+    }
+
+    #[test]
+    fn equal_operand_folding() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        assert_eq!(nl.and(a, a), a);
+        assert_eq!(nl.or(a, a), a);
+        assert_eq!(nl.xor(a, a), nl.const0());
+        assert_eq!(nl.xnor(a, a), nl.const1());
+        let na = nl.not(a);
+        assert_eq!(nl.nand(a, a), na);
+    }
+
+    #[test]
+    fn structural_hashing_dedups() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let g1 = nl.and(a, b);
+        let g2 = nl.and(b, a); // commuted
+        assert_eq!(g1, g2);
+        let n = nl.num_signals();
+        let _ = nl.and(a, b);
+        assert_eq!(nl.num_signals(), n);
+    }
+
+    #[test]
+    fn andnot_is_not_commuted() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let g1 = nl.and_not(a, b);
+        let g2 = nl.and_not(b, a);
+        assert_ne!(g1, g2);
+    }
+
+    #[test]
+    fn andnot_constant_folds() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let one = nl.const1();
+        let zero = nl.const0();
+        assert_eq!(nl.and_not(a, one), zero);
+        assert_eq!(nl.and_not(a, zero), a);
+        assert_eq!(nl.and_not(zero, a), zero);
+        let na = nl.not(a);
+        assert_eq!(nl.and_not(one, a), na);
+    }
+
+    #[test]
+    fn levels_and_stats() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let c = nl.and(a, b);
+        let d = nl.xor(c, a);
+        nl.add_output("o", d);
+        let lv = nl.levels();
+        assert_eq!(lv[a.index()], 0);
+        assert_eq!(lv[c.index()], 1);
+        assert_eq!(lv[d.index()], 2);
+        let st = nl.stats();
+        assert_eq!(st.inputs, 2);
+        assert_eq!(st.outputs, 1);
+        assert_eq!(st.binary_gates, 2);
+        assert_eq!(st.depth, 2);
+    }
+
+    #[test]
+    fn cone_extraction() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let c = nl.input("c");
+        let ab = nl.and(a, b);
+        let _unused = nl.or(b, c);
+        let cone = nl.cone(&[ab]);
+        assert_eq!(cone, vec![a, b, ab]);
+    }
+
+    #[test]
+    fn fanouts() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let c = nl.and(a, b);
+        let d = nl.or(a, c);
+        let fo = nl.fanouts();
+        assert_eq!(fo[a.index()], vec![c, d]);
+        assert_eq!(fo[c.index()], vec![d]);
+        assert!(fo[d.index()].is_empty());
+    }
+
+    #[test]
+    fn mux_semantics() {
+        let mut nl = Netlist::new();
+        let s = nl.input("s");
+        let t = nl.input("t");
+        let e = nl.input("e");
+        let m = nl.mux(s, t, e);
+        nl.add_output("m", m);
+        for bits in 0u8..8 {
+            let sv = bits & 1 == 1;
+            let tv = bits & 2 == 2;
+            let ev = bits & 4 == 4;
+            let vals = nl.simulate64(&[sv as u64, tv as u64, ev as u64]);
+            let got = vals[m.index()] & 1 == 1;
+            assert_eq!(got, if sv { tv } else { ev });
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate output")]
+    fn duplicate_output_rejected() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        nl.add_output("o", a);
+        nl.add_output("o", a);
+    }
+}

@@ -1,0 +1,215 @@
+//! Bit-parallel simulation.
+
+use crate::{Gate, Netlist};
+use std::collections::HashMap;
+
+impl Netlist {
+    /// Simulates 64 input patterns at once.
+    ///
+    /// `input_words[i]` carries 64 values for the `i`-th primary input
+    /// (in declaration order); bit `k` of every word belongs to pattern
+    /// `k`. Returns one word per signal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_words.len()` differs from the number of inputs.
+    pub fn simulate64(&self, input_words: &[u64]) -> Vec<u64> {
+        assert_eq!(
+            input_words.len(),
+            self.inputs().len(),
+            "need one simulation word per primary input"
+        );
+        let mut vals = vec![0u64; self.num_signals()];
+        let mut next_input = 0;
+        for (i, g) in self.gates().iter().enumerate() {
+            vals[i] = match *g {
+                Gate::Input => {
+                    let w = input_words[next_input];
+                    next_input += 1;
+                    w
+                }
+                Gate::Const(false) => 0,
+                Gate::Const(true) => u64::MAX,
+                Gate::Unary(op, a) => op.eval64(vals[a.index()]),
+                Gate::Binary(op, a, b) => op.eval64(vals[a.index()], vals[b.index()]),
+            };
+        }
+        vals
+    }
+
+    /// Simulates a single Boolean pattern; returns one bit per signal.
+    pub fn simulate_bool(&self, inputs: &[bool]) -> Vec<bool> {
+        let words: Vec<u64> = inputs.iter().map(|&b| if b { 1 } else { 0 }).collect();
+        self.simulate64(&words).into_iter().map(|w| w & 1 == 1).collect()
+    }
+
+    /// Evaluates the netlist on named bus values and returns named bus
+    /// outputs.
+    ///
+    /// Inputs named `bus[i]` are treated as bit `i` of bus `bus`; an
+    /// input named without brackets is bit 0 of a one-bit bus. Outputs
+    /// are reassembled the same way. Convenient for tests on word-level
+    /// circuits up to 64 bits per bus; see [`Netlist::eval_u128`] for
+    /// wider buses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a bus in `values` does not exist, or if a value needs
+    /// more bits than its bus provides.
+    pub fn eval_u64(&self, values: &[(&str, u64)]) -> HashMap<String, u64> {
+        let wide: Vec<(&str, u128)> = values.iter().map(|&(n, v)| (n, v as u128)).collect();
+        self.eval_u128(&wide)
+            .into_iter()
+            .map(|(k, v)| {
+                assert!(v <= u64::MAX as u128, "output bus {k} exceeds 64 bits");
+                (k, v as u64)
+            })
+            .collect()
+    }
+
+    /// Like [`Netlist::eval_u64`] but for buses up to 128 bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a bus in `values` does not exist, or if a value needs
+    /// more bits than its bus provides.
+    pub fn eval_u128(&self, values: &[(&str, u128)]) -> HashMap<String, u128> {
+        let mut bit_values: HashMap<(String, usize), bool> = HashMap::new();
+        let mut widths: HashMap<String, usize> = HashMap::new();
+        for s in self.inputs() {
+            let name = self.name(*s).expect("inputs are always named");
+            let (bus, idx) = split_bus(name);
+            let w = widths.entry(bus.to_string()).or_insert(0);
+            *w = (*w).max(idx + 1);
+        }
+        for &(bus, v) in values {
+            let width = *widths
+                .get(bus)
+                .unwrap_or_else(|| panic!("no input bus named {bus:?}"));
+            assert!(
+                width >= 128 || v < (1u128 << width),
+                "value {v} does not fit input bus {bus:?} of width {width}"
+            );
+            for i in 0..width {
+                bit_values.insert((bus.to_string(), i), (v >> i) & 1 == 1);
+            }
+        }
+        let inputs: Vec<bool> = self
+            .inputs()
+            .iter()
+            .map(|&s| {
+                let (bus, idx) = split_bus(self.name(s).expect("named"));
+                bit_values.get(&(bus.to_string(), idx)).copied().unwrap_or(false)
+            })
+            .collect();
+        let vals = self.simulate_bool(&inputs);
+        let mut out: HashMap<String, u128> = HashMap::new();
+        for (name, s) in self.outputs() {
+            let (bus, idx) = split_bus(name);
+            assert!(idx < 128, "output bus {bus:?} wider than 128 bits");
+            let e = out.entry(bus.to_string()).or_insert(0);
+            if vals[s.index()] {
+                *e |= 1u128 << idx;
+            }
+        }
+        out
+    }
+}
+
+/// Splits `"name[3]"` into `("name", 3)`; a bare name is bit 0.
+fn split_bus(name: &str) -> (&str, usize) {
+    match (name.find('['), name.strip_suffix(']')) {
+        (Some(open), Some(rest)) => {
+            let idx: usize = rest[open + 1..].parse().unwrap_or(0);
+            (&name[..open], idx)
+        }
+        _ => (name, 0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_bus_parsing() {
+        assert_eq!(split_bus("a[13]"), ("a", 13));
+        assert_eq!(split_bus("clk"), ("clk", 0));
+        assert_eq!(split_bus("x[0]"), ("x", 0));
+    }
+
+    #[test]
+    fn parallel_simulation_matches_scalar() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let c = nl.input("c");
+        let g = nl.xor(a, b);
+        let h = nl.and(g, c);
+        let o = nl.nor(h, a);
+        nl.add_output("o", o);
+        // 8 exhaustive patterns packed in one 64-bit word.
+        let wa = 0b10101010u64;
+        let wb = 0b11001100u64;
+        let wc = 0b11110000u64;
+        let words = nl.simulate64(&[wa, wb, wc]);
+        for k in 0..8 {
+            let bit = |w: u64| (w >> k) & 1 == 1;
+            let scalar = nl.simulate_bool(&[bit(wa), bit(wb), bit(wc)]);
+            assert_eq!(scalar[o.index()], bit(words[o.index()]), "pattern {k}");
+        }
+    }
+
+    #[test]
+    fn eval_named_buses() {
+        let mut nl = Netlist::new();
+        let a: Vec<_> = (0..4).map(|i| nl.input(&format!("a[{i}]"))).collect();
+        let mut carry = nl.const0();
+        // increment: out = a + 1
+        let one = nl.const1();
+        let mut addend = one;
+        for (i, &ai) in a.iter().enumerate() {
+            let s = nl.xor(ai, addend);
+            carry = nl.and(ai, addend);
+            addend = carry;
+            nl.add_output(&format!("out[{i}]"), s);
+        }
+        nl.add_output("cout", carry);
+        for x in 0u64..16 {
+            let out = nl.eval_u64(&[("a", x)]);
+            assert_eq!(out["out"], (x + 1) % 16, "x={x}");
+            assert_eq!(out["cout"], u64::from(x == 15));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_value_rejected() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a[0]");
+        nl.add_output("o", a);
+        let _ = nl.eval_u64(&[("a", 2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no input bus")]
+    fn unknown_bus_rejected() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        nl.add_output("o", a);
+        let _ = nl.eval_u64(&[("b", 0)]);
+    }
+
+    #[test]
+    fn unset_buses_default_to_zero() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let o = nl.or(a, b);
+        nl.add_output("o", o);
+        let out = nl.eval_u64(&[("a", 1)]);
+        assert_eq!(out["o"], 1);
+        let out = nl.eval_u64(&[]);
+        assert_eq!(out["o"], 0);
+    }
+}

@@ -1,0 +1,63 @@
+//! Human-readable rendering of polynomials.
+
+use crate::Poly;
+use std::fmt;
+
+impl fmt::Display for Poly {
+    /// Renders terms highest-order last (matching the internal term
+    /// order), e.g. `1 - 2*x0 + 4*x0*x1`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        for (i, t) in self.terms().iter().enumerate() {
+            let neg = t.coeff.is_negative();
+            let mag = t.coeff.abs();
+            if i == 0 {
+                if neg {
+                    write!(f, "-")?;
+                }
+            } else if neg {
+                write!(f, " - ")?;
+            } else {
+                write!(f, " + ")?;
+            }
+            if t.monomial.is_one() {
+                write!(f, "{mag}")?;
+            } else if mag.is_one() {
+                write!(f, "{}", t.monomial)?;
+            } else {
+                write!(f, "{mag}*{}", t.monomial)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Poly, Var};
+    use sbif_apint::Int;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Poly::zero().to_string(), "0");
+        assert_eq!(Poly::constant(-7).to_string(), "-7");
+        let p = &Poly::one() - &Poly::from_var(Var(0)).scale(&Int::from(2));
+        assert_eq!(p.to_string(), "1 - 2*x0");
+        let xor = Poly::xor(&Poly::from_var(Var(0)), &Poly::from_var(Var(1)));
+        assert_eq!(xor.to_string(), "x0 + x1 - 2*x0*x1");
+    }
+
+    #[test]
+    fn display_leading_negative() {
+        let p = -Poly::from_var(Var(3));
+        assert_eq!(p.to_string(), "-x3");
+    }
+
+    #[test]
+    fn display_unit_coefficients_omitted() {
+        let p = &Poly::from_var(Var(0)) * &Poly::from_var(Var(1));
+        assert_eq!(p.to_string(), "x0*x1");
+    }
+}

@@ -1,0 +1,87 @@
+//! Evaluation of polynomials under Boolean assignments.
+
+use crate::{Poly, Var};
+use sbif_apint::Int;
+
+impl Poly {
+    /// Evaluate the pseudo-Boolean function at a point.
+    ///
+    /// A monomial contributes its coefficient iff all of its variables are
+    /// assigned `true`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sbif_poly::{Poly, Var};
+    /// use sbif_apint::Int;
+    ///
+    /// let p = Poly::from_var(Var(0)).shl(3) - Poly::one(); // 8x − 1
+    /// assert_eq!(p.eval(|_| true), Int::from(7));
+    /// assert_eq!(p.eval(|_| false), Int::from(-1));
+    /// ```
+    pub fn eval<F: Fn(Var) -> bool>(&self, assignment: F) -> Int {
+        let mut acc = Int::zero();
+        'terms: for t in self.terms() {
+            for &v in t.monomial.vars() {
+                if !assignment(v) {
+                    continue 'terms;
+                }
+            }
+            acc += &t.coeff;
+        }
+        acc
+    }
+
+    /// Evaluate on a dense bit slice: variable `i` is `bits[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a variable index is out of range of `bits`.
+    pub fn eval_bits(&self, bits: &[bool]) -> Int {
+        self.eval(|v| bits[v.index()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Monomial;
+
+    #[test]
+    fn eval_matches_structure() {
+        // p = 5·x0·x2 − 3·x1 + 2
+        let p = Poly::from_pairs([
+            (Monomial::from_vars([Var(0), Var(2)]), Int::from(5)),
+            (Monomial::var(Var(1)), Int::from(-3)),
+            (Monomial::one(), Int::from(2)),
+        ]);
+        assert_eq!(p.eval_bits(&[true, false, true]), Int::from(7));
+        assert_eq!(p.eval_bits(&[true, true, true]), Int::from(4));
+        assert_eq!(p.eval_bits(&[false, true, true]), Int::from(-1));
+        assert_eq!(p.eval_bits(&[false, false, false]), Int::from(2));
+    }
+
+    #[test]
+    fn canonicity_witness() {
+        // Two structurally different polynomials must differ somewhere —
+        // the canonicity argument of Sect. II-A, checked by enumeration.
+        let p = Poly::xor(&Poly::from_var(Var(0)), &Poly::from_var(Var(1)));
+        let q = Poly::or(&Poly::from_var(Var(0)), &Poly::from_var(Var(1)));
+        assert_ne!(p, q);
+        let mut differs = false;
+        for bits in 0u8..4 {
+            let b = [bits & 1 == 1, bits & 2 == 2];
+            differs |= p.eval_bits(&b) != q.eval_bits(&b);
+        }
+        assert!(differs);
+    }
+
+    #[test]
+    fn zero_evaluates_to_zero_everywhere() {
+        let z = Poly::zero();
+        for bits in 0u8..8 {
+            let b = [bits & 1 == 1, bits & 2 == 2, bits & 4 == 4];
+            assert_eq!(z.eval_bits(&b), Int::zero());
+        }
+    }
+}

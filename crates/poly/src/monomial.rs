@@ -1,0 +1,259 @@
+//! Variables and monomials (products of distinct binary variables).
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A binary variable, identified by a dense index.
+///
+/// Variable indices are assigned by the client (for circuit verification:
+/// one variable per signal of the netlist).
+///
+/// # Examples
+///
+/// ```
+/// use sbif_poly::Var;
+/// let v = Var(3);
+/// assert_eq!(v.index(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub u32);
+
+impl Var {
+    /// The dense index of this variable.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A product of distinct binary variables, `x_{i1} · … · x_{ik}`.
+///
+/// Since variables are binary (`v² = v`), a monomial is a *set* of
+/// variables; it is stored as a strictly increasing slice of indices. The
+/// empty monomial is the constant `1`.
+///
+/// Monomials are ordered degree-lexicographically: first by degree, then
+/// lexicographically on the sorted variable lists. This is the term order
+/// used throughout backward rewriting.
+///
+/// # Examples
+///
+/// ```
+/// use sbif_poly::{Monomial, Var};
+///
+/// let ab = Monomial::from_vars([Var(0), Var(1)]);
+/// let ba = Monomial::from_vars([Var(1), Var(0)]);
+/// assert_eq!(ab, ba);                       // sets, not sequences
+/// assert_eq!(ab.degree(), 2);
+/// assert!(Monomial::one() < ab);            // degree order
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Monomial {
+    vars: Box<[Var]>,
+}
+
+impl Monomial {
+    /// The constant monomial `1` (empty product).
+    #[inline]
+    pub fn one() -> Self {
+        Monomial { vars: Box::new([]) }
+    }
+
+    /// The monomial consisting of a single variable.
+    #[inline]
+    pub fn var(v: Var) -> Self {
+        Monomial { vars: Box::new([v]) }
+    }
+
+    /// Build a monomial from an arbitrary collection of variables;
+    /// duplicates collapse (idempotence of binary variables).
+    pub fn from_vars<I: IntoIterator<Item = Var>>(vars: I) -> Self {
+        let mut v: Vec<Var> = vars.into_iter().collect();
+        v.sort_unstable();
+        v.dedup();
+        Monomial { vars: v.into_boxed_slice() }
+    }
+
+    /// Number of variables in the product.
+    #[inline]
+    pub fn degree(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// `true` iff this is the constant monomial `1`.
+    #[inline]
+    pub fn is_one(&self) -> bool {
+        self.vars.is_empty()
+    }
+
+    /// The variables, strictly increasing.
+    #[inline]
+    pub fn vars(&self) -> &[Var] {
+        &self.vars
+    }
+
+    /// Whether the monomial contains `v`.
+    pub fn contains(&self, v: Var) -> bool {
+        self.vars.binary_search(&v).is_ok()
+    }
+
+    /// Product of two monomials (set union — `v² = v`).
+    pub fn mul(&self, other: &Monomial) -> Monomial {
+        if self.is_one() {
+            return other.clone();
+        }
+        if other.is_one() {
+            return self.clone();
+        }
+        let mut out = Vec::with_capacity(self.vars.len() + other.vars.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.vars.len() && j < other.vars.len() {
+            match self.vars[i].cmp(&other.vars[j]) {
+                Ordering::Less => {
+                    out.push(self.vars[i]);
+                    i += 1;
+                }
+                Ordering::Greater => {
+                    out.push(other.vars[j]);
+                    j += 1;
+                }
+                Ordering::Equal => {
+                    out.push(self.vars[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&self.vars[i..]);
+        out.extend_from_slice(&other.vars[j..]);
+        Monomial { vars: out.into_boxed_slice() }
+    }
+
+    /// The monomial with `v` removed, or `None` if `v` does not occur.
+    pub fn without(&self, v: Var) -> Option<Monomial> {
+        let pos = self.vars.binary_search(&v).ok()?;
+        let mut out = Vec::with_capacity(self.vars.len() - 1);
+        out.extend_from_slice(&self.vars[..pos]);
+        out.extend_from_slice(&self.vars[pos + 1..]);
+        Some(Monomial { vars: out.into_boxed_slice() })
+    }
+
+    /// The monomial with `from` replaced by `to` (collapsing duplicates).
+    pub fn rename(&self, from: Var, to: Var) -> Monomial {
+        match self.without(from) {
+            None => self.clone(),
+            Some(rest) => rest.mul(&Monomial::var(to)),
+        }
+    }
+}
+
+impl PartialOrd for Monomial {
+    fn partial_cmp(&self, other: &Monomial) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Monomial {
+    /// Degree-lexicographic order.
+    fn cmp(&self, other: &Monomial) -> Ordering {
+        self.vars
+            .len()
+            .cmp(&other.vars.len())
+            .then_with(|| self.vars.cmp(&other.vars))
+    }
+}
+
+impl fmt::Display for Monomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_one() {
+            return write!(f, "1");
+        }
+        for (i, v) in self.vars.iter().enumerate() {
+            if i > 0 {
+                write!(f, "*")?;
+            }
+            write!(f, "{v}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_dedups_and_sorts() {
+        let m = Monomial::from_vars([Var(5), Var(1), Var(5), Var(3)]);
+        assert_eq!(m.vars(), &[Var(1), Var(3), Var(5)]);
+        assert_eq!(m.degree(), 3);
+    }
+
+    #[test]
+    fn one_properties() {
+        let one = Monomial::one();
+        assert!(one.is_one());
+        assert_eq!(one.degree(), 0);
+        let m = Monomial::from_vars([Var(2)]);
+        assert_eq!(one.mul(&m), m);
+        assert_eq!(m.mul(&one), m);
+    }
+
+    #[test]
+    fn mul_is_set_union() {
+        let a = Monomial::from_vars([Var(0), Var(2)]);
+        let b = Monomial::from_vars([Var(2), Var(3)]);
+        assert_eq!(a.mul(&b), Monomial::from_vars([Var(0), Var(2), Var(3)]));
+        // idempotent
+        assert_eq!(a.mul(&a), a);
+        // commutative
+        assert_eq!(a.mul(&b), b.mul(&a));
+    }
+
+    #[test]
+    fn without_and_contains() {
+        let m = Monomial::from_vars([Var(1), Var(4), Var(9)]);
+        assert!(m.contains(Var(4)));
+        assert!(!m.contains(Var(5)));
+        assert_eq!(
+            m.without(Var(4)).expect("present"),
+            Monomial::from_vars([Var(1), Var(9)])
+        );
+        assert!(m.without(Var(5)).is_none());
+    }
+
+    #[test]
+    fn rename_collapses() {
+        let m = Monomial::from_vars([Var(1), Var(4)]);
+        assert_eq!(m.rename(Var(4), Var(1)), Monomial::var(Var(1)));
+        assert_eq!(m.rename(Var(4), Var(7)), Monomial::from_vars([Var(1), Var(7)]));
+        assert_eq!(m.rename(Var(9), Var(7)), m);
+    }
+
+    #[test]
+    fn degree_lex_order() {
+        let one = Monomial::one();
+        let x0 = Monomial::var(Var(0));
+        let x9 = Monomial::var(Var(9));
+        let x0x1 = Monomial::from_vars([Var(0), Var(1)]);
+        let x0x2 = Monomial::from_vars([Var(0), Var(2)]);
+        let mut v = vec![x0x2.clone(), x9.clone(), one.clone(), x0x1.clone(), x0.clone()];
+        v.sort();
+        assert_eq!(v, vec![one, x0, x9, x0x1, x0x2]);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Monomial::one().to_string(), "1");
+        assert_eq!(
+            Monomial::from_vars([Var(2), Var(0)]).to_string(),
+            "x0*x2"
+        );
+    }
+}

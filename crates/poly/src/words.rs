@@ -1,0 +1,100 @@
+//! Word-level value polynomials: `⟨·⟩` (unsigned) and `[·]₂` (two's
+//! complement) from Sect. II-B of the paper.
+
+use crate::{Poly, Var};
+
+/// The unsigned interpretation `⟨a_{n−1}, …, a_0⟩ = Σ a_i·2^i` of a bit
+/// vector, as a polynomial. `bits[0]` is the least significant bit.
+///
+/// # Examples
+///
+/// ```
+/// use sbif_poly::{unsigned_word, Poly, Var};
+/// use sbif_apint::Int;
+///
+/// let w = unsigned_word(&[Var(0), Var(1), Var(2)]);
+/// assert_eq!(w.eval_bits(&[true, false, true]), Int::from(5));
+/// ```
+pub fn unsigned_word(bits: &[Var]) -> Poly {
+    let mut acc = Poly::zero();
+    for (i, &v) in bits.iter().enumerate() {
+        acc += &Poly::from_var(v).shl(i as u32);
+    }
+    acc
+}
+
+/// The two's-complement interpretation
+/// `[a_n, …, a_0]₂ = Σ_{i<n} a_i·2^i − a_n·2^n`, as a polynomial.
+/// `bits[0]` is the least significant bit; the last entry is the sign bit.
+///
+/// # Examples
+///
+/// ```
+/// use sbif_poly::{signed_word, Var};
+/// use sbif_apint::Int;
+///
+/// let w = signed_word(&[Var(0), Var(1), Var(2)]);
+/// assert_eq!(w.eval_bits(&[true, true, true]), Int::from(-1));
+/// assert_eq!(w.eval_bits(&[true, true, false]), Int::from(3));
+/// ```
+///
+/// # Panics
+///
+/// Panics if `bits` is empty.
+pub fn signed_word(bits: &[Var]) -> Poly {
+    assert!(!bits.is_empty(), "signed word needs at least the sign bit");
+    let n = bits.len() - 1;
+    let mut acc = Poly::zero();
+    for (i, &v) in bits[..n].iter().enumerate() {
+        acc += &Poly::from_var(v).shl(i as u32);
+    }
+    acc -= &Poly::from_var(bits[n]).shl(n as u32);
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbif_apint::Int;
+
+    fn bits_of(x: u32, n: usize) -> Vec<bool> {
+        (0..n).map(|i| (x >> i) & 1 == 1).collect()
+    }
+
+    #[test]
+    fn unsigned_word_all_values() {
+        let vars: Vec<Var> = (0..4).map(Var).collect();
+        let w = unsigned_word(&vars);
+        for x in 0u32..16 {
+            assert_eq!(w.eval_bits(&bits_of(x, 4)), Int::from(x));
+        }
+    }
+
+    #[test]
+    fn signed_word_all_values() {
+        let vars: Vec<Var> = (0..4).map(Var).collect();
+        let w = signed_word(&vars);
+        for x in 0u32..16 {
+            let expect = if x >= 8 { x as i64 - 16 } else { x as i64 };
+            assert_eq!(w.eval_bits(&bits_of(x, 4)), Int::from(expect));
+        }
+    }
+
+    #[test]
+    fn single_bit_words() {
+        assert_eq!(unsigned_word(&[Var(0)]), Poly::from_var(Var(0)));
+        // one-bit signed word is just −a₀·2⁰
+        assert_eq!(signed_word(&[Var(0)]), -Poly::from_var(Var(0)));
+    }
+
+    #[test]
+    fn empty_unsigned_is_zero() {
+        assert!(unsigned_word(&[]).is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "sign bit")]
+    fn empty_signed_panics() {
+        let _ = signed_word(&[]);
+    }
+}

@@ -1,0 +1,40 @@
+//! A tiny DIMACS front end for the CDCL solver.
+//!
+//! Usage: `cargo run -p sbif-sat --release --example solve_dimacs <file.cnf> [max_conflicts]`
+//!
+//! Prints `SATISFIABLE` with a model line (DIMACS `v` format), or
+//! `UNSATISFIABLE`, or `UNKNOWN` when the conflict budget runs out.
+
+use sbif_sat::dimacs::read_dimacs;
+use sbif_sat::{Budget, Lit, SolveResult, Var};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let path = args.next().ok_or("usage: solve_dimacs <file.cnf> [max_conflicts]")?;
+    let budget = match args.next() {
+        Some(n) => Budget::new().with_conflicts(n.parse()?),
+        None => Budget::new(),
+    };
+    let cnf = read_dimacs(&std::fs::read_to_string(&path)?)?;
+    let mut solver = cnf.into_solver();
+    match solver.solve_with(&[], budget) {
+        SolveResult::Sat => {
+            println!("s SATISFIABLE");
+            print!("v");
+            for i in 0..cnf.num_vars {
+                let v = Var(i as u32);
+                let val = solver.model_value(v).unwrap_or(false);
+                print!(" {}", Lit::with_polarity(v, val).to_dimacs());
+            }
+            println!(" 0");
+        }
+        SolveResult::Unsat => println!("s UNSATISFIABLE"),
+        SolveResult::Unknown => println!("s UNKNOWN"),
+    }
+    let st = solver.stats();
+    eprintln!(
+        "c {} conflicts, {} decisions, {} propagations, {} restarts",
+        st.conflicts, st.decisions, st.propagations, st.restarts
+    );
+    Ok(())
+}

@@ -1,0 +1,157 @@
+//! DIMACS CNF reading and writing.
+
+use crate::{Lit, Solver};
+use std::fmt;
+use std::fmt::Write as _;
+
+/// A parsed CNF formula.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Cnf {
+    /// Declared number of variables.
+    pub num_vars: usize,
+    /// The clauses.
+    pub clauses: Vec<Vec<Lit>>,
+}
+
+impl Cnf {
+    /// Loads this formula into a fresh [`Solver`].
+    pub fn into_solver(&self) -> Solver {
+        let mut s = Solver::new();
+        for _ in 0..self.num_vars {
+            s.new_var();
+        }
+        for c in &self.clauses {
+            s.add_clause(c.iter().copied());
+        }
+        s
+    }
+}
+
+/// Error produced while parsing DIMACS text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseDimacsError {
+    /// 1-based line of the problem.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseDimacsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dimacs parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseDimacsError {}
+
+/// Parses DIMACS CNF text.
+///
+/// # Errors
+///
+/// Returns [`ParseDimacsError`] on malformed headers, non-integer tokens,
+/// or variables exceeding the declared count.
+pub fn read_dimacs(text: &str) -> Result<Cnf, ParseDimacsError> {
+    let mut cnf = Cnf::default();
+    let mut header_seen = false;
+    let mut current: Vec<Lit> = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('p') {
+            if header_seen {
+                return Err(ParseDimacsError { line: lineno, message: "duplicate header".into() });
+            }
+            let parts: Vec<&str> = rest.split_whitespace().collect();
+            if parts.len() != 3 || parts[0] != "cnf" {
+                return Err(ParseDimacsError {
+                    line: lineno,
+                    message: "expected `p cnf <vars> <clauses>`".into(),
+                });
+            }
+            cnf.num_vars = parts[1].parse().map_err(|_| ParseDimacsError {
+                line: lineno,
+                message: format!("bad variable count {:?}", parts[1]),
+            })?;
+            header_seen = true;
+            continue;
+        }
+        if !header_seen {
+            return Err(ParseDimacsError { line: lineno, message: "clause before header".into() });
+        }
+        for tok in line.split_whitespace() {
+            let x: i64 = tok.parse().map_err(|_| ParseDimacsError {
+                line: lineno,
+                message: format!("bad literal {tok:?}"),
+            })?;
+            if x == 0 {
+                cnf.clauses.push(std::mem::take(&mut current));
+            } else {
+                if x.unsigned_abs() as usize > cnf.num_vars {
+                    return Err(ParseDimacsError {
+                        line: lineno,
+                        message: format!("literal {x} exceeds declared variable count"),
+                    });
+                }
+                current.push(Lit::from_dimacs(x));
+            }
+        }
+    }
+    if !current.is_empty() {
+        cnf.clauses.push(current);
+    }
+    Ok(cnf)
+}
+
+/// Serializes a formula to DIMACS CNF text.
+pub fn write_dimacs(cnf: &Cnf) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "p cnf {} {}", cnf.num_vars, cnf.clauses.len());
+    for c in &cnf.clauses {
+        for l in c {
+            let _ = write!(out, "{} ", l.to_dimacs());
+        }
+        out.push_str("0\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SolveResult;
+
+    #[test]
+    fn roundtrip() {
+        let text = "c comment\np cnf 3 2\n1 -2 0\n2 3 0\n";
+        let cnf = read_dimacs(text).expect("parses");
+        assert_eq!(cnf.num_vars, 3);
+        assert_eq!(cnf.clauses.len(), 2);
+        let back = read_dimacs(&write_dimacs(&cnf)).expect("parses");
+        assert_eq!(back, cnf);
+    }
+
+    #[test]
+    fn solve_parsed_formula() {
+        let cnf = read_dimacs("p cnf 2 3\n1 2 0\n-1 0\n-2 1 0\n").expect("parses");
+        let mut s = cnf.into_solver();
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(read_dimacs("1 2 0\n").is_err());
+        assert!(read_dimacs("p cnf x 2\n").is_err());
+        assert!(read_dimacs("p cnf 1 1\n5 0\n").is_err());
+        assert!(read_dimacs("p cnf 1 1\np cnf 1 1\n").is_err());
+        assert!(read_dimacs("p cnf 1 1\nfoo 0\n").is_err());
+    }
+
+    #[test]
+    fn clause_without_terminator_is_kept() {
+        let cnf = read_dimacs("p cnf 2 1\n1 2\n").expect("parses");
+        assert_eq!(cnf.clauses.len(), 1);
+    }
+}

@@ -1,0 +1,152 @@
+//! Solver variables and literals.
+
+use std::fmt;
+use std::ops::Not;
+
+/// A solver variable (0-based dense index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub u32);
+
+impl Var {
+    /// The dense index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A literal: a variable or its negation, packed as `var << 1 | sign`.
+///
+/// # Examples
+///
+/// ```
+/// use sbif_sat::{Lit, Var};
+///
+/// let v = Var(3);
+/// let p = Lit::pos(v);
+/// assert_eq!(!p, Lit::neg(v));
+/// assert_eq!(p.var(), v);
+/// assert!(!p.is_negated());
+/// assert!((!p).is_negated());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// The positive literal of `v`.
+    #[inline]
+    pub fn pos(v: Var) -> Lit {
+        Lit(v.0 << 1)
+    }
+
+    /// The negative literal of `v`.
+    #[inline]
+    pub fn neg(v: Var) -> Lit {
+        Lit(v.0 << 1 | 1)
+    }
+
+    /// A literal of `v` with the given polarity (`true` = positive).
+    #[inline]
+    pub fn with_polarity(v: Var, positive: bool) -> Lit {
+        if positive {
+            Lit::pos(v)
+        } else {
+            Lit::neg(v)
+        }
+    }
+
+    /// The underlying variable.
+    #[inline]
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// `true` iff this is a negated literal.
+    #[inline]
+    pub fn is_negated(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// Dense index usable for watch lists (`2·var + sign`).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Converts from a DIMACS-style signed integer (non-zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x == 0`.
+    pub fn from_dimacs(x: i64) -> Lit {
+        assert!(x != 0, "DIMACS literal 0 is the clause terminator");
+        let v = Var((x.unsigned_abs() - 1) as u32);
+        Lit::with_polarity(v, x > 0)
+    }
+
+    /// Converts to a DIMACS-style signed integer.
+    pub fn to_dimacs(self) -> i64 {
+        let v = self.var().0 as i64 + 1;
+        if self.is_negated() {
+            -v
+        } else {
+            v
+        }
+    }
+}
+
+impl Not for Lit {
+    type Output = Lit;
+    #[inline]
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_negated() {
+            write!(f, "¬")?;
+        }
+        write!(f, "{}", self.var())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packing_roundtrip() {
+        for i in [0u32, 1, 17, 1000] {
+            let v = Var(i);
+            assert_eq!(Lit::pos(v).var(), v);
+            assert_eq!(Lit::neg(v).var(), v);
+            assert!(Lit::neg(v).is_negated());
+            assert!(!Lit::pos(v).is_negated());
+            assert_eq!(!(!Lit::pos(v)), Lit::pos(v));
+            assert_ne!(Lit::pos(v).index(), Lit::neg(v).index());
+        }
+    }
+
+    #[test]
+    fn dimacs_roundtrip() {
+        for x in [1i64, -1, 5, -42] {
+            assert_eq!(Lit::from_dimacs(x).to_dimacs(), x);
+        }
+        assert_eq!(Lit::from_dimacs(1), Lit::pos(Var(0)));
+        assert_eq!(Lit::from_dimacs(-3), Lit::neg(Var(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "terminator")]
+    fn dimacs_zero_rejected() {
+        let _ = Lit::from_dimacs(0);
+    }
+}

@@ -1,0 +1,163 @@
+//! Adversarial incremental-SAT fuzzing vs brute force (scratch).
+
+use sbif_sat::{Budget, Lit, SolveResult, Solver, Var};
+
+struct Rng(u64);
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+fn brute(clauses: &[Vec<i64>], assumps: &[i64], nvars: u32) -> bool {
+    (0u64..(1 << nvars)).any(|m| {
+        let val = |x: i64| {
+            let v = (m >> (x.unsigned_abs() - 1)) & 1 == 1;
+            if x > 0 {
+                v
+            } else {
+                !v
+            }
+        };
+        assumps.iter().all(|&a| val(a)) && clauses.iter().all(|c| c.iter().any(|&x| val(x)))
+    })
+}
+
+#[test]
+fn fuzz_incremental_with_assumptions() {
+    for seed in 1..400u64 {
+        let mut rng = Rng(seed.wrapping_mul(0x9E3779B97F4A7C15) | 1);
+        let nvars = 5 + rng.below(4) as u32; // 5..8
+        let mut s = Solver::new();
+        for _ in 0..nvars {
+            s.new_var();
+        }
+        let mut clauses: Vec<Vec<i64>> = Vec::new();
+        let mut ok = true;
+        // several rounds: add clauses, solve with random assumptions
+        for _round in 0..6 {
+            let add = rng.below(5) + 1;
+            for _ in 0..add {
+                let len = rng.below(3) + 1;
+                let c: Vec<i64> = (0..len)
+                    .map(|_| {
+                        let v = rng.below(nvars as u64) as i64 + 1;
+                        if rng.below(2) == 0 {
+                            v
+                        } else {
+                            -v
+                        }
+                    })
+                    .collect();
+                clauses.push(c.clone());
+                let r = s.add_clause(c.iter().map(|&x| Lit::from_dimacs(x)));
+                ok = ok && r;
+            }
+            let nass = rng.below(4);
+            let assumps: Vec<i64> = (0..nass)
+                .map(|_| {
+                    let v = rng.below(nvars as u64) as i64 + 1;
+                    if rng.below(2) == 0 {
+                        v
+                    } else {
+                        -v
+                    }
+                })
+                .collect();
+            let expect = brute(&clauses, &assumps, nvars);
+            let lits: Vec<Lit> = assumps.iter().map(|&x| Lit::from_dimacs(x)).collect();
+            let got = if ok { s.solve_assuming(&lits) } else { SolveResult::Unsat };
+            let want = if expect { SolveResult::Sat } else { SolveResult::Unsat };
+            assert_eq!(got, want, "seed {seed} clauses {clauses:?} assumps {assumps:?}");
+            if got == SolveResult::Sat {
+                for c in &clauses {
+                    assert!(
+                        c.iter().any(|&x| s.model_lit(Lit::from_dimacs(x)) == Some(true)),
+                        "seed {seed}: model violates {c:?}"
+                    );
+                }
+                for &a in &assumps {
+                    assert_eq!(
+                        s.model_lit(Lit::from_dimacs(a)),
+                        Some(true),
+                        "seed {seed}: model violates assumption {a}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn fuzz_reduce_db_stress() {
+    // Force many conflicts so reduce_db actually runs, on a hard-but-
+    // solvable instance family; verify the answer stays correct.
+    for n in [8u32, 9] {
+        // pigeonhole n into n-1: UNSAT, thousands of conflicts
+        let holes = (n - 1) as i64;
+        let pigeons = n as i64;
+        let mut s = Solver::new();
+        for _ in 0..holes * pigeons {
+            s.new_var();
+        }
+        let p = |i: i64, j: i64| Lit::from_dimacs(i * holes + j + 1);
+        for i in 0..pigeons {
+            s.add_clause((0..holes).map(|j| p(i, j)));
+        }
+        for j in 0..holes {
+            for i1 in 0..pigeons {
+                for i2 in (i1 + 1)..pigeons {
+                    s.add_clause([!p(i1, j), !p(i2, j)]);
+                }
+            }
+        }
+        let r = s.solve_with(&[], Budget::new());
+        assert_eq!(r, SolveResult::Unsat, "PHP {pigeons}->{holes}");
+        assert!(s.stats().conflicts > 2000, "want reduce_db exercised");
+    }
+}
+
+#[test]
+fn fuzz_larger_planted_sat_with_restarts() {
+    // Larger satisfiable instances: answer + model must check out even
+    // after restarts and DB reductions.
+    for seed in 1..30u64 {
+        let mut rng = Rng(seed.wrapping_mul(0xD1B54A32D192ED03) | 1);
+        let nvars = 60u32;
+        let planted: Vec<bool> = (0..nvars).map(|_| rng.below(2) == 1).collect();
+        let mut s = Solver::new();
+        let vars: Vec<Var> = (0..nvars).map(|_| s.new_var()).collect();
+        let mut clauses = Vec::new();
+        for _ in 0..250 {
+            let mut c: Vec<Lit> = (0..3)
+                .map(|_| {
+                    let v = rng.below(nvars as u64) as usize;
+                    Lit::with_polarity(vars[v], rng.below(2) == 1)
+                })
+                .collect();
+            // ensure satisfied by planted assignment
+            let sat = c.iter().any(|l| {
+                planted[l.var().index()] ^ l.is_negated()
+            });
+            if !sat {
+                let v = c[0].var();
+                c[0] = Lit::with_polarity(v, planted[v.index()]);
+            }
+            clauses.push(c.clone());
+            s.add_clause(c);
+        }
+        assert_eq!(s.solve(), SolveResult::Sat, "seed {seed}");
+        for c in &clauses {
+            assert!(
+                c.iter().any(|&l| s.model_lit(l) == Some(true)),
+                "seed {seed}: model violates clause"
+            );
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! A Pentium-FDIV moment: inject a bug into a divider and watch the
+//! verifier refute it with a concrete counterexample.
+//!
+//! The injected bug flips one gate deep inside a CAS stage — the kind of
+//! subtle defect simulation easily misses (the original FDIV bug escaped
+//! Intel's validation and surfaced only on rare operand combinations).
+//!
+//! Run with: `cargo run --release --example buggy_divider`
+
+use sbif::netlist::{BinOp, Gate, Netlist, Sig};
+use sbif::prelude::*;
+
+/// Rebuilds the divider with gate `victim` replaced by a wrong operator.
+fn inject_bug(div: &Divider, victim: Sig) -> Divider {
+    let mut nl = Netlist::new();
+    let mut map: Vec<Sig> = Vec::new();
+    for s in div.netlist.signals() {
+        let remapped = match div.netlist.gate(s).clone() {
+            Gate::Input => nl.input(div.netlist.name(s).expect("named")),
+            Gate::Const(v) => nl.push_gate(Gate::Const(v)),
+            Gate::Unary(op, a) => nl.push_gate(Gate::Unary(op, map[a.index()])),
+            Gate::Binary(op, a, b) => {
+                let op = if s == victim {
+                    match op {
+                        BinOp::Xor => BinOp::Xnor, // flipped polarity
+                        BinOp::And => BinOp::Or,
+                        other => other,
+                    }
+                } else {
+                    op
+                };
+                nl.push_gate(Gate::Binary(op, map[a.index()], map[b.index()]))
+            }
+        };
+        map.push(remapped);
+    }
+    for (name, s) in div.netlist.outputs() {
+        nl.add_output(name, map[s.index()]);
+    }
+    let remap_word = |w: &sbif::netlist::Word| w.iter().map(|s| map[s.index()]).collect();
+    Divider {
+        netlist: nl,
+        n: div.n,
+        kind: div.kind,
+        dividend: remap_word(&div.dividend),
+        divisor: remap_word(&div.divisor),
+        quotient: remap_word(&div.quotient),
+        remainder: remap_word(&div.remainder),
+        stage_signs: div.stage_signs.iter().map(|s| map[s.index()]).collect(),
+        constraint: map[div.constraint.index()],
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 6;
+    let good = nonrestoring_divider(n);
+    // Victim: an XOR in the middle of stage 3's CAS row.
+    let victim = good
+        .netlist
+        .signals()
+        .filter(|&s| matches!(good.netlist.gate(s), Gate::Binary(BinOp::Xor, ..)))
+        .nth(40)
+        .expect("divider has plenty of XOR gates");
+    println!("injecting a bug at {victim} of the {n}-bit divider …");
+    let buggy = inject_bug(&good, victim);
+
+    let report = DividerVerifier::new(&buggy).verify()?;
+    println!("vc1 outcome: {:?}", report.vc1.outcome);
+    if let Some(vc2) = &report.vc2 {
+        println!("vc2 holds: {}", vc2.holds);
+        if let Some(cex) = &vc2.counterexample {
+            println!("vc2 counterexample bits: {cex:?}");
+        }
+    }
+    match &report.vc1.outcome {
+        Vc1Outcome::Refuted { dividend, divisor } => {
+            println!("\nconcrete failing division: {dividend} / {divisor}");
+            let r0: u64 = dividend.to_string().parse()?;
+            let d: u64 = divisor.to_string().parse()?;
+            let out = buggy.netlist.eval_u64(&[("r0", r0), ("d", d)]);
+            println!(
+                "  buggy circuit says {r0} / {d} = {} remainder {} (truth: {} remainder {})",
+                out["q"],
+                out["r"],
+                r0 / d,
+                r0 % d
+            );
+            assert!(out["q"] != r0 / d || out["r"] != r0 % d);
+        }
+        Vc1Outcome::Proven => {
+            // The flipped gate may be unobservable through vc1 but must
+            // then be caught by vc2.
+            assert!(!report.is_correct(), "the bug must be caught by vc1 or vc2");
+        }
+        Vc1Outcome::Inconclusive { residual_terms } => {
+            println!("vc1 inconclusive with {residual_terms} residual terms");
+            assert!(!report.is_correct());
+        }
+    }
+    println!("\n✔ the injected bug was caught");
+    Ok(())
+}

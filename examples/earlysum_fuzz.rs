@@ -1,0 +1,129 @@
+//! Stress the atomic-block early-sum/self-reference path: adders and
+//! dividers with MAXIMAL ground-truth equivalence classes (every true
+//! equivalence/antivalence under C merged), then check the rewriting
+//! residual still agrees with the spec on every valid input.
+
+use sbif::core::gatepoly::var_of;
+use sbif::core::rewrite::{BackwardRewriter, RewriteConfig};
+use sbif::core::sbif::EquivClasses;
+use sbif::core::spec::divider_spec;
+use sbif::netlist::build::{full_adder, nonrestoring_divider, restoring_divider, ripple_adder};
+use sbif::netlist::{Netlist, Sig, Word};
+use sbif::poly::Poly;
+
+fn ground_truth_classes(
+    nl: &Netlist,
+    sat_inputs: &[u64],
+    ni: usize,
+    order: impl Fn(usize) -> usize,
+) -> EquivClasses {
+    let ns = nl.num_signals();
+    let mut tables: Vec<Vec<bool>> = vec![Vec::new(); ns];
+    for &bits in sat_inputs {
+        let inputs: Vec<bool> = (0..ni).map(|i| (bits >> i) & 1 == 1).collect();
+        let vals = nl.simulate_bool(&inputs);
+        for s in 0..ns {
+            tables[s].push(vals[s]);
+        }
+    }
+    let mut classes = EquivClasses::new(ns);
+    for ai in 0..ns {
+        let a = order(ai);
+        for bi in 0..ai {
+            let b = order(bi);
+            let eqv = tables[a] == tables[b];
+            let anti = tables[a].iter().zip(&tables[b]).all(|(x, y)| x != y);
+            if eqv || anti {
+                classes.union(Sig(a as u32), Sig(b as u32), anti);
+            }
+        }
+    }
+    classes.compress();
+    classes
+}
+
+fn check(nl: &Netlist, spec: &Poly, sat_inputs: &[u64], ni: usize, tag: &str) {
+    // forward order and reverse order of merging (different rep choices
+    // do not matter for reps = min index, but union sequences differ)
+    for ord in 0..2usize {
+        let ns = nl.num_signals();
+        let classes = ground_truth_classes(nl, sat_inputs, ni, |i| {
+            if ord == 0 { i } else { ns - 1 - i }
+        });
+        for atomic in [true, false] {
+            let (residual, _) = BackwardRewriter::new(nl)
+                .with_classes(&classes)
+                .with_config(RewriteConfig { atomic_blocks: atomic, ..RewriteConfig::default() })
+                .run(spec.clone())
+                .expect("no limit");
+            for &bits in sat_inputs {
+                let inputs: Vec<bool> = (0..ni).map(|i| (bits >> i) & 1 == 1).collect();
+                let vals = nl.simulate_bool(&inputs);
+                let got = residual.eval(|v| vals[v.index()]);
+                let want = spec.eval(|v| vals[v.index()]);
+                assert_eq!(
+                    got, want,
+                    "UNSOUND {tag} (atomic={atomic} ord={ord}): bits={bits:b}\nresidual={residual}"
+                );
+            }
+        }
+    }
+}
+
+fn main() {
+    // 1. Ripple adder with complementary operands b = !a: forces
+    //    sum/carry antivalences inside the FAs.
+    {
+        let mut nl = Netlist::new();
+        let a = Word::inputs(&mut nl, "a", 4);
+        let cin = nl.input("cin");
+        let b_bits: Vec<Sig> = a.iter().map(|&s| nl.not(s)).collect();
+        let b = Word::new(b_bits);
+        let (sum, cout) = ripple_adder(&mut nl, &a, &b, cin);
+        let ni = 5;
+        let sat: Vec<u64> = (0..(1 << ni)).collect();
+        let mut spec = Poly::from_var(var_of(cout)).shl(4);
+        for (i, &s) in sum.iter().enumerate() {
+            spec = &spec + &Poly::from_var(var_of(s)).shl(i as u32);
+        }
+        for (i, &s) in a.iter().enumerate() {
+            spec = &spec - &Poly::from_var(var_of(s)).shl(i as u32);
+            spec = &spec - &Poly::from_var(var_of(b[i])).shl(i as u32);
+        }
+        spec = &spec - &Poly::from_var(var_of(cin));
+        check(&nl, &spec, &sat, ni, "adder-complement");
+    }
+
+    // 2. Single FA with b = !a (sum = !cin, carry = cin ... degenerate
+    //    classes all over).
+    {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let c = nl.input("c");
+        let b = nl.not(a);
+        let (s, co) = full_adder(&mut nl, a, b, c);
+        let spec = &(&Poly::from_var(var_of(co)).shl(1) + &Poly::from_var(var_of(s)))
+            - &(&(&Poly::from_var(var_of(a)) + &Poly::from_var(var_of(b)))
+                + &Poly::from_var(var_of(c)));
+        let sat: Vec<u64> = (0..4).collect();
+        check(&nl, &spec, &sat, 2, "fa-complement");
+    }
+
+    // 3. Dividers with maximal classes under C.
+    for n in [2usize, 3] {
+        for kind in 0..2 {
+            let div = if kind == 0 { nonrestoring_divider(n) } else { restoring_divider(n) };
+            let nl = &div.netlist;
+            let ni = nl.inputs().len();
+            let sat: Vec<u64> = (0..(1u64 << ni))
+                .filter(|&bits| {
+                    let inputs: Vec<bool> = (0..ni).map(|i| (bits >> i) & 1 == 1).collect();
+                    nl.simulate_bool(&inputs)[div.constraint.index()]
+                })
+                .collect();
+            let spec = divider_spec(&div);
+            check(nl, &spec, &sat, ni, &format!("divider n={n} kind={kind}"));
+        }
+    }
+    println!("early-sum stress passed");
+}

@@ -1,0 +1,206 @@
+//! Adversarial soundness fuzz: mutate divider gates, keep mutants that
+//! provably differ on constraint-satisfying inputs, and check the
+//! verifier never claims Proven/correct for them.
+
+use sbif::core::rewrite::RewriteConfig;
+use sbif::core::verify::{DividerVerifier, VerifierConfig, Vc1Outcome};
+use sbif::netlist::build::{nonrestoring_divider, restoring_divider, Divider};
+use sbif::netlist::{BinOp, Gate, Netlist, Sig, UnaryOp};
+
+fn rebuild(div: &Divider, victim: Sig, scheme: u32) -> Divider {
+    let mut broken = div.clone();
+    let mut nl = Netlist::new();
+    let mut map = Vec::new();
+    for s in div.netlist.signals() {
+        let g = div.netlist.gate(s).clone();
+        let remapped = match g {
+            Gate::Input => {
+                let name = div.netlist.name(s).expect("named").to_string();
+                nl.input(&name)
+            }
+            Gate::Const(v) => nl.push_gate(Gate::Const(v)),
+            Gate::Unary(op, a) => {
+                let op = if s == victim {
+                    match op {
+                        UnaryOp::Not => UnaryOp::Buf,
+                        UnaryOp::Buf => UnaryOp::Not,
+                    }
+                } else {
+                    op
+                };
+                nl.push_gate(Gate::Unary(op, map[a.index()]))
+            }
+            Gate::Binary(op, a, b) => {
+                // wire mutation schemes: replace a fanin with a nearby signal
+                if s == victim && scheme >= 3 {
+                    let delta = if scheme == 3 { 1 } else { 2 };
+                    let na = if a.index() >= delta { Sig(a.0 - delta as u32) } else { a };
+                    let g = nl.push_gate(Gate::Binary(op, map[na.index()], map[b.index()]));
+                    map.push(g);
+                    continue;
+                }
+                let op = if s == victim {
+                    match scheme {
+                        0 => match op {
+                            BinOp::And => BinOp::Or,
+                            BinOp::Or => BinOp::And,
+                            BinOp::Xor => BinOp::Xnor,
+                            BinOp::Xnor => BinOp::Xor,
+                            BinOp::Nand => BinOp::Nor,
+                            BinOp::Nor => BinOp::Nand,
+                            BinOp::AndNot => BinOp::Or,
+                        },
+                        1 => match op {
+                            BinOp::And => BinOp::Xor,
+                            BinOp::Or => BinOp::Xor,
+                            BinOp::Xor => BinOp::Or,
+                            BinOp::Xnor => BinOp::Nand,
+                            BinOp::Nand => BinOp::Xnor,
+                            BinOp::Nor => BinOp::Xnor,
+                            BinOp::AndNot => BinOp::And,
+                        },
+                        _ => match op {
+                            // swap operands makes no diff for symmetric ops;
+                            // instead AndNot polarity flip
+                            BinOp::AndNot => BinOp::Nor,
+                            BinOp::And => BinOp::Nand,
+                            BinOp::Or => BinOp::Nor,
+                            BinOp::Xor => BinOp::And,
+                            BinOp::Xnor => BinOp::Or,
+                            BinOp::Nand => BinOp::And,
+                            BinOp::Nor => BinOp::Or,
+                        },
+                    }
+                } else {
+                    op
+                };
+                nl.push_gate(Gate::Binary(op, map[a.index()], map[b.index()]))
+            }
+        };
+        map.push(remapped);
+    }
+    for (name, s) in div.netlist.outputs() {
+        nl.add_output(name, map[s.index()]);
+    }
+    broken.netlist = nl;
+    broken.dividend = div.dividend.iter().map(|s| map[s.index()]).collect();
+    broken.divisor = div.divisor.iter().map(|s| map[s.index()]).collect();
+    broken.quotient = div.quotient.iter().map(|s| map[s.index()]).collect();
+    broken.remainder = div.remainder.iter().map(|s| map[s.index()]).collect();
+    broken.stage_signs = div.stage_signs.iter().map(|s| map[s.index()]).collect();
+    broken.constraint = map[div.constraint.index()];
+    broken
+}
+
+/// Exhaustively check vc1 (Q*D + R == R0, R signed two's complement) on
+/// every constraint-satisfying input. Returns true iff it is violated
+/// somewhere.
+fn vc1_violated(orig: &Divider, mutant: &Divider) -> bool {
+    let ni = orig.netlist.inputs().len();
+    let w = mutant.remainder.len();
+    for bits in 0u64..(1u64 << ni) {
+        let inputs: Vec<bool> = (0..ni).map(|i| (bits >> i) & 1 == 1).collect();
+        let va = orig.netlist.simulate_bool(&inputs);
+        if !va[orig.constraint.index()] {
+            continue;
+        }
+        let vb = mutant.netlist.simulate_bool(&inputs);
+        let word = |w2: &sbif::netlist::Word| -> i64 {
+            w2.iter()
+                .enumerate()
+                .map(|(i, &s)| (vb[s.index()] as i64) << i)
+                .sum()
+        };
+        let q = word(&mutant.quotient);
+        let d = word(&mutant.divisor);
+        let r0 = word(&mutant.dividend);
+        let mut r = word(&mutant.remainder);
+        if (r >> (w - 1)) & 1 == 1 {
+            r -= 1 << w;
+        }
+        if q * d + r != r0 {
+            return true;
+        }
+    }
+    false
+}
+
+/// Exhaustively compare original and mutant on every constraint-satisfying
+/// input assignment. Returns true iff any q/r output differs.
+fn differs_on_valid(orig: &Divider, mutant: &Divider) -> bool {
+    let ni = orig.netlist.inputs().len();
+    assert!(ni <= 20);
+    for bits in 0u64..(1u64 << ni) {
+        let inputs: Vec<bool> = (0..ni).map(|i| (bits >> i) & 1 == 1).collect();
+        let va = orig.netlist.simulate_bool(&inputs);
+        if !va[orig.constraint.index()] {
+            continue; // invalid input for the original spec
+        }
+        let vb = mutant.netlist.simulate_bool(&inputs);
+        let qa: Vec<bool> = orig.quotient.iter().map(|s| va[s.index()]).collect();
+        let qb: Vec<bool> = mutant.quotient.iter().map(|s| vb[s.index()]).collect();
+        let ra: Vec<bool> = orig.remainder.iter().map(|s| va[s.index()]).collect();
+        let rb: Vec<bool> = mutant.remainder.iter().map(|s| vb[s.index()]).collect();
+        if qa != qb || ra != rb {
+            return true;
+        }
+    }
+    false
+}
+
+fn main() {
+    let mut false_proven = 0usize;
+    let mut checked = 0usize;
+    for n in [3usize, 4] {
+        for kind in 0..2 {
+            let div = if kind == 0 { nonrestoring_divider(n) } else { restoring_divider(n) };
+            let victims: Vec<Sig> = div
+                .netlist
+                .signals()
+                .filter(|&s| {
+                    matches!(div.netlist.gate(s), Gate::Binary(..) | Gate::Unary(..))
+                })
+                .collect();
+            for scheme in 0..5u32 {
+                for &victim in &victims {
+                    let mutant = rebuild(&div, victim, scheme);
+                    if !differs_on_valid(&div, &mutant) {
+                        continue; // not a behavioral bug
+                    }
+                    checked += 1;
+                    let cfg = VerifierConfig {
+                        smoke_check: false,
+                        rewrite: RewriteConfig {
+                            max_terms: Some(2_000_000),
+                            ..RewriteConfig::default()
+                        },
+                        ..VerifierConfig::default()
+                    };
+                    match DividerVerifier::new(&mutant).with_config(cfg).verify() {
+                        Ok(report) => {
+                            if report.is_correct() {
+                                false_proven += 1;
+                                println!(
+                                    "FALSE PROVEN: n={n} kind={kind} scheme={scheme} victim={victim} vc1={:?} vc2={:?}",
+                                    report.vc1.outcome,
+                                    report.vc2.as_ref().map(|r| r.holds)
+                                );
+                            } else if matches!(report.vc1.outcome, Vc1Outcome::Proven)
+                                && vc1_violated(&div, &mutant)
+                            {
+                                false_proven += 1;
+                                println!(
+                                    "vc1 UNSOUND PROVEN: n={n} kind={kind} scheme={scheme} victim={victim}"
+                                );
+                            }
+                        }
+                        Err(e) => {
+                            println!("blowup n={n} kind={kind} scheme={scheme} victim={victim}: {e}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+    println!("checked {checked} behavior-changing mutants, {false_proven} false-proven");
+}

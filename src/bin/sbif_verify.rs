@@ -1,0 +1,159 @@
+//! `sbif-verify` — fully automatic divider verification from the command
+//! line.
+//!
+//! ```text
+//! sbif-verify <netlist.bnet> [--vc1-only] [--no-sbif] [--max-terms N]
+//! sbif-verify --demo <n>          # generate and verify an n-bit divider
+//! sbif-verify --emit <n> <file>   # write an n-bit divider as BNET
+//! ```
+//!
+//! The netlist must expose the Definition-1 interface: input buses
+//! `r0[0..2n−3]` and `d[0..n−2]` (the sign bits are constant 0 per the
+//! paper) and output buses `q[0..n−1]` and `r[0..2n−2]`.
+//!
+//! Exit code 0 = verified correct, 1 = refuted/failed, 2 = usage or
+//! resource error.
+
+use sbif::core::verify::{DividerVerifier, Vc1Outcome, VerifierConfig};
+use sbif::netlist::build::{nonrestoring_divider, Divider};
+use sbif::netlist::io::{read_bnet, write_bnet};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: sbif-verify <netlist.bnet> [--vc1-only] [--no-sbif] [--max-terms N]\n\
+         \x20      sbif-verify --demo <n>\n\
+         \x20      sbif-verify --emit <n> <file>"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        return usage();
+    }
+    // --emit: write a generated divider and exit.
+    if args[0] == "--emit" {
+        let (Some(n), Some(path)) = (args.get(1), args.get(2)) else {
+            return usage();
+        };
+        let Ok(n) = n.parse::<usize>() else { return usage() };
+        if n < 2 {
+            eprintln!("divisor width must be at least 2 bits");
+            return ExitCode::from(2);
+        }
+        let div = nonrestoring_divider(n);
+        if let Err(e) = std::fs::write(path, write_bnet(&div.netlist)) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+        println!("wrote the {n}-bit non-restoring divider to {path}");
+        return ExitCode::SUCCESS;
+    }
+
+    // Load or generate the divider.
+    let mut config = VerifierConfig::default();
+    let mut divider: Option<Divider> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--demo" => {
+                let Some(n) = args.get(i + 1).and_then(|s| s.parse::<usize>().ok()) else {
+                    return usage();
+                };
+                if n < 2 {
+                    eprintln!("divisor width must be at least 2 bits");
+                    return ExitCode::from(2);
+                }
+                divider = Some(nonrestoring_divider(n));
+                i += 2;
+            }
+            "--vc1-only" => {
+                config.check_vc2 = false;
+                i += 1;
+            }
+            "--no-sbif" => {
+                config.use_sbif = false;
+                i += 1;
+            }
+            "--max-terms" => {
+                let Some(limit) = args.get(i + 1).and_then(|s| s.parse::<usize>().ok())
+                else {
+                    return usage();
+                };
+                config.rewrite.max_terms = Some(limit);
+                i += 2;
+            }
+            path if !path.starts_with('-') => {
+                let text = match std::fs::read_to_string(path) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        eprintln!("cannot read {path}: {e}");
+                        return ExitCode::from(2);
+                    }
+                };
+                let nl = match read_bnet(&text) {
+                    Ok(nl) => nl,
+                    Err(e) => {
+                        eprintln!("{path}: {e}");
+                        return ExitCode::from(2);
+                    }
+                };
+                match Divider::from_netlist(nl) {
+                    Ok(d) => divider = Some(d),
+                    Err(e) => {
+                        eprintln!("{path}: {e}");
+                        return ExitCode::from(2);
+                    }
+                }
+                i += 1;
+            }
+            _ => return usage(),
+        }
+    }
+    let Some(divider) = divider else { return usage() };
+
+    println!(
+        "verifying {}-bit divider ({} signals) against Definition 1 …",
+        divider.n,
+        divider.netlist.num_signals()
+    );
+    let report = match DividerVerifier::new(&divider).with_config(config).verify() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("aborted: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match &report.vc1.outcome {
+        Vc1Outcome::Proven => println!(
+            "vc1 (R0 = Q*D + R): PROVEN   [{} equivalences, peak {} terms, {:?} + {:?}]",
+            report.vc1.sbif.proven,
+            report.vc1.rewrite.peak_terms,
+            report.vc1.sbif_time,
+            report.vc1.rewrite_time
+        ),
+        Vc1Outcome::Refuted { dividend, divisor } => {
+            println!("vc1 (R0 = Q*D + R): REFUTED  [{dividend} / {divisor} divides wrong]")
+        }
+        Vc1Outcome::Inconclusive { residual_terms } => {
+            println!("vc1 (R0 = Q*D + R): UNDECIDED [{residual_terms} residual terms]")
+        }
+    }
+    if let Some(vc2) = &report.vc2 {
+        println!(
+            "vc2 (0 <= R < D):   {}  [peak {} BDD nodes, {:?}]",
+            if vc2.holds { "PROVEN " } else { "REFUTED" },
+            vc2.peak_nodes,
+            report.vc2_time
+        );
+    }
+    if report.is_correct() {
+        println!("VERDICT: correct");
+        ExitCode::SUCCESS
+    } else {
+        println!("VERDICT: NOT correct");
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,46 @@
+//! # SBIF — fully automatic divider verification
+//!
+//! Facade crate re-exporting the whole workspace: a reproduction of
+//! *"Symbolic Computer Algebra and SAT Based Information Forwarding for
+//! Fully Automatic Divider Verification"* (Scholl & Konrad, DAC 2020).
+//!
+//! See the individual crates for the subsystems:
+//!
+//! * [`apint`] — arbitrary-precision signed integers,
+//! * [`poly`] — pseudo-Boolean polynomials,
+//! * [`netlist`] — gate-level circuits and divider generators,
+//! * [`sat`] — a CDCL SAT solver with Tseitin encoding,
+//! * [`bdd`] — an ROBDD package with dynamic reordering,
+//! * [`core`] — SCA backward rewriting + SBIF + the full verifier,
+//! * [`cec`] — the SAT-miter and SAT-sweeping baselines.
+//!
+//! # Examples
+//!
+//! Verify an 8-bit non-restoring divider end to end:
+//!
+//! ```
+//! use sbif::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let divider = nonrestoring_divider(8);
+//! let report = DividerVerifier::new(&divider).verify()?;
+//! assert!(report.is_correct());
+//! # Ok(())
+//! # }
+//! ```
+
+pub use sbif_apint as apint;
+pub use sbif_bdd as bdd;
+pub use sbif_cec as cec;
+pub use sbif_core as core;
+pub use sbif_netlist as netlist;
+pub use sbif_poly as poly;
+pub use sbif_sat as sat;
+
+/// One-stop imports for the common verification flow.
+pub mod prelude {
+    pub use sbif_apint::Int;
+    pub use sbif_core::prelude::*;
+    pub use sbif_netlist::prelude::*;
+    pub use sbif_poly::{Monomial, Poly, Var};
+}

@@ -1,0 +1,38 @@
+#![allow(dead_code)]
+//! Shared helpers for the integration tests.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sbif::netlist::{Netlist, Sig};
+
+/// Builds a random combinational netlist with `inputs` inputs and `gates`
+/// gates; the last signal is exposed as output `o`.
+pub fn random_netlist(seed: u64, inputs: usize, gates: usize) -> Netlist {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut nl = Netlist::new();
+    let mut pool: Vec<Sig> = (0..inputs).map(|i| nl.input(&format!("x[{i}]"))).collect();
+    for _ in 0..gates {
+        let a = pool[rng.gen_range(0..pool.len())];
+        let b = pool[rng.gen_range(0..pool.len())];
+        let g = match rng.gen_range(0..8) {
+            0 => nl.and(a, b),
+            1 => nl.or(a, b),
+            2 => nl.xor(a, b),
+            3 => nl.nand(a, b),
+            4 => nl.nor(a, b),
+            5 => nl.xnor(a, b),
+            6 => nl.and_not(a, b),
+            _ => nl.not(a),
+        };
+        pool.push(g);
+    }
+    let out = *pool.last().expect("non-empty");
+    nl.add_output("o", out);
+    nl
+}
+
+/// Evaluates a divider netlist on `(r0, d)` and returns `(q, r)`.
+pub fn run_divider(div: &sbif::netlist::build::Divider, r0: u64, d: u64) -> (u64, u64) {
+    let out = div.netlist.eval_u64(&[("r0", r0), ("d", d)]);
+    (out["q"], out["r"])
+}

@@ -1,0 +1,129 @@
+//! Cross-checks between the substrates on random circuits: simulation,
+//! Tseitin encoding, BDDs, BNET round-trips and gate polynomials must all
+//! describe the same functions.
+
+mod common;
+
+use common::random_netlist;
+use sbif::bdd::{bdd_of_signal, BddManager};
+use sbif::core::gatepoly::{gate_poly, var_of};
+use sbif::netlist::io::{read_bnet, write_bnet};
+use sbif::sat::{NetlistEncoder, SolveResult, Solver};
+
+#[test]
+fn bdd_matches_simulation_on_random_circuits() {
+    for seed in 0..10u64 {
+        let nl = random_netlist(seed, 6, 40);
+        let out = nl.output("o").expect("o");
+        let mut m = BddManager::new();
+        let f = bdd_of_signal(&mut m, &nl, out);
+        for bits in 0u64..64 {
+            let inputs: Vec<bool> = (0..6).map(|i| (bits >> i) & 1 == 1).collect();
+            let sim = nl.simulate_bool(&inputs);
+            let got = m.eval(f, |v| sim[v as usize]);
+            // For input variables the BDD must agree with the output.
+            let direct = m.eval(f, |v| {
+                let s = sbif::netlist::Sig(v);
+                let name = nl.name(s).expect("bdd vars are inputs here");
+                let idx: usize = name[2..name.len() - 1].parse().expect("x[i]");
+                (bits >> idx) & 1 == 1
+            });
+            assert_eq!(got, sim[out.index()], "seed {seed} bits {bits:b}");
+            assert_eq!(direct, sim[out.index()], "seed {seed} bits {bits:b}");
+        }
+    }
+}
+
+#[test]
+fn tseitin_matches_simulation_on_random_circuits() {
+    for seed in 0..10u64 {
+        let nl = random_netlist(seed + 50, 5, 30);
+        let out = nl.output("o").expect("o");
+        let mut solver = Solver::new();
+        let mut enc = NetlistEncoder::new(&nl);
+        enc.encode_cone(&mut solver, &nl, out);
+        for bits in 0u64..32 {
+            let inputs: Vec<bool> = (0..5).map(|i| (bits >> i) & 1 == 1).collect();
+            let sim = nl.simulate_bool(&inputs);
+            let mut assumptions = Vec::new();
+            for (i, &s) in nl.inputs().iter().enumerate() {
+                let l = enc.lit(&mut solver, s);
+                assumptions.push(if inputs[i] { l } else { !l });
+            }
+            let lo = enc.lit(&mut solver, out);
+            assumptions.push(if sim[out.index()] { lo } else { !lo });
+            assert_eq!(
+                solver.solve_assuming(&assumptions),
+                SolveResult::Sat,
+                "seed {seed} bits {bits:b}: CNF contradicts simulation"
+            );
+            let last = assumptions.len() - 1;
+            assumptions[last] = !assumptions[last];
+            assert_eq!(
+                solver.solve_assuming(&assumptions),
+                SolveResult::Unsat,
+                "seed {seed} bits {bits:b}: CNF allows the wrong output"
+            );
+        }
+    }
+}
+
+#[test]
+fn bnet_roundtrip_on_random_circuits() {
+    for seed in 0..10u64 {
+        let nl = random_netlist(seed + 200, 6, 50);
+        let text = write_bnet(&nl);
+        let back = read_bnet(&text).expect("parses");
+        assert_eq!(back.gates(), nl.gates(), "seed {seed}");
+        let out = nl.output("o").expect("o").index();
+        for bits in [0u64, 1, 17, 42, 63] {
+            let inputs: Vec<bool> = (0..6).map(|i| (bits >> i) & 1 == 1).collect();
+            assert_eq!(
+                nl.simulate_bool(&inputs)[out],
+                back.simulate_bool(&inputs)[out],
+                "seed {seed} bits {bits:b}"
+            );
+        }
+    }
+}
+
+#[test]
+fn gate_polynomials_match_simulation() {
+    for seed in 0..6u64 {
+        let nl = random_netlist(seed + 300, 4, 20);
+        for bits in 0u64..16 {
+            let inputs: Vec<bool> = (0..4).map(|i| (bits >> i) & 1 == 1).collect();
+            let sim = nl.simulate_bool(&inputs);
+            for s in nl.signals() {
+                let Some(p) = gate_poly(&nl, s) else { continue };
+                let got = p.eval(|v| sim[v.index()]);
+                assert_eq!(
+                    got,
+                    sbif::apint::Int::from(sim[s.index()]),
+                    "seed {seed} bits {bits:b} sig {s}"
+                );
+                let _ = var_of(s);
+            }
+        }
+    }
+}
+
+#[test]
+fn weakest_precondition_matches_bruteforce() {
+    // WPC(pred) computed by backward substitution equals the direct
+    // "simulate then evaluate predicate" function.
+    use sbif::bdd::weakest_precondition;
+    for seed in 0..6u64 {
+        let nl = random_netlist(seed + 400, 5, 25);
+        let out = nl.output("o").expect("o");
+        let mut m = BddManager::new();
+        let pred = m.var(out.0); // predicate: output is 1
+        let (wpc, _) = weakest_precondition(&mut m, &nl, pred);
+        for bits in 0u64..32 {
+            let inputs: Vec<bool> = (0..5).map(|i| (bits >> i) & 1 == 1).collect();
+            let sim = nl.simulate_bool(&inputs);
+            let got = m.eval(wpc, |v| sim[v as usize]);
+            assert_eq!(got, sim[out.index()], "seed {seed} bits {bits:b}");
+        }
+    }
+}
