@@ -1,9 +1,9 @@
 //! Benchmarks of the BDD package: construction, composition, sifting.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use sbif_bench::harness::Harness;
 use sbif_bdd::{unsigned_less, BddManager, BddWord};
 
-fn bench_bdd(c: &mut Criterion) {
+fn bench_bdd(c: &mut Harness) {
     c.bench_function("bdd_comparator_interleaved_16", |b| {
         b.iter(|| {
             let mut m = BddManager::new();
@@ -32,9 +32,7 @@ fn bench_bdd(c: &mut Criterion) {
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_bdd
+fn main() {
+    let mut harness = Harness::from_args();
+    bench_bdd(&mut harness);
 }
-criterion_main!(benches);

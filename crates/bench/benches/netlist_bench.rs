@@ -1,11 +1,11 @@
 //! Benchmarks of the netlist substrate: generation, simulation, I/O
 //! (Table II col. 4 measures the read path).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use sbif_bench::harness::Harness;
 use sbif_netlist::build::nonrestoring_divider;
 use sbif_netlist::io::{read_bnet, write_bnet};
 
-fn bench_netlist(c: &mut Criterion) {
+fn bench_netlist(c: &mut Harness) {
     c.bench_function("build_divider_n32", |b| {
         b.iter(|| std::hint::black_box(nonrestoring_divider(32)))
     });
@@ -25,9 +25,7 @@ fn bench_netlist(c: &mut Criterion) {
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_netlist
+fn main() {
+    let mut harness = Harness::from_args();
+    bench_netlist(&mut harness);
 }
-criterion_main!(benches);

@@ -1,6 +1,6 @@
 //! Microbenchmarks of the pseudo-Boolean polynomial kernel.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use sbif_bench::harness::Harness;
 use sbif_apint::Int;
 use sbif_poly::{Monomial, Poly, Var};
 
@@ -19,7 +19,7 @@ fn sample_poly(vars: u32, terms: u64) -> Poly {
     Poly::from_pairs(pairs)
 }
 
-fn bench_poly(c: &mut Criterion) {
+fn bench_poly(c: &mut Harness) {
     let a = sample_poly(24, 400);
     let b = sample_poly(24, 60);
     c.bench_function("poly_add_400_60", |bench| {
@@ -34,7 +34,6 @@ fn bench_poly(c: &mut Criterion) {
         bench.iter_batched(
             || a.clone(),
             |p| p.substitute(Var(3), std::hint::black_box(&gate)),
-            BatchSize::SmallInput,
         )
     });
     c.bench_function("poly_eval_400", |bench| {
@@ -42,5 +41,7 @@ fn bench_poly(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_poly);
-criterion_main!(benches);
+fn main() {
+    let mut harness = Harness::from_args();
+    bench_poly(&mut harness);
+}

@@ -1,13 +1,13 @@
 //! Benchmarks of backward rewriting: the no-SBIF blow-up (Table I) and
 //! the SBIF-assisted runs (Table II col. 7).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use sbif_bench::harness::Harness;
 use sbif_core::rewrite::{BackwardRewriter, RewriteConfig};
 use sbif_core::sbif::{divider_sim_words, forward_information, SbifConfig};
 use sbif_core::spec::divider_spec;
 use sbif_netlist::build::nonrestoring_divider;
 
-fn bench_rewrite(c: &mut Criterion) {
+fn bench_rewrite(c: &mut Harness) {
     for n in [4usize, 5] {
         let div = nonrestoring_divider(n);
         c.bench_function(&format!("rewrite_plain_n{n}"), |b| {
@@ -46,9 +46,7 @@ fn bench_rewrite(c: &mut Criterion) {
     }
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_rewrite
+fn main() {
+    let mut harness = Harness::from_args();
+    bench_rewrite(&mut harness);
 }
-criterion_main!(benches);

@@ -1,12 +1,12 @@
 //! Benchmarks of the CDCL solver on divider miters (Table II col. 2) and
 //! classic hard instances.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use sbif_bench::harness::Harness;
 use sbif_cec::{sat_cec, CecResult};
 use sbif_netlist::build::{divider_miter, nonrestoring_divider, restoring_divider};
 use sbif_sat::{Budget, Lit, Solver};
 
-fn bench_sat(c: &mut Criterion) {
+fn bench_sat(c: &mut Harness) {
     for n in [3usize, 4] {
         let a = nonrestoring_divider(n);
         let b = restoring_divider(n);
@@ -41,9 +41,7 @@ fn bench_sat(c: &mut Criterion) {
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_sat
+fn main() {
+    let mut harness = Harness::from_args();
+    bench_sat(&mut harness);
 }
-criterion_main!(benches);

@@ -1,10 +1,10 @@
 //! Benchmarks of Alg. 1 (Table II cols. 5–6).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use sbif_bench::harness::Harness;
 use sbif_core::sbif::{divider_sim_words, forward_information, SbifConfig};
 use sbif_netlist::build::nonrestoring_divider;
 
-fn bench_sbif(c: &mut Criterion) {
+fn bench_sbif(c: &mut Harness) {
     for n in [8usize, 16] {
         let div = nonrestoring_divider(n);
         let sim = divider_sim_words(&div, 1, 2);
@@ -28,9 +28,7 @@ fn bench_sbif(c: &mut Criterion) {
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_sbif
+fn main() {
+    let mut harness = Harness::from_args();
+    bench_sbif(&mut harness);
 }
-criterion_main!(benches);

@@ -1,10 +1,10 @@
 //! Benchmarks of the BDD-based vc2 proof (Table II cols. 8–9).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use sbif_bench::harness::Harness;
 use sbif_core::vc2::{check_vc2, Vc2Config};
 use sbif_netlist::build::nonrestoring_divider;
 
-fn bench_vc2(c: &mut Criterion) {
+fn bench_vc2(c: &mut Harness) {
     for n in [4usize, 8] {
         let div = nonrestoring_divider(n);
         c.bench_function(&format!("vc2_n{n}"), |b| {
@@ -17,9 +17,7 @@ fn bench_vc2(c: &mut Criterion) {
     }
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_vc2
+fn main() {
+    let mut harness = Harness::from_args();
+    bench_vc2(&mut harness);
 }
-criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! A minimal benchmark harness (criterion stand-in).
+//!
+//! The workspace builds with no network access, so the `[[bench]]`
+//! targets run on this self-contained runner instead of crates.io
+//! `criterion`: every target sets `harness = false` and drives a
+//! [`Harness`] from its `main`. The API mirrors the criterion subset the
+//! benches use (`bench_function`, `Bencher::iter`, `iter_batched`), so a
+//! bench body reads the same either way.
+//!
+//! Methodology: one untimed warm-up call, then timed iterations until
+//! both a minimum sample count and a wall-clock budget are met; the
+//! reported figures are the minimum and median sample. The budget can be
+//! tightened for smoke runs via `SBIF_BENCH_BUDGET_MS`.
+
+use std::time::{Duration, Instant};
+
+/// Per-`iter` sampling limits.
+const MIN_SAMPLES: usize = 3;
+const MAX_SAMPLES: usize = 200;
+const DEFAULT_BUDGET: Duration = Duration::from_millis(1_000);
+
+/// The benchmark runner: registers named functions, times them, prints
+/// one aligned report line each.
+pub struct Harness {
+    filter: Option<String>,
+    budget: Duration,
+}
+
+impl Harness {
+    /// Builds a runner from the process arguments: the first argument
+    /// that is not a `-`-flag (cargo passes `--bench`) filters benchmark
+    /// names by substring.
+    pub fn from_args() -> Self {
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        let budget = std::env::var("SBIF_BENCH_BUDGET_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .map_or(DEFAULT_BUDGET, Duration::from_millis);
+        Harness { filter, budget }
+    }
+
+    /// Runs `f` under `name` unless filtered out, and prints the result.
+    pub fn bench_function(&mut self, name: &str, f: impl FnOnce(&mut Bencher)) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher { samples: Vec::new(), budget: self.budget };
+        f(&mut b);
+        let mut sorted = b.samples.clone();
+        sorted.sort_unstable();
+        match sorted.as_slice() {
+            [] => println!("{name:<40} (no samples)"),
+            s => {
+                let min = s[0];
+                let median = s[s.len() / 2];
+                println!(
+                    "{name:<40} min {:>12.6} ms   median {:>12.6} ms   ({} samples)",
+                    min.as_secs_f64() * 1e3,
+                    median.as_secs_f64() * 1e3,
+                    s.len()
+                );
+            }
+        }
+    }
+}
+
+/// Collects timed samples of one routine.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly (one untimed warm-up first).
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        self.iter_batched(|| (), |()| routine());
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; only the routine is
+    /// inside the timed region.
+    pub fn iter_batched<S, R>(
+        &mut self,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> R,
+    ) {
+        std::hint::black_box(routine(setup()));
+        let start = Instant::now();
+        loop {
+            let input = setup();
+            let t = Instant::now();
+            let out = routine(input);
+            self.samples.push(t.elapsed());
+            std::hint::black_box(out);
+            if self.samples.len() >= MAX_SAMPLES
+                || (self.samples.len() >= MIN_SAMPLES && start.elapsed() >= self.budget)
+            {
+                return;
+            }
+        }
+    }
+}

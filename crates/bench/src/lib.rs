@@ -12,6 +12,8 @@
 //! Absolute times differ from the paper's hardware; the shapes are the
 //! reproduction target.
 
+pub mod harness;
+
 use sbif_cec::{sat_cec, sweep_cec, CecResult, SweepConfig};
 use sbif_core::rewrite::{BackwardRewriter, RewriteConfig};
 use sbif_core::sbif::{divider_sim_words, forward_information, SbifConfig};

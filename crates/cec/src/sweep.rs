@@ -2,9 +2,8 @@
 //! col. 3).
 
 use crate::{model_counterexample, CecOutcome, CecResult, CecStats};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use sbif_netlist::{Netlist, Sig};
+use sbif_rng::XorShift64;
 use sbif_sat::{Budget, Lit, NetlistEncoder, SolveResult, Solver};
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
@@ -113,7 +112,7 @@ pub fn sweep_cec(
     };
 
     // Initial random simulation.
-    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut rng = XorShift64::seed_from_u64(cfg.seed);
     let mut signatures: Vec<Vec<u64>> = vec![Vec::new(); nl.num_signals()];
     let simulate_word = |signatures: &mut Vec<Vec<u64>>, words: &[u64]| {
         let vals = nl.simulate64(words);
@@ -122,7 +121,7 @@ pub fn sweep_cec(
         }
     };
     for _ in 0..cfg.sim_words {
-        let words: Vec<u64> = (0..nl.inputs().len()).map(|_| rng.gen()).collect();
+        let words: Vec<u64> = (0..nl.inputs().len()).map(|_| rng.next_u64()).collect();
         simulate_word(&mut signatures, &words);
     }
 

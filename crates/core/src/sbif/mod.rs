@@ -19,6 +19,7 @@
 //! exponential blow-up of Sect. III.
 
 mod classes;
+mod parallel;
 mod sim;
 
 pub use classes::EquivClasses;
@@ -26,8 +27,6 @@ pub use sim::divider_sim_words;
 
 use sbif_netlist::{Gate, Netlist, Sig};
 use sbif_sat::{Budget, Lit, NetlistEncoder, SolveResult, Solver};
-use std::collections::HashMap;
-use std::time::Instant;
 
 /// Configuration of Alg. 1.
 #[derive(Debug, Clone, Copy)]
@@ -41,11 +40,26 @@ pub struct SbifConfig {
     /// How many distinct candidate partners to try per signal before
     /// giving up on it.
     pub max_candidates: usize,
+    /// Worker threads for the window checks. `1` runs fully in-process;
+    /// any value produces bit-identical classes (see [`parallel`]'s
+    /// module documentation — checks are speculated on worker threads
+    /// and committed in the sequential order).
+    pub jobs: usize,
+    /// Number of window counterexamples buffered before they are folded
+    /// into the simulation signatures as a refinement word, splitting
+    /// candidate buckets so spurious pairs are not re-checked.
+    pub cex_flush: usize,
 }
 
 impl Default for SbifConfig {
     fn default() -> Self {
-        SbifConfig { window_depth: 4, sat_conflicts: 2_000, max_candidates: 4 }
+        SbifConfig {
+            window_depth: 4,
+            sat_conflicts: 2_000,
+            max_candidates: 4,
+            jobs: 1,
+            cex_flush: 64,
+        }
     }
 }
 
@@ -66,7 +80,15 @@ pub struct SbifStats {
     pub refuted: usize,
     /// Checks abandoned on the conflict budget.
     pub unknown: usize,
-    /// Wall-clock microseconds spent inside SAT checks.
+    /// Counterexample-driven signature refinements: rounds in which
+    /// buffered SAT models were simulated and the candidate buckets
+    /// rebuilt.
+    pub refinements: usize,
+    /// Speculative worker checks whose results the deterministic commit
+    /// could not reuse (always 0 when `jobs` = 1).
+    pub wasted_checks: usize,
+    /// Wall-clock microseconds spent inside SAT checks, summed over all
+    /// worker threads.
     pub sat_micros: u128,
 }
 
@@ -105,8 +127,6 @@ pub fn forward_information(
     sim_words: &[Vec<u64>],
     cfg: SbifConfig,
 ) -> (EquivClasses, SbifStats) {
-    let mut classes = EquivClasses::new(nl.num_signals());
-    let mut stats = SbifStats::default();
     let num_words = sim_words.first().map_or(0, |v| v.len());
 
     // Line 2 of Alg. 1: simulate; build per-signal signatures.
@@ -119,58 +139,21 @@ pub fn forward_information(
         }
     }
 
-    // Normalized key: complement the signature when its first bit is set,
-    // so equivalent AND antivalent signals share a bucket.
-    let norm = |sig: &[u64]| -> (Vec<u64>, bool) {
-        let flipped = sig.first().is_some_and(|w| w & 1 == 1);
-        if flipped {
-            (sig.iter().map(|w| !w).collect(), true)
-        } else {
-            (sig.to_vec(), false)
-        }
-    };
+    // Lines 5–11: candidate detection and window checking, fanned out
+    // over `cfg.jobs` workers with a deterministic sequential commit.
+    parallel::run(nl, constraint, signatures, &cfg)
+}
 
-    let mut buckets: HashMap<Vec<u64>, Vec<(Sig, bool)>> = HashMap::new();
+/// A `rep()` answer an encoding depended on: `(queried, representative,
+/// polarity)`. The parallel commit replays these to decide whether a
+/// speculative result is still valid.
+pub(super) type RepTouch = (Sig, Sig, bool);
 
-    // Lines 5–11: process signals in topological order.
-    for a in nl.signals() {
-        let (key, flip_a) = norm(&signatures[a.index()]);
-        let bucket = buckets.entry(key).or_default();
-        let mut tried: Vec<Sig> = Vec::new();
-        // Try the topologically nearest candidates first: their windows
-        // overlap the most with a's, so the SAT checks are the most
-        // likely to succeed within depth d_max.
-        for &(b, flip_b) in bucket.iter().rev() {
-            if tried.len() >= cfg.max_candidates {
-                break;
-            }
-            let (rb, _) = classes.rep(b);
-            let (ra, _) = classes.rep(a);
-            if ra == rb || tried.contains(&rb) {
-                continue; // already same class, or representative tried
-            }
-            tried.push(rb);
-            stats.candidates += 1;
-            // ε: candidate equivalence iff the normalization flips agree.
-            let same_polarity = flip_a == flip_b;
-            let t0 = Instant::now();
-            let result = check_window_pair(nl, &classes, constraint, a, b, same_polarity, &cfg);
-            stats.sat_micros += t0.elapsed().as_micros();
-            stats.sat_checks += 1;
-            match result {
-                SolveResult::Unsat => {
-                    stats.proven += 1;
-                    classes.union(a, b, !same_polarity);
-                    break;
-                }
-                SolveResult::Sat => stats.refuted += 1,
-                SolveResult::Unknown => stats.unknown += 1,
-            }
-        }
-        bucket.push((a, flip_a));
-    }
-    classes.compress();
-    (classes, stats)
+/// The representative of `s`, recorded in the touch log.
+fn rep_logged(classes: &EquivClasses, touched: &mut Vec<RepTouch>, s: Sig) -> (Sig, bool) {
+    let (r, p) = classes.rep(s);
+    touched.push((s, r, p));
+    (r, p)
 }
 
 /// One windowed SAT check (line 10 of Alg. 1):
@@ -181,7 +164,12 @@ pub fn forward_information(
 /// (information forwarding); window frontiers are free variables, which
 /// keeps UNSAT answers sound. The constraint cone is encoded over the
 /// original gates.
-fn check_window_pair(
+///
+/// Returns the solver verdict, the touch log (every representative the
+/// encoding depended on — the encoding, and hence the verdict and model,
+/// is a pure function of it), and for SAT verdicts the primary-input
+/// counterexample.
+pub(super) fn check_window_pair(
     nl: &Netlist,
     classes: &EquivClasses,
     constraint: Option<Sig>,
@@ -189,9 +177,10 @@ fn check_window_pair(
     b: Sig,
     same_polarity: bool,
     cfg: &SbifConfig,
-) -> SolveResult {
+) -> (SolveResult, Vec<RepTouch>, Option<Vec<bool>>) {
     let mut solver = Solver::new();
     let mut enc = NetlistEncoder::new(nl);
+    let mut touched: Vec<RepTouch> = Vec::new();
     if let Some(c) = constraint {
         enc.encode_cone(&mut solver, nl, c);
         let lc = enc.lit(&mut solver, c);
@@ -200,7 +189,16 @@ fn check_window_pair(
     // Encode both windows with representative-mapped fanins.
     let mut encoded: std::collections::HashSet<Sig> = std::collections::HashSet::new();
     for root in [a, b] {
-        encode_window(nl, classes, &mut solver, &mut enc, &mut encoded, root, cfg.window_depth);
+        encode_window(
+            nl,
+            classes,
+            &mut solver,
+            &mut enc,
+            &mut encoded,
+            &mut touched,
+            root,
+            cfg.window_depth,
+        );
     }
     let la = enc.lit(&mut solver, a);
     let lb = enc.lit(&mut solver, b);
@@ -212,18 +210,31 @@ fn check_window_pair(
         solver.add_clause([la, !lb]);
         solver.add_clause([!la, lb]);
     }
-    solver.solve_with(&[], Budget::new().with_conflicts(cfg.sat_conflicts))
+    let result = solver.solve_with(&[], Budget::new().with_conflicts(cfg.sat_conflicts));
+    let cex = (result == SolveResult::Sat).then(|| {
+        nl.inputs()
+            .iter()
+            .map(|&s| {
+                enc.peek_lit(s).and_then(|l| solver.model_lit(l)).unwrap_or(false)
+            })
+            .collect()
+    });
+    touched.sort_unstable_by_key(|&(s, r, p)| (s.0, r.0, p));
+    touched.dedup();
+    (result, touched, cex)
 }
 
 /// Encodes the window `W_root` of depth `d_max`: a BFS backwards from
 /// `root` where every predecessor is first mapped to its class
 /// representative.
+#[allow(clippy::too_many_arguments)]
 fn encode_window(
     nl: &Netlist,
     classes: &EquivClasses,
     solver: &mut Solver,
     enc: &mut NetlistEncoder,
     encoded: &mut std::collections::HashSet<Sig>,
+    touched: &mut Vec<RepTouch>,
     root: Sig,
     depth: usize,
 ) {
@@ -239,7 +250,7 @@ fn encode_window(
                 solver.add_clause([if v { out } else { !out }]);
             }
             Gate::Unary(op, x) => {
-                let lx = mapped_lit(classes, solver, enc, x);
+                let lx = mapped_lit(classes, solver, enc, touched, x);
                 let rhs = match op {
                     sbif_netlist::UnaryOp::Buf => lx,
                     sbif_netlist::UnaryOp::Not => !lx,
@@ -247,16 +258,16 @@ fn encode_window(
                 solver.add_clause([!out, rhs]);
                 solver.add_clause([out, !rhs]);
                 if d < depth {
-                    queue.push((classes.rep(x).0, d + 1));
+                    queue.push((rep_logged(classes, touched, x).0, d + 1));
                 }
             }
             Gate::Binary(op, x, y) => {
-                let lx = mapped_lit(classes, solver, enc, x);
-                let ly = mapped_lit(classes, solver, enc, y);
+                let lx = mapped_lit(classes, solver, enc, touched, x);
+                let ly = mapped_lit(classes, solver, enc, touched, y);
                 add_binop_clauses(solver, op, out, lx, ly);
                 if d < depth {
-                    queue.push((classes.rep(x).0, d + 1));
-                    queue.push((classes.rep(y).0, d + 1));
+                    queue.push((rep_logged(classes, touched, x).0, d + 1));
+                    queue.push((rep_logged(classes, touched, y).0, d + 1));
                 }
             }
         }
@@ -269,9 +280,10 @@ fn mapped_lit(
     classes: &EquivClasses,
     solver: &mut Solver,
     enc: &mut NetlistEncoder,
+    touched: &mut Vec<RepTouch>,
     s: Sig,
 ) -> Lit {
-    let (r, neg) = classes.rep(s);
+    let (r, neg) = rep_logged(classes, touched, s);
     let l = enc.lit(solver, r);
     if neg {
         !l

@@ -1,0 +1,407 @@
+//! Parallel execution of the Alg. 1 window checks.
+//!
+//! The windowed SAT checks dominate SBIF's runtime and are independent
+//! of each other *except* through the growing equivalence classes: the
+//! check for signal `a` encodes window fanins by their current class
+//! representatives, and its outcome can merge classes that later checks
+//! then observe. A naive fan-out would therefore change which facts are
+//! provable — and the paper's flow depends on the classes being exactly
+//! the ones Alg. 1 computes.
+//!
+//! The engine here keeps the sequential semantics bit-identical while
+//! still using every core:
+//!
+//! * the signal order is cut into fixed-size **chunks**; each chunk is a
+//!   work item sent over an [`mpsc`] channel to one of `jobs` worker
+//!   threads (plain [`std::thread::scope`] — no external dependencies);
+//! * a worker owns its own [`Solver`](sbif_sat::Solver) per check and
+//!   runs the chunk **speculatively** against a snapshot of the classes,
+//!   recording for every check the set of `rep()` queries it made (the
+//!   *touch set*) and, for SAT outcomes, the counterexample model;
+//! * the coordinator **commits** chunks strictly in order, replaying the
+//!   sequential candidate scan: a speculative result is reused iff every
+//!   representative its touch set recorded still has the same value —
+//!   otherwise the check is re-run in place. Merges therefore happen in
+//!   exactly the sequential order, so the resulting [`EquivClasses`]
+//!   (and all logical statistics) are identical for any `jobs`;
+//! * counterexamples stream back with the results and are folded into
+//!   the simulation signatures at deterministic flush points (before a
+//!   committed signal, once [`SbifConfig::cex_flush`] of them are
+//!   buffered), splitting candidate buckets so spurious pairs are never
+//!   SAT-checked again.
+
+use super::{check_window_pair, EquivClasses, RepTouch, SbifConfig, SbifStats};
+use sbif_netlist::{Netlist, Sig};
+use sbif_sat::SolveResult;
+use std::collections::HashMap;
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Instant;
+
+/// Signals per speculative work item. Small enough to keep snapshots
+/// fresh (stale snapshots waste checks), large enough to amortise the
+/// per-chunk channel round trip.
+const CHUNK: usize = 64;
+
+/// Candidate buckets of one *signature epoch* (between two refinement
+/// flushes the signatures, and hence the buckets, are immutable and can
+/// be shared with the workers through an `Arc`).
+struct Epoch {
+    /// Bucket id per signal.
+    key_id: Vec<u32>,
+    /// Signature normalization flip per signal (ε of Alg. 1).
+    flip: Vec<bool>,
+    /// Bucket members in ascending signal order.
+    buckets: Vec<Vec<Sig>>,
+}
+
+impl Epoch {
+    /// Candidate partners of `a`: earlier same-bucket signals,
+    /// topologically nearest first.
+    fn candidates(&self, a: Sig) -> impl Iterator<Item = Sig> + '_ {
+        let bucket = &self.buckets[self.key_id[a.index()] as usize];
+        let upto = bucket.partition_point(|b| b.0 < a.0);
+        bucket[..upto].iter().rev().copied()
+    }
+}
+
+/// Buckets signals by their normalized signature (complemented when the
+/// first simulated bit is set, so equivalent and antivalent signals
+/// share a bucket).
+fn build_epoch(signatures: &[Vec<u64>]) -> Epoch {
+    let mut ids: HashMap<Vec<u64>, u32> = HashMap::new();
+    let n = signatures.len();
+    let mut key_id = Vec::with_capacity(n);
+    let mut flip = Vec::with_capacity(n);
+    let mut buckets: Vec<Vec<Sig>> = Vec::new();
+    for (i, sig) in signatures.iter().enumerate() {
+        let f = sig.first().is_some_and(|w| w & 1 == 1);
+        let key: Vec<u64> =
+            if f { sig.iter().map(|w| !w).collect() } else { sig.clone() };
+        let next = buckets.len() as u32;
+        let id = *ids.entry(key).or_insert(next);
+        if id == next {
+            buckets.push(Vec::new());
+        }
+        buckets[id as usize].push(Sig(i as u32));
+        key_id.push(id);
+        flip.push(f);
+    }
+    Epoch { key_id, flip, buckets }
+}
+
+/// One speculative check outcome, keyed by `(a, b, ε)` in the chunk's
+/// result map.
+struct Attempt {
+    result: SolveResult,
+    /// Every `rep()` answer the encoding depended on; the result is
+    /// reusable iff all of them still hold at commit time.
+    touched: Vec<RepTouch>,
+    /// Primary-input counterexample for SAT outcomes.
+    cex: Option<Vec<bool>>,
+}
+
+struct WorkItem {
+    chunk_id: usize,
+    range: std::ops::Range<usize>,
+    snapshot: Arc<EquivClasses>,
+    epoch: Arc<Epoch>,
+}
+
+struct ChunkResult {
+    chunk_id: usize,
+    attempts: HashMap<(u32, u32, bool), Attempt>,
+    /// Worker-side stats: speculative check count and SAT wall-clock.
+    stats: SbifStats,
+}
+
+/// Worker loop: speculatively executes chunks against their snapshots,
+/// maintaining a local class copy so in-chunk merges chain correctly.
+fn worker(
+    nl: &Netlist,
+    constraint: Option<Sig>,
+    cfg: &SbifConfig,
+    rx: &Mutex<Receiver<WorkItem>>,
+    tx: &Sender<ChunkResult>,
+) {
+    loop {
+        let item = match rx.lock().expect("work queue poisoned").recv() {
+            Ok(item) => item,
+            Err(_) => return, // queue closed: done
+        };
+        let mut local: EquivClasses = (*item.snapshot).clone();
+        let mut attempts = HashMap::new();
+        let mut stats = SbifStats::default();
+        for i in item.range.clone() {
+            let a = Sig(i as u32);
+            let mut tried: Vec<Sig> = Vec::new();
+            for b in item.epoch.candidates(a) {
+                if tried.len() >= cfg.max_candidates {
+                    break;
+                }
+                let (ra, _) = local.rep(a);
+                let (rb, _) = local.rep(b);
+                if ra == rb || tried.contains(&rb) {
+                    continue;
+                }
+                tried.push(rb);
+                let eps = item.epoch.flip[i] == item.epoch.flip[b.index()];
+                let t0 = Instant::now();
+                let (result, touched, cex) =
+                    check_window_pair(nl, &local, constraint, a, b, eps, cfg);
+                stats.sat_micros += t0.elapsed().as_micros();
+                stats.sat_checks += 1;
+                let proven = result == SolveResult::Unsat;
+                attempts.insert((a.0, b.0, eps), Attempt { result, touched, cex });
+                if proven {
+                    local.union(a, b, !eps);
+                    break;
+                }
+            }
+        }
+        if tx.send(ChunkResult { chunk_id: item.chunk_id, attempts, stats }).is_err() {
+            return; // coordinator gone
+        }
+    }
+}
+
+/// Folds the buffered counterexamples into the signatures as one
+/// simulation word (repeating them to fill all 64 bit lanes, so no lane
+/// carries an unconstrained all-zero pattern) and rebuilds the buckets.
+fn flush_refinement(
+    nl: &Netlist,
+    signatures: &mut [Vec<u64>],
+    epoch: &mut Arc<Epoch>,
+    pending: &mut Vec<Vec<bool>>,
+    stats: &mut SbifStats,
+) {
+    let words: Vec<u64> = (0..nl.inputs().len())
+        .map(|i| {
+            let mut w = 0u64;
+            for k in 0..64 {
+                if pending[k % pending.len()][i] {
+                    w |= 1 << k;
+                }
+            }
+            w
+        })
+        .collect();
+    let vals = nl.simulate64(&words);
+    for (i, &v) in vals.iter().enumerate() {
+        signatures[i].push(v);
+    }
+    pending.clear();
+    *epoch = Arc::new(build_epoch(signatures));
+    stats.refinements += 1;
+}
+
+/// Commits one signal: the sequential candidate scan of Alg. 1, served
+/// from the speculative cache where its touch sets still hold. Returns
+/// the number of cache hits (for the `wasted_checks` accounting).
+#[allow(clippy::too_many_arguments)]
+fn commit_signal(
+    nl: &Netlist,
+    constraint: Option<Sig>,
+    cfg: &SbifConfig,
+    idx: usize,
+    classes: &mut EquivClasses,
+    stats: &mut SbifStats,
+    signatures: &mut [Vec<u64>],
+    epoch: &mut Arc<Epoch>,
+    pending_cex: &mut Vec<Vec<bool>>,
+    spec: Option<&HashMap<(u32, u32, bool), Attempt>>,
+) -> usize {
+    // Deterministic refinement flush point: between two signals.
+    if !pending_cex.is_empty() && pending_cex.len() >= cfg.cex_flush.max(1) {
+        flush_refinement(nl, signatures, epoch, pending_cex, stats);
+    }
+    let a = Sig(idx as u32);
+    let ep = Arc::clone(epoch);
+    let mut hits = 0;
+    let mut tried: Vec<Sig> = Vec::new();
+    for b in ep.candidates(a) {
+        if tried.len() >= cfg.max_candidates {
+            break;
+        }
+        let (ra, _) = classes.rep(a);
+        let (rb, _) = classes.rep(b);
+        if ra == rb || tried.contains(&rb) {
+            continue;
+        }
+        tried.push(rb);
+        stats.candidates += 1;
+        let eps = ep.flip[idx] == ep.flip[b.index()];
+        let cached = spec.and_then(|m| m.get(&(a.0, b.0, eps))).filter(|att| {
+            att.touched.iter().all(|&(s, r, p)| classes.rep(s) == (r, p))
+        });
+        let (result, cex) = match cached {
+            Some(att) => {
+                hits += 1;
+                (att.result, att.cex.clone())
+            }
+            None => {
+                let t0 = Instant::now();
+                let (result, _, cex) =
+                    check_window_pair(nl, classes, constraint, a, b, eps, cfg);
+                stats.sat_micros += t0.elapsed().as_micros();
+                (result, cex)
+            }
+        };
+        stats.sat_checks += 1;
+        match result {
+            SolveResult::Unsat => {
+                stats.proven += 1;
+                classes.union(a, b, !eps);
+                break;
+            }
+            SolveResult::Sat => {
+                stats.refuted += 1;
+                if let Some(cex) = cex {
+                    pending_cex.push(cex);
+                }
+            }
+            SolveResult::Unknown => stats.unknown += 1,
+        }
+    }
+    hits
+}
+
+/// Runs the candidate detection and window checking over `signatures`
+/// with `cfg.jobs` worker threads (1 = fully in-process). The resulting
+/// classes and logical statistics are identical for every `jobs` value.
+pub(super) fn run(
+    nl: &Netlist,
+    constraint: Option<Sig>,
+    mut signatures: Vec<Vec<u64>>,
+    cfg: &SbifConfig,
+) -> (EquivClasses, SbifStats) {
+    let n = nl.num_signals();
+    let jobs = cfg.jobs.max(1);
+    let mut classes = EquivClasses::new(n);
+    let mut stats = SbifStats::default();
+    let mut epoch = Arc::new(build_epoch(&signatures));
+    let mut pending_cex: Vec<Vec<bool>> = Vec::new();
+
+    if jobs == 1 || n <= CHUNK {
+        for idx in 0..n {
+            commit_signal(
+                nl,
+                constraint,
+                cfg,
+                idx,
+                &mut classes,
+                &mut stats,
+                &mut signatures,
+                &mut epoch,
+                &mut pending_cex,
+                None,
+            );
+        }
+        classes.compress();
+        return (classes, stats);
+    }
+
+    let num_chunks = n.div_ceil(CHUNK);
+    // Bound the dispatch window tightly: every in-flight chunk ahead of
+    // the commit frontier speculates against an ever-staler snapshot, and
+    // merges at a signal's near predecessors (the previous divider stage)
+    // invalidate its cached window checks. `jobs + 2` keeps every worker
+    // busy with minimal lag; larger windows measurably raise
+    // `wasted_checks` without improving utilization.
+    let inflight = jobs + 2;
+    let mut speculated = 0usize;
+    let mut hits = 0usize;
+    std::thread::scope(|scope| {
+        let (work_tx, work_rx) = mpsc::channel::<WorkItem>();
+        let work_rx = Arc::new(Mutex::new(work_rx));
+        let (res_tx, res_rx) = mpsc::channel::<ChunkResult>();
+        for _ in 0..jobs {
+            let rx = Arc::clone(&work_rx);
+            let tx = res_tx.clone();
+            scope.spawn(move || worker(nl, constraint, cfg, &rx, &tx));
+        }
+        drop(res_tx);
+
+        let mut next_dispatch = 0usize;
+        let mut next_commit = 0usize;
+        let mut ready: HashMap<usize, ChunkResult> = HashMap::new();
+        let chunk_range = |c: usize| c * CHUNK..((c + 1) * CHUNK).min(n);
+        let mut workers_alive = true;
+        while next_commit < num_chunks {
+            // Keep a bounded pipeline of chunks in flight; each is
+            // speculated against the freshest committed state.
+            while workers_alive
+                && next_dispatch < num_chunks
+                && next_dispatch < next_commit + inflight
+            {
+                let mut snap = classes.clone();
+                snap.compress();
+                if work_tx
+                    .send(WorkItem {
+                        chunk_id: next_dispatch,
+                        range: chunk_range(next_dispatch),
+                        snapshot: Arc::new(snap),
+                        epoch: Arc::clone(&epoch),
+                    })
+                    .is_err()
+                {
+                    workers_alive = false;
+                    break;
+                }
+                next_dispatch += 1;
+            }
+            if let Some(res) = ready.remove(&next_commit) {
+                stats.sat_micros += res.stats.sat_micros;
+                speculated += res.stats.sat_checks;
+                for idx in chunk_range(next_commit) {
+                    hits += commit_signal(
+                        nl,
+                        constraint,
+                        cfg,
+                        idx,
+                        &mut classes,
+                        &mut stats,
+                        &mut signatures,
+                        &mut epoch,
+                        &mut pending_cex,
+                        Some(&res.attempts),
+                    );
+                }
+                next_commit += 1;
+                continue;
+            }
+            match res_rx.recv_timeout(std::time::Duration::from_secs(300)) {
+                Ok(r) => {
+                    ready.insert(r.chunk_id, r);
+                }
+                Err(_) => {
+                    // The workers are gone or the head chunk's result
+                    // was lost (worker panic): commit it in-process —
+                    // same results, just slower.
+                    for idx in chunk_range(next_commit) {
+                        commit_signal(
+                            nl,
+                            constraint,
+                            cfg,
+                            idx,
+                            &mut classes,
+                            &mut stats,
+                            &mut signatures,
+                            &mut epoch,
+                            &mut pending_cex,
+                            None,
+                        );
+                    }
+                    next_commit += 1;
+                }
+            }
+        }
+        drop(work_tx);
+    });
+    stats.wasted_checks = speculated - hits;
+    if std::env::var_os("SBIF_PAR_DEBUG").is_some() {
+        eprintln!("speculated={speculated} hits={hits}");
+    }
+    classes.compress();
+    (classes, stats)
+}

@@ -1,9 +1,8 @@
 //! Constrained random simulation (line 1–2 of Alg. 1): input vectors
 //! satisfying `C = (0 ≤ R⁰ < D·2^(n−1))`.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use sbif_netlist::build::Divider;
+use sbif_rng::XorShift64;
 
 /// Samples `words` simulation words (64 patterns each) per primary input
 /// of the divider, all satisfying the input constraint `C`.
@@ -20,7 +19,7 @@ pub fn divider_sim_words(div: &Divider, seed: u64, words: usize) -> Vec<Vec<u64>
     let num_lo = n - 1; // r0[0 .. n-2]
     let num_hi = n - 1; // r0[n-1 .. 2n-3]
     let num_d = n - 1;
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = XorShift64::seed_from_u64(seed);
     // bit planes, little endian per bus
     let mut lo = vec![vec![0u64; words]; num_lo];
     let mut hi = vec![vec![0u64; words]; num_hi];
@@ -28,8 +27,8 @@ pub fn divider_sim_words(div: &Divider, seed: u64, words: usize) -> Vec<Vec<u64>
     for w in 0..words {
         for k in 0..64 {
             // Sample divisor and hi bits; enforce hi < d.
-            let mut db: Vec<bool> = (0..num_d).map(|_| rng.gen()).collect();
-            let mut hb: Vec<bool> = (0..num_hi).map(|_| rng.gen()).collect();
+            let mut db: Vec<bool> = (0..num_d).map(|_| rng.next_bool()).collect();
+            let mut hb: Vec<bool> = (0..num_hi).map(|_| rng.next_bool()).collect();
             match cmp_bits(&hb, &db) {
                 std::cmp::Ordering::Less => {}
                 std::cmp::Ordering::Greater => std::mem::swap(&mut db, &mut hb),
@@ -57,7 +56,7 @@ pub fn divider_sim_words(div: &Divider, seed: u64, words: usize) -> Vec<Vec<u64>
                 }
             }
             for plane in lo.iter_mut() {
-                if rng.gen::<bool>() {
+                if rng.next_bool() {
                     plane[w] |= 1 << k;
                 }
             }

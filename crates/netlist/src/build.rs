@@ -1,0 +1,859 @@
+//! Generators for the benchmark circuits of the paper: four divider
+//! architectures (non-restoring, restoring, truncated array, radix-2
+//! SRT), an array multiplier, and the miter/constraint plumbing that
+//! connects them to the CEC baselines.
+//!
+//! All dividers share one interface (Sect. III): dividend `R⁰` of
+//! `2n−2` bits (bus `r0`), divisor `D` of `n−1` bits (bus `d`),
+//! quotient `Q` of `n` bits (bus `q`) and remainder `R` of `W = 2n−1`
+//! bits (bus `r`, read back in two's complement). The input constraint
+//! `C` is `hi < D` with `hi` the upper `n−1` dividend bits, which is
+//! equivalent to `0 ≤ R⁰ < D·2^(n−1)`.
+//!
+//! The non-restoring and restoring generators are functionally correct
+//! on *every* input (their add/subtract decisions are sign-driven, so
+//! the `W`-bit datapath never overflows and `Q·D + R − R⁰ = 0` holds
+//! unconditionally); the truncated array and SRT dividers are correct
+//! only under `C`, which is what makes them interesting test cases for
+//! the constrained residual decision procedure.
+
+use crate::{BinOp, Gate, Netlist, Sig, Word};
+use std::collections::HashMap;
+
+/// Which generator produced a [`Divider`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DividerKind {
+    /// Non-restoring divider ([`nonrestoring_divider`]).
+    NonRestoring,
+    /// Restoring divider ([`restoring_divider`]).
+    Restoring,
+    /// Truncated-row array divider ([`array_divider`]).
+    Array,
+    /// Radix-2 SRT divider ([`srt_divider`]).
+    Srt,
+    /// Read back from an external netlist ([`Divider::from_netlist`]).
+    Imported,
+}
+
+/// A divider circuit together with the bookkeeping the verifier needs:
+/// the i/o words, the per-stage sign signals (the "information" that
+/// SBIF forwards) and the input-constraint signal `C`.
+#[derive(Debug, Clone)]
+pub struct Divider {
+    /// The gate-level circuit.
+    pub netlist: Netlist,
+    /// Quotient width; the dividend has `2n−2` bits, the divisor `n−1`.
+    pub n: usize,
+    /// Which architecture this is.
+    pub kind: DividerKind,
+    /// Dividend input word `R⁰` (bus `r0`, unsigned, `2n−2` bits).
+    pub dividend: Word,
+    /// Divisor input word `D` (bus `d`, unsigned, `n−1` bits).
+    pub divisor: Word,
+    /// Quotient output word `Q` (bus `q`, unsigned, `n` bits).
+    pub quotient: Word,
+    /// Remainder output word `R` (bus `r`, two's complement, `2n−1`
+    /// bits).
+    pub remainder: Word,
+    /// Per-stage sign signals, stage `1` first (empty for imported
+    /// netlists). For the subtract-based architectures stage `j`'s
+    /// quotient bit `q_{n−j}` is antivalent to `stage_signs[j−1]` — the
+    /// central fact Alg. 1 must discover.
+    pub stage_signs: Vec<Sig>,
+    /// The input constraint `C = (hi < D)`, true on exactly the valid
+    /// divider inputs.
+    pub constraint: Sig,
+}
+
+/// An array multiplier circuit (the SCA success story that needs no
+/// SBIF): `p = a · b`.
+#[derive(Debug, Clone)]
+pub struct Multiplier {
+    /// The gate-level circuit.
+    pub netlist: Netlist,
+    /// First factor (bus `a`).
+    pub a: Word,
+    /// Second factor (bus `b`).
+    pub b: Word,
+    /// Product (bus `p`, `a.len() + b.len()` bits).
+    pub product: Word,
+}
+
+/// A full adder in the canonical five-gate form the atomic-block
+/// detector looks for: `t = a⊕b`, `sum = t⊕cin`,
+/// `carry = (a∧b) ∨ (t∧cin)`. Returns `(sum, carry)`.
+///
+/// With a constant-0 carry-in the builder folds the cell down to a half
+/// adder (`sum = a⊕b`, `carry = a∧b`).
+///
+/// # Examples
+///
+/// ```
+/// use sbif_netlist::{build::full_adder, Netlist};
+///
+/// let mut nl = Netlist::new();
+/// let a = nl.input("a");
+/// let b = nl.input("b");
+/// let c = nl.input("c");
+/// let (sum, carry) = full_adder(&mut nl, a, b, c);
+/// nl.add_output("s", sum);
+/// nl.add_output("co", carry);
+/// // 1 + 1 + 0 = 0b10
+/// let vals = nl.simulate_bool(&[true, true, false]);
+/// assert!(!vals[sum.index()] && vals[carry.index()]);
+/// ```
+pub fn full_adder(nl: &mut Netlist, a: Sig, b: Sig, cin: Sig) -> (Sig, Sig) {
+    let (sum, carry, _) = fa_cell(nl, a, b, cin);
+    (sum, carry)
+}
+
+/// [`full_adder`], additionally exposing the half-sum `t = a⊕b`. The
+/// divider generators need `t` to derive the quotient bit
+/// `q = t ≡ cin` (a *binary* gate antivalent to the sum/sign bit
+/// `t ⊕ cin`).
+fn fa_cell(nl: &mut Netlist, a: Sig, b: Sig, cin: Sig) -> (Sig, Sig, Sig) {
+    let t = nl.xor(a, b);
+    let sum = nl.xor(t, cin);
+    let g = nl.and(a, b);
+    let p = nl.and(t, cin);
+    let carry = nl.or(g, p);
+    (sum, carry, t)
+}
+
+/// A ripple-carry adder over two equal-width words. Returns the sum
+/// word and the carry out of the top bit.
+///
+/// # Panics
+///
+/// Panics if the operand widths differ.
+pub fn ripple_adder(nl: &mut Netlist, a: &Word, b: &Word, cin: Sig) -> (Word, Sig) {
+    assert_eq!(a.len(), b.len(), "ripple_adder operand widths differ");
+    let mut carry = cin;
+    let mut sum = Vec::with_capacity(a.len());
+    for i in 0..a.len() {
+        let (s, c) = full_adder(nl, a[i], b[i], carry);
+        sum.push(s);
+        carry = c;
+    }
+    (Word::new(sum), carry)
+}
+
+/// The divider input constraint `C = (hi < D)` as a ripple comparator,
+/// where `hi` is the upper `divisor.len()` bits of `dividend`. This is
+/// exactly `0 ≤ R⁰ < D·2^(n−1)` and in particular forces `D ≥ 1`.
+///
+/// # Panics
+///
+/// Panics if the dividend is narrower than the divisor.
+pub fn constraint_circuit(nl: &mut Netlist, dividend: &Word, divisor: &Word) -> Sig {
+    let m = divisor.len();
+    assert!(dividend.len() >= m, "dividend narrower than divisor");
+    let hi = dividend.slice(dividend.len() - m..dividend.len());
+    // lt_i = (¬hi_i ∧ d_i) ∨ ((hi_i ≡ d_i) ∧ lt_{i−1}), msb last.
+    let mut lt = nl.const0();
+    for i in 0..m {
+        let here = nl.and_not(divisor[i], hi[i]);
+        let eq = nl.xnor(hi[i], divisor[i]);
+        let keep = nl.and(eq, lt);
+        lt = nl.or(here, keep);
+    }
+    lt
+}
+
+/// The divisor bit of `D·2^shift` at position `i` (constant 0 outside
+/// the aligned window).
+fn aligned_bit(divisor: &Word, i: usize, shift: usize, c0: Sig) -> Sig {
+    if i >= shift && i - shift < divisor.len() {
+        divisor[i - shift]
+    } else {
+        c0
+    }
+}
+
+/// Starts a divider netlist: constants first (so that constant-valued
+/// signals get constant class representatives), then the `r0` and `d`
+/// input buses.
+fn divider_frame(n: usize) -> (Netlist, Sig, Sig, Word, Word) {
+    assert!(n >= 2, "divider needs n >= 2, got {n}");
+    let mut nl = Netlist::new();
+    let c0 = nl.const0();
+    let c1 = nl.const1();
+    let dividend = Word::inputs(&mut nl, "r0", 2 * n - 2);
+    let divisor = Word::inputs(&mut nl, "d", n - 1);
+    (nl, c0, c1, dividend, divisor)
+}
+
+/// The non-restoring divider of Sect. II-A: `n` controlled add/subtract
+/// stages over a `2n−1`-bit two's-complement remainder, followed by the
+/// final remainder correction `R = Rⁿ + D·sign_n`.
+///
+/// Stage `j` computes `Rʲ = Rʲ⁻¹ − (−1)^(ctrl_j) · D·2^(n−j)` with
+/// `ctrl_1 = 1` and `ctrl_{j+1} = q_{n−j} = ¬sign_j`. Because the
+/// add/subtract decision follows the remainder sign, the datapath never
+/// overflows and the circuit divides correctly for *every* input, so
+/// its specification polynomial vanishes unconditionally.
+pub fn nonrestoring_divider(n: usize) -> Divider {
+    let (mut nl, c0, c1, dividend, divisor) = divider_frame(n);
+    let w = 2 * n - 1;
+    // R⁰: the dividend, zero-extended into the sign position.
+    let mut rem: Vec<Sig> = dividend.bits().to_vec();
+    rem.push(c0);
+    let mut ctrl = c1;
+    let mut quotient = vec![c0; n];
+    let mut stage_signs = Vec::with_capacity(n);
+    for j in 1..=n {
+        let shift = n - j;
+        // Rʲ = Rʲ⁻¹ + ((D·2^shift) ⊕ ctrl) + ctrl: a subtraction when
+        // ctrl = 1, an addition when ctrl = 0.
+        let mut carry = ctrl;
+        let mut next = Vec::with_capacity(w);
+        for (i, &r) in rem.iter().enumerate().take(w) {
+            let aligned = aligned_bit(&divisor, i, shift, c0);
+            let addend = nl.xor(aligned, ctrl);
+            let cin = carry;
+            let (s, c, t) = fa_cell(&mut nl, r, addend, cin);
+            next.push(s);
+            carry = c;
+            if i == w - 1 {
+                // sign_j = t ⊕ cin is the top sum bit; the quotient bit
+                // is its antivalent twin q_{n−j} = t ≡ cin, kept a
+                // binary gate so SAT — not structure — must relate them.
+                ctrl = nl.xnor(t, cin);
+                // The exported quotient bit is a *separate* (identical,
+                // strash-bypassing) gate: a fault injected into it must
+                // not re-steer the datapath through the next stage's
+                // control, or the self-correcting control recurrence
+                // would mask the fault from vc1.
+                let q = nl.push_gate(Gate::Binary(BinOp::Xnor, t, cin));
+                quotient[shift] = q;
+                stage_signs.push(s);
+            }
+        }
+        rem = next;
+    }
+    // Remainder correction: R = Rⁿ + (D masked by sign_n).
+    let sign_n = stage_signs[n - 1];
+    let mut carry = c0;
+    let mut rfin = Vec::with_capacity(w);
+    for i in 0..w {
+        let addend = if i < n - 1 { nl.and(divisor[i], sign_n) } else { c0 };
+        let (s, c, _) = fa_cell(&mut nl, rem[i], addend, carry);
+        rfin.push(s);
+        carry = c;
+    }
+    let quotient = Word::new(quotient);
+    let remainder = Word::new(rfin);
+    quotient.make_outputs(&mut nl, "q");
+    remainder.make_outputs(&mut nl, "r");
+    let constraint = constraint_circuit(&mut nl, &dividend, &divisor);
+    Divider {
+        netlist: nl,
+        n,
+        kind: DividerKind::NonRestoring,
+        dividend,
+        divisor,
+        quotient,
+        remainder,
+        stage_signs,
+        constraint,
+    }
+}
+
+/// The restoring divider: stage `j` tries `T = Rʲ⁻¹ − D·2^(n−j)`,
+/// takes `T` when it stayed non-negative (`q_{n−j} = ¬sign(T)`) and
+/// restores `Rʲ⁻¹` otherwise. Like the non-restoring divider it is
+/// correct on every input: the partial remainder is always kept
+/// non-negative, so no stage overflows.
+pub fn restoring_divider(n: usize) -> Divider {
+    let (mut nl, c0, c1, dividend, divisor) = divider_frame(n);
+    let w = 2 * n - 1;
+    let mut rem: Vec<Sig> = dividend.bits().to_vec();
+    rem.push(c0);
+    let mut quotient = vec![c0; n];
+    let mut stage_signs = Vec::with_capacity(n);
+    for j in 1..=n {
+        let shift = n - j;
+        // T = Rʲ⁻¹ + ¬(D·2^shift) + 1.
+        let mut carry = c1;
+        let mut tbits = Vec::with_capacity(w);
+        let mut q = c0;
+        for (i, &r) in rem.iter().enumerate().take(w) {
+            let aligned = aligned_bit(&divisor, i, shift, c0);
+            let addend = nl.not(aligned);
+            let cin = carry;
+            let (s, c, t) = fa_cell(&mut nl, r, addend, cin);
+            tbits.push(s);
+            carry = c;
+            if i == w - 1 {
+                // Restore/keep decision and exported quotient bit are
+                // separate (identical) gates, so an output fault cannot
+                // consistently re-steer the row muxes (see
+                // [`nonrestoring_divider`]).
+                q = nl.xnor(t, cin);
+                quotient[shift] = nl.push_gate(Gate::Binary(BinOp::Xnor, t, cin));
+                stage_signs.push(s);
+            }
+        }
+        // Rʲ = q ? T : Rʲ⁻¹ (restore on a negative trial remainder).
+        rem = (0..w).map(|i| nl.mux(q, tbits[i], rem[i])).collect();
+    }
+    let quotient = Word::new(quotient);
+    let remainder = Word::new(rem);
+    quotient.make_outputs(&mut nl, "q");
+    remainder.make_outputs(&mut nl, "r");
+    let constraint = constraint_circuit(&mut nl, &dividend, &divisor);
+    Divider {
+        netlist: nl,
+        n,
+        kind: DividerKind::Restoring,
+        dividend,
+        divisor,
+        quotient,
+        remainder,
+        stage_signs,
+        constraint,
+    }
+}
+
+/// A schoolbook array divider with *truncated* rows: each of the `n`
+/// restoring rows is only `n` bits wide (the row remainder plus the
+/// incoming dividend bit), which is exactly wide enough when the input
+/// constraint holds but loses high bits otherwise. Its specification
+/// polynomial therefore does **not** rewrite to zero — it vanishes only
+/// modulo `C`, exercising the constrained residual decision.
+pub fn array_divider(n: usize) -> Divider {
+    let (mut nl, c0, c1, dividend, divisor) = divider_frame(n);
+    let w = 2 * n - 1;
+    // Row remainder: the top n−2 dividend bits, zero-padded to n−1
+    // bits; under C it is < D. Each row shifts in the next dividend
+    // bit, r0[n−1] down to r0[0].
+    let mut rp: Vec<Sig> = dividend.bits()[n..].to_vec();
+    rp.push(c0);
+    let mut quotient = vec![c0; n];
+    let mut stage_signs = Vec::with_capacity(n);
+    for j in 1..=n {
+        // t = 2·rp + r0[n−j], an n-bit value < 2D ≤ 2ⁿ − 2 under C.
+        let mut t = vec![dividend[n - j]];
+        t.extend_from_slice(&rp);
+        // diff = t − D over n bits; the carry out is the quotient bit
+        // (t ≥ D), already a binary OR gate.
+        let mut carry = c1;
+        let mut diff = Vec::with_capacity(n);
+        for k in 0..n - 1 {
+            let addend = nl.not(divisor[k]);
+            let (s, c, _) = fa_cell(&mut nl, t[k], addend, carry);
+            diff.push(s);
+            carry = c;
+        }
+        // Top cell spelled out so the row's carry-out — the quotient bit
+        // q = (t ≥ D) — exists twice: one gate steers the row muxes, its
+        // twin is exported (see [`nonrestoring_divider`] on why).
+        let tt = nl.not(t[n - 1]);
+        let s = nl.xor(tt, carry);
+        let p = nl.and(tt, carry);
+        diff.push(s);
+        let q = nl.or(t[n - 1], p);
+        quotient[n - j] = nl.push_gate(Gate::Binary(BinOp::Or, t[n - 1], p));
+        stage_signs.push(nl.not(q));
+        // Keep the low n−1 bits only — the truncation that is sound
+        // exactly under C.
+        rp = (0..n - 1).map(|k| nl.mux(q, diff[k], t[k])).collect();
+    }
+    let quotient = Word::new(quotient);
+    let remainder = Word::new(rp).zext(&mut nl, w);
+    quotient.make_outputs(&mut nl, "q");
+    remainder.make_outputs(&mut nl, "r");
+    let constraint = constraint_circuit(&mut nl, &dividend, &divisor);
+    Divider {
+        netlist: nl,
+        n,
+        kind: DividerKind::Array,
+        dividend,
+        divisor,
+        quotient,
+        remainder,
+        stage_signs,
+        constraint,
+    }
+}
+
+/// A radix-2 SRT divider with quotient digits `{−1, 0, +1}` chosen by
+/// an exact sign/zero test of the full partial remainder (an OR tree
+/// feeding the digit selector), and the textbook *on-the-fly*
+/// digit-to-binary conversion: two shift registers `Q` and `QM = Q − 1`
+/// updated by per-digit muxes, with the final quotient selected by the
+/// sign of `Rⁿ`. The remainder datapath never overflows, but the
+/// converted `Q` wraps modulo `2ⁿ` outside the input constraint, so —
+/// like the array divider — its specification vanishes only under `C`.
+pub fn srt_divider(n: usize) -> Divider {
+    let (mut nl, c0, c1, dividend, divisor) = divider_frame(n);
+    let w = 2 * n - 1;
+    let mut rem: Vec<Sig> = dividend.bits().to_vec();
+    rem.push(c0);
+    // On-the-fly conversion registers (little endian), maintaining the
+    // invariant QM = Q − 1 (mod 2ⁿ).
+    let mut q_reg = vec![c0; n];
+    let mut qm_reg = vec![c1; n];
+    let mut stage_signs = Vec::with_capacity(n);
+    for j in 1..=n {
+        let shift = n - j;
+        // Digit selection: +1 (subtract) on a positive remainder,
+        // −1 (add) on a negative one, 0 when it is exactly zero.
+        let mut nz = rem[0];
+        for &r in &rem[1..] {
+            nz = nl.or(nz, r);
+        }
+        let sign = rem[w - 1];
+        let pos = nl.and_not(nz, sign);
+        let neg = sign;
+        let act = nl.or(pos, neg);
+        let sub = pos;
+        // On-the-fly update: digit +1 → (2Q+1, 2Q); digit 0 →
+        // (2Q, 2QM+1); digit −1 → (2QM+1, 2QM). Shifted-in low bits are
+        // `act` and `¬act`; the shifted words select between Q and QM.
+        let mut q_new = Vec::with_capacity(n);
+        let mut qm_new = Vec::with_capacity(n);
+        q_new.push(act);
+        let nact = nl.not(act);
+        qm_new.push(nact);
+        for k in 0..n - 1 {
+            q_new.push(nl.mux(neg, qm_reg[k], q_reg[k]));
+            qm_new.push(nl.mux(pos, q_reg[k], qm_reg[k]));
+        }
+        q_reg = q_new;
+        qm_reg = qm_new;
+        // Rʲ = Rʲ⁻¹ + (((D·2^shift) ∧ act) ⊕ sub) + sub.
+        let mut carry = sub;
+        let mut next = Vec::with_capacity(w);
+        for (i, &r) in rem.iter().enumerate().take(w) {
+            let aligned = aligned_bit(&divisor, i, shift, c0);
+            let masked = nl.and(aligned, act);
+            let addend = nl.xor(masked, sub);
+            let (s, c, _) = fa_cell(&mut nl, r, addend, carry);
+            next.push(s);
+            carry = c;
+        }
+        stage_signs.push(next[w - 1]);
+        rem = next;
+    }
+    // A negative final remainder means the digit string overshot by one:
+    // pick QM = Q − 1 (and add D back below).
+    let s_fin = rem[w - 1];
+    let quotient =
+        Word::new((0..n).map(|k| nl.mux(s_fin, qm_reg[k], q_reg[k])).collect::<Vec<_>>());
+    // Remainder correction: R = Rⁿ + (D masked by the final sign).
+    let mut carry = c0;
+    let mut rfin = Vec::with_capacity(w);
+    for i in 0..w {
+        let addend = if i < n - 1 { nl.and(divisor[i], s_fin) } else { c0 };
+        let (s, c, _) = fa_cell(&mut nl, rem[i], addend, carry);
+        rfin.push(s);
+        carry = c;
+    }
+    let remainder = Word::new(rfin);
+    quotient.make_outputs(&mut nl, "q");
+    remainder.make_outputs(&mut nl, "r");
+    let constraint = constraint_circuit(&mut nl, &dividend, &divisor);
+    Divider {
+        netlist: nl,
+        n,
+        kind: DividerKind::Srt,
+        dividend,
+        divisor,
+        quotient,
+        remainder,
+        stage_signs,
+        constraint,
+    }
+}
+
+/// A carry-ripple array multiplier `p = a·b` with `w1`- and `w2`-bit
+/// factors (buses `a`, `b`, product bus `p`): partial-product row `i`
+/// is added to the shifted accumulator by a rippling full-adder row.
+///
+/// # Panics
+///
+/// Panics if either width is zero.
+pub fn array_multiplier(w1: usize, w2: usize) -> Multiplier {
+    assert!(w1 >= 1 && w2 >= 1, "multiplier widths must be positive");
+    let mut nl = Netlist::new();
+    let c0 = nl.const0();
+    let a = Word::inputs(&mut nl, "a", w1);
+    let b = Word::inputs(&mut nl, "b", w2);
+    // Row 0: the raw partial product a·b₀.
+    let mut acc: Vec<Sig> = (0..w1).map(|k| nl.and(a[k], b[0])).collect();
+    let mut product = vec![acc[0]];
+    for i in 1..w2 {
+        let ppi: Vec<Sig> = (0..w1).map(|k| nl.and(a[k], b[i])).collect();
+        let mut carry = c0;
+        let mut sums = Vec::with_capacity(w1 + 1);
+        for (k, &pk) in ppi.iter().enumerate() {
+            let addend = acc.get(k + 1).copied().unwrap_or(c0);
+            let (s, c) = full_adder(&mut nl, pk, addend, carry);
+            sums.push(s);
+            carry = c;
+        }
+        sums.push(carry);
+        product.push(sums[0]);
+        acc = sums;
+    }
+    product.extend_from_slice(&acc[1..]);
+    while product.len() < w1 + w2 {
+        product.push(c0);
+    }
+    let product = Word::new(product);
+    product.make_outputs(&mut nl, "p");
+    Multiplier { netlist: nl, a, b, product }
+}
+
+/// Copies every signal of `src` onto the end of `dest` (through the
+/// folding builders, so constants propagate), mapping each primary
+/// input through `map_input`. Returns the old-index → new-signal map.
+/// Outputs are *not* copied — the caller decides what to expose.
+pub fn append_netlist(
+    dest: &mut Netlist,
+    src: &Netlist,
+    mut map_input: impl FnMut(&mut Netlist, &str) -> Sig,
+) -> Vec<Sig> {
+    let mut map: Vec<Sig> = Vec::with_capacity(src.num_signals());
+    for s in src.signals() {
+        let new = match src.gate(s) {
+            Gate::Input => {
+                let name = src.name(s).expect("primary inputs are named");
+                map_input(dest, name)
+            }
+            Gate::Const(v) => dest.constant(*v),
+            Gate::Unary(op, x) => dest.unary(*op, map[x.index()]),
+            Gate::Binary(op, x, y) => dest.binary(*op, map[x.index()], map[y.index()]),
+        };
+        map.push(new);
+    }
+    map
+}
+
+fn shared_input(nl: &mut Netlist, seen: &mut HashMap<String, Sig>, name: &str) -> Sig {
+    if let Some(&s) = seen.get(name) {
+        s
+    } else {
+        let s = nl.input(name);
+        seen.insert(name.to_string(), s);
+        s
+    }
+}
+
+/// Builds both netlists into one circuit over shared same-named inputs
+/// and ORs together the XORs of all same-named outputs of `a`: the
+/// single output `"miter"` is 1 exactly on the inputs where the two
+/// circuits disagree.
+///
+/// # Panics
+///
+/// Panics if `b` lacks one of `a`'s outputs.
+pub fn miter(a: &Netlist, b: &Netlist) -> Netlist {
+    let (nl, _) = miter_parts(a, b);
+    nl
+}
+
+/// [`miter`] gated by the divider input constraint: the output
+/// `"miter"` is `C ∧ (a ≠ b)`, so the two dividers need only agree on
+/// valid inputs.
+///
+/// # Panics
+///
+/// Panics if the shared inputs do not form the `r0`/`d` buses of a
+/// width-`n` divider, or if `b` lacks one of `a`'s outputs.
+pub fn divider_miter(a: &Netlist, b: &Netlist, n: usize) -> Netlist {
+    let (mut nl, shared) = miter_parts(a, b);
+    let bus = |name: String| -> Sig {
+        shared
+            .get(&name)
+            .copied()
+            .unwrap_or_else(|| panic!("divider miter is missing input {name:?}"))
+    };
+    let dividend = Word::new((0..2 * n - 2).map(|i| bus(format!("r0[{i}]"))).collect());
+    let divisor = Word::new((0..n - 1).map(|i| bus(format!("d[{i}]"))).collect());
+    let diff = nl.output("miter").expect("miter output");
+    let c = constraint_circuit(&mut nl, &dividend, &divisor);
+    let gated = nl.and(c, diff);
+    let mut out = Netlist::new();
+    let map = append_netlist(&mut out, &nl, |d, name| d.input(name));
+    out.add_output("miter", map[gated.index()]);
+    out
+}
+
+fn miter_parts(a: &Netlist, b: &Netlist) -> (Netlist, HashMap<String, Sig>) {
+    let mut nl = Netlist::new();
+    let mut seen: HashMap<String, Sig> = HashMap::new();
+    let map_a = append_netlist(&mut nl, a, |d, name| shared_input(d, &mut seen, name));
+    let map_b = append_netlist(&mut nl, b, |d, name| shared_input(d, &mut seen, name));
+    let mut diff = nl.const0();
+    for (name, sa) in a.outputs() {
+        let sb = b
+            .output(name)
+            .unwrap_or_else(|| panic!("second miter operand lacks output {name:?}"));
+        let x = nl.xor(map_a[sa.index()], map_b[sb.index()]);
+        diff = nl.or(diff, x);
+    }
+    nl.add_output("miter", diff);
+    (nl, seen)
+}
+
+/// Splits a `"bus[idx]"` name. Returns `None` for non-bus names.
+fn parse_bus(name: &str) -> Option<(&str, usize)> {
+    let (bus, rest) = name.split_once('[')?;
+    let idx = rest.strip_suffix(']')?.parse().ok()?;
+    Some((bus, idx))
+}
+
+impl Divider {
+    /// Adopts an externally produced netlist (e.g. read back from a
+    /// BNET file) as a divider: the inputs must form the buses
+    /// `r0[0..2n−2]` and `d[0..n−1]` and the outputs must include
+    /// `q[0..n]` and `r[0..2n−1]` for some `n ≥ 2`. The input
+    /// constraint comparator is appended; `stage_signs` stays empty
+    /// (no structural knowledge is assumed), so verification relies
+    /// entirely on SBIF.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed bus found.
+    pub fn from_netlist(netlist: Netlist) -> Result<Divider, String> {
+        let mut nl = netlist;
+        let mut r0: Vec<Option<Sig>> = Vec::new();
+        let mut d: Vec<Option<Sig>> = Vec::new();
+        let place = |bus: &mut Vec<Option<Sig>>, idx: usize, s: Sig, name: &str| {
+            if bus.len() <= idx {
+                bus.resize(idx + 1, None);
+            }
+            if bus[idx].replace(s).is_some() {
+                return Err(format!("duplicate input {name:?}"));
+            }
+            Ok(())
+        };
+        let named: Vec<(Sig, String)> = nl
+            .inputs()
+            .iter()
+            .map(|&s| (s, nl.name(s).unwrap_or_default().to_string()))
+            .collect();
+        for (s, name) in &named {
+            match parse_bus(name) {
+                Some(("r0", idx)) => place(&mut r0, idx, *s, name)?,
+                Some(("d", idx)) => place(&mut d, idx, *s, name)?,
+                _ => return Err(format!("unexpected divider input {name:?}")),
+            }
+        }
+        let d: Vec<Sig> = d
+            .iter()
+            .enumerate()
+            .map(|(i, s)| s.ok_or(format!("divisor bus is missing d[{i}]")))
+            .collect::<Result<_, _>>()?;
+        let r0: Vec<Sig> = r0
+            .iter()
+            .enumerate()
+            .map(|(i, s)| s.ok_or(format!("dividend bus is missing r0[{i}]")))
+            .collect::<Result<_, _>>()?;
+        if d.is_empty() {
+            return Err("netlist has no divisor bus d".into());
+        }
+        let n = d.len() + 1;
+        if r0.len() != 2 * n - 2 {
+            return Err(format!(
+                "dividend bus r0 has {} bits, expected {} for n = {n}",
+                r0.len(),
+                2 * n - 2
+            ));
+        }
+        let out_word = |nl: &Netlist, bus: &str, width: usize| -> Result<Word, String> {
+            (0..width)
+                .map(|i| {
+                    nl.output(&format!("{bus}[{i}]"))
+                        .ok_or(format!("netlist is missing output {bus}[{i}]"))
+                })
+                .collect::<Result<Vec<_>, _>>()
+                .map(Word::new)
+        };
+        let quotient = out_word(&nl, "q", n)?;
+        let remainder = out_word(&nl, "r", 2 * n - 1)?;
+        let dividend = Word::new(r0);
+        let divisor = Word::new(d);
+        let constraint = constraint_circuit(&mut nl, &dividend, &divisor);
+        Ok(Divider {
+            netlist: nl,
+            n,
+            kind: DividerKind::Imported,
+            dividend,
+            divisor,
+            quotient,
+            remainder,
+            stage_signs: Vec::new(),
+            constraint,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Runs a divider on `(r0, d)` and returns `(q, r, C)` with the
+    /// remainder read back as a signed `2n−1`-bit value.
+    fn run(div: &Divider, r0: u64, d: u64) -> (u64, i64, bool) {
+        let planes: Vec<u64> = div
+            .netlist
+            .inputs()
+            .iter()
+            .map(|&s| {
+                let (bus, idx) = parse_bus(div.netlist.name(s).expect("named")).expect("bus");
+                let v = if bus == "r0" { r0 } else { d };
+                if (v >> idx) & 1 == 1 { u64::MAX } else { 0 }
+            })
+            .collect();
+        let vals = div.netlist.simulate64(&planes);
+        let bit = |s: Sig| vals[s.index()] & 1;
+        let q = div.quotient.iter().enumerate().fold(0u64, |acc, (i, &s)| acc | bit(s) << i);
+        let w = 2 * div.n - 1;
+        let mut r = div.remainder.iter().enumerate().fold(0i64, |acc, (i, &s)| {
+            acc | (bit(s) as i64) << i
+        });
+        if r >> (w - 1) & 1 == 1 {
+            r -= 1 << w;
+        }
+        (q, r, bit(div.constraint) == 1)
+    }
+
+    fn check_exhaustive(div: &Divider, everywhere: bool) {
+        let n = div.n;
+        for d in 0..1u64 << (n - 1) {
+            for r0 in 0..1u64 << (2 * n - 2) {
+                let (q, r, c) = run(div, r0, d);
+                let valid = d > 0 && (r0 >> (n - 1)) < d;
+                assert_eq!(c, valid, "constraint at r0={r0} d={d}");
+                if valid {
+                    assert_eq!(q, r0 / d, "quotient at r0={r0} d={d}");
+                    assert_eq!(r, (r0 % d) as i64, "remainder at r0={r0} d={d}");
+                } else if everywhere {
+                    // Unconditionally correct architectures satisfy the
+                    // spec identity Q·D + R = R⁰ even off-constraint.
+                    assert_eq!(
+                        q.wrapping_mul(d) as i64 + r,
+                        r0 as i64,
+                        "spec identity at r0={r0} d={d}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nonrestoring_divides_exhaustively() {
+        for n in [2, 3, 4] {
+            check_exhaustive(&nonrestoring_divider(n), true);
+        }
+    }
+
+    #[test]
+    fn restoring_divides_exhaustively() {
+        for n in [2, 3, 4] {
+            check_exhaustive(&restoring_divider(n), true);
+        }
+    }
+
+    #[test]
+    fn array_divides_exhaustively_under_constraint() {
+        for n in [2, 3, 4] {
+            check_exhaustive(&array_divider(n), false);
+        }
+    }
+
+    #[test]
+    fn srt_divides_exhaustively_under_constraint() {
+        for n in [2, 3, 4] {
+            check_exhaustive(&srt_divider(n), false);
+        }
+    }
+
+    #[test]
+    fn quotient_bits_are_binary_gates() {
+        // The verifier's mutation machinery only flips binary gates, so
+        // every quotient bit must stay one (never fold to a NOT/BUF).
+        for div in [
+            nonrestoring_divider(4),
+            restoring_divider(4),
+            array_divider(4),
+            srt_divider(4),
+        ] {
+            for &q in div.quotient.iter() {
+                assert!(
+                    matches!(div.netlist.gate(q), Gate::Binary(..)),
+                    "{:?} quotient bit {q} is {:?}",
+                    div.kind,
+                    div.netlist.gate(q)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn multiplier_multiplies_exhaustively() {
+        let m = array_multiplier(4, 3);
+        for a in 0..16u64 {
+            for b in 0..8u64 {
+                let planes: Vec<u64> = m
+                    .netlist
+                    .inputs()
+                    .iter()
+                    .map(|&s| {
+                        let (bus, idx) =
+                            parse_bus(m.netlist.name(s).expect("named")).expect("bus");
+                        let v = if bus == "a" { a } else { b };
+                        if (v >> idx) & 1 == 1 { u64::MAX } else { 0 }
+                    })
+                    .collect();
+                let vals = m.netlist.simulate64(&planes);
+                let p = m
+                    .product
+                    .iter()
+                    .enumerate()
+                    .fold(0u64, |acc, (i, &s)| acc | (vals[s.index()] & 1) << i);
+                assert_eq!(p, a * b, "{a}*{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn miter_of_equivalent_dividers_is_zero() {
+        let a = nonrestoring_divider(2);
+        let b = restoring_divider(2);
+        let m = divider_miter(&a.netlist, &b.netlist, 2);
+        let out = m.output("miter").expect("miter");
+        let ni = m.inputs().len();
+        for bits in 0..1u64 << ni {
+            let inputs: Vec<bool> = (0..ni).map(|i| bits >> i & 1 == 1).collect();
+            let vals = m.simulate_bool(&inputs);
+            assert!(!vals[out.index()], "divider miter fired at {bits:b}");
+        }
+    }
+
+    #[test]
+    fn from_netlist_roundtrips_and_rejects_malformed() {
+        let div = nonrestoring_divider(3);
+        let imported = Divider::from_netlist(div.netlist.clone()).expect("well-formed");
+        assert_eq!(imported.n, 3);
+        assert_eq!(imported.kind, DividerKind::Imported);
+        assert!(imported.stage_signs.is_empty());
+        for d in 1..4u64 {
+            for r0 in 0..(4 * d) {
+                let (q, r, c) = run(&imported, r0, d);
+                assert!(c);
+                assert_eq!((q, r), (r0 / d, (r0 % d) as i64));
+            }
+        }
+        let mut bad = Netlist::new();
+        bad.input("x[0]");
+        assert!(Divider::from_netlist(bad).is_err());
+        let mut short = Netlist::new();
+        let _ = Word::inputs(&mut short, "r0", 3);
+        let _ = Word::inputs(&mut short, "d", 2);
+        assert!(Divider::from_netlist(short).unwrap_err().contains("r0"));
+    }
+}

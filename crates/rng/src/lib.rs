@@ -1,0 +1,163 @@
+//! A tiny deterministic pseudo-random number generator.
+//!
+//! The workspace has an offline-only dependency policy (see DESIGN.md):
+//! `cargo build`/`cargo test` must succeed with no network access, so
+//! crates.io generators are off limits. Everything that needs randomness
+//! — constrained simulation vectors (Alg. 1 line 1), SAT-sweeping
+//! patterns, fuzz and property tests — uses this splitmix64-seeded
+//! xorshift64* generator instead.
+//!
+//! The generator is *not* cryptographic and is not meant to be: its jobs
+//! are statistical diversity of 64-bit simulation planes and exact
+//! reproducibility from a printed seed.
+//!
+//! # Examples
+//!
+//! ```
+//! use sbif_rng::XorShift64;
+//!
+//! let mut rng = XorShift64::seed_from_u64(42);
+//! let a = rng.next_u64();
+//! assert_ne!(a, rng.next_u64());
+//! // Same seed, same sequence.
+//! assert_eq!(XorShift64::seed_from_u64(42).next_u64(), a);
+//! let d = rng.below(10);
+//! assert!(d < 10);
+//! ```
+
+/// A xorshift64* generator with splitmix64 seed scrambling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    /// Creates a generator from a seed. Any seed is fine (including 0 —
+    /// the splitmix64 scrambler never yields the all-zero state).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        // splitmix64: decorrelates consecutive seeds so that seed and
+        // seed+1 give unrelated streams.
+        let mut z = seed.wrapping_add(0x9E3779B97F4A7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^= z >> 31;
+        XorShift64 { state: z | 1 }
+    }
+
+    /// The next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// A uniformly distributed boolean.
+    pub fn next_bool(&mut self) -> bool {
+        // Use the high bit: the low bits of xorshift outputs are weaker.
+        self.next_u64() >> 63 == 1
+    }
+
+    /// A uniform value in `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is 0.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0) is empty");
+        // Multiply-shift bounded sampling (Lemire); the modulo bias of
+        // `% n` would be fine for test workloads, but this is cheaper
+        // than a division anyway.
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// A uniform `usize` index in `lo..hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.below((hi - lo) as u64) as usize
+    }
+
+    /// A uniform `i64` (all 64 bits random, reinterpreted).
+    pub fn next_i64(&mut self) -> i64 {
+        self.next_u64() as i64
+    }
+
+    /// A uniform `i128` built from two draws.
+    pub fn next_i128(&mut self) -> i128 {
+        ((self.next_u64() as u128) << 64 | self.next_u64() as u128) as i128
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<u64> = {
+            let mut r = XorShift64::seed_from_u64(7);
+            (0..32).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = XorShift64::seed_from_u64(7);
+            (0..32).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn nearby_seeds_decorrelate() {
+        let mut a = XorShift64::seed_from_u64(0);
+        let mut b = XorShift64::seed_from_u64(1);
+        let differing = (0..64).filter(|_| a.next_u64() != b.next_u64()).count();
+        assert_eq!(differing, 64);
+    }
+
+    #[test]
+    fn zero_seed_is_fine() {
+        let mut r = XorShift64::seed_from_u64(0);
+        assert_ne!(r.next_u64(), 0);
+    }
+
+    #[test]
+    fn below_is_in_range_and_hits_all_residues() {
+        let mut r = XorShift64::seed_from_u64(3);
+        let mut seen = [false; 7];
+        for _ in 0..512 {
+            let v = r.below(7);
+            assert!(v < 7);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "512 draws must cover 0..7");
+    }
+
+    #[test]
+    fn bools_are_balanced() {
+        let mut r = XorShift64::seed_from_u64(11);
+        let ones = (0..4096).filter(|_| r.next_bool()).count();
+        assert!((1700..2400).contains(&ones), "heavily biased: {ones}/4096");
+    }
+
+    #[test]
+    fn word_bits_are_balanced() {
+        // Each bit position of the output should be ~50% set — the
+        // simulation planes rely on per-bit diversity.
+        let mut r = XorShift64::seed_from_u64(5);
+        let mut counts = [0u32; 64];
+        for _ in 0..2048 {
+            let w = r.next_u64();
+            for (k, c) in counts.iter_mut().enumerate() {
+                *c += (w >> k & 1) as u32;
+            }
+        }
+        for (k, &c) in counts.iter().enumerate() {
+            assert!((700..1350).contains(&c), "bit {k} biased: {c}/2048");
+        }
+    }
+}

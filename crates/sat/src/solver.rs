@@ -122,6 +122,14 @@ pub struct Solver {
 
 const HEAP_ABSENT: usize = usize::MAX;
 
+// The parallel SBIF engine constructs one solver per windowed check on
+// each worker thread, so the solver must stay `Send` (and must not grow
+// `Rc`/`RefCell`-style state).
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Solver>();
+};
+
 impl Solver {
     /// Creates an empty solver.
     pub fn new() -> Self {

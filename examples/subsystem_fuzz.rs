@@ -41,9 +41,9 @@ fn test_classes(rng: &mut Rng) {
         e.union(Sig(a as u32), Sig(b as u32), anti);
         // rel between class bases: base_ca = base_cb ^ (pa ^ pb ^ anti)
         let rel = pa ^ pb ^ anti;
-        for x in 0..n {
-            if cls[x].0 == ca {
-                cls[x] = (cb, cls[x].1 ^ rel);
+        for c in cls.iter_mut() {
+            if c.0 == ca {
+                *c = (cb, c.1 ^ rel);
             }
         }
     }
@@ -113,15 +113,19 @@ fn test_sbif(rng: &mut Rng) {
         return;
     }
     // sim words drawn from satisfying assignments
-    let mut words: Vec<Vec<u64>> = vec![vec![0u64; 2]; ni];
-    for w in 0..2 {
+    let mut words: Vec<Vec<u64>> = vec![Vec::new(); ni];
+    for _ in 0..2 {
+        let mut plane = vec![0u64; ni];
         for k in 0..64 {
             let pick = sat_inputs[rng.below(sat_inputs.len() as u64) as usize];
-            for i in 0..ni {
+            for (i, p) in plane.iter_mut().enumerate() {
                 if (pick >> i) & 1 == 1 {
-                    words[i][w] |= 1 << k;
+                    *p |= 1 << k;
                 }
             }
+        }
+        for (ws, p) in words.iter_mut().zip(plane) {
+            ws.push(p);
         }
     }
     let (classes, _) = forward_information(

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate (see ROADMAP.md). Everything runs offline:
+# the workspace has no third-party dependencies (DESIGN.md §5/§8).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --offline
+
+echo "==> cargo test -q --offline"
+cargo test -q --offline
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets --offline -- -D warnings
+
+echo "verify.sh: all gates passed"

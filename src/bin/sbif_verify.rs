@@ -2,7 +2,7 @@
 //! line.
 //!
 //! ```text
-//! sbif-verify <netlist.bnet> [--vc1-only] [--no-sbif] [--max-terms N]
+//! sbif-verify <netlist.bnet> [--vc1-only] [--no-sbif] [--max-terms N] [--jobs N]
 //! sbif-verify --demo <n>          # generate and verify an n-bit divider
 //! sbif-verify --emit <n> <file>   # write an n-bit divider as BNET
 //! ```
@@ -21,7 +21,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: sbif-verify <netlist.bnet> [--vc1-only] [--no-sbif] [--max-terms N]\n\
+        "usage: sbif-verify <netlist.bnet> [--vc1-only] [--no-sbif] [--max-terms N] [--jobs N]\n\
          \x20      sbif-verify --demo <n>\n\
          \x20      sbif-verify --emit <n> <file>"
     );
@@ -52,8 +52,11 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    // Load or generate the divider.
+    // Load or generate the divider. The SBIF window checks fan out over
+    // all cores unless --jobs overrides it (results are identical either
+    // way; see the sbif::parallel docs).
     let mut config = VerifierConfig::default();
+    config.sbif.jobs = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut divider: Option<Divider> = None;
     let mut i = 0;
     while i < args.len() {
@@ -76,6 +79,14 @@ fn main() -> ExitCode {
             "--no-sbif" => {
                 config.use_sbif = false;
                 i += 1;
+            }
+            "--jobs" => {
+                let Some(jobs) = args.get(i + 1).and_then(|s| s.parse::<usize>().ok())
+                else {
+                    return usage();
+                };
+                config.sbif.jobs = jobs.max(1);
+                i += 2;
             }
             "--max-terms" => {
                 let Some(limit) = args.get(i + 1).and_then(|s| s.parse::<usize>().ok())

@@ -1,20 +1,53 @@
 #![allow(dead_code)]
-//! Shared helpers for the integration tests.
+//! Shared helpers for the integration tests, including the in-tree
+//! property-test harness.
+//!
+//! The workspace builds with no network access (see DESIGN.md on the
+//! offline-testing policy), so instead of `proptest` the suites use
+//! [`prop_check!`]: a fixed number of deterministically seeded random
+//! cases per property, with the failing seed reported so a replay is
+//! one `XorShift64::seed_from_u64(seed)` away.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use sbif::netlist::{Netlist, Sig};
+use sbif_rng::XorShift64;
+
+/// Runs `cases` random checks of a property.
+///
+/// `gen` maps a `&mut XorShift64` to a test case (any `Debug` value);
+/// `pred` consumes the case and returns whether the property held. On
+/// the first failure the macro panics with the seed and the generated
+/// case, so the run can be replayed exactly.
+#[allow(unused_macros)] // not every test target that includes `common` runs properties
+macro_rules! prop_check {
+    ($cases:expr, $gen:expr, $pred:expr) => {{
+        for seed in 0u64..($cases as u64) {
+            let mut rng = ::sbif_rng::XorShift64::seed_from_u64(seed);
+            #[allow(clippy::redundant_closure_call)]
+            let case = ($gen)(&mut rng);
+            let printed = format!("{case:?}");
+            #[allow(clippy::redundant_closure_call)]
+            let ok = ($pred)(case);
+            assert!(
+                ok,
+                "property failed at seed {seed} \
+                 (replay: XorShift64::seed_from_u64({seed}))\ncase: {printed}"
+            );
+        }
+    }};
+}
+#[allow(unused_imports)]
+pub(crate) use prop_check;
 
 /// Builds a random combinational netlist with `inputs` inputs and `gates`
 /// gates; the last signal is exposed as output `o`.
 pub fn random_netlist(seed: u64, inputs: usize, gates: usize) -> Netlist {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = XorShift64::seed_from_u64(seed);
     let mut nl = Netlist::new();
     let mut pool: Vec<Sig> = (0..inputs).map(|i| nl.input(&format!("x[{i}]"))).collect();
     for _ in 0..gates {
-        let a = pool[rng.gen_range(0..pool.len())];
-        let b = pool[rng.gen_range(0..pool.len())];
-        let g = match rng.gen_range(0..8) {
+        let a = pool[rng.range_usize(0, pool.len())];
+        let b = pool[rng.range_usize(0, pool.len())];
+        let g = match rng.below(8) {
             0 => nl.and(a, b),
             1 => nl.or(a, b),
             2 => nl.xor(a, b),

@@ -1,271 +1,356 @@
-//! Property-based tests (proptest) on the core data structures and
-//! invariants, as DESIGN.md §6 specifies.
+//! Property-based tests on the core data structures and invariants, as
+//! DESIGN.md §6 specifies. Runs on the in-tree `prop_check!` harness
+//! (deterministic seeds, offline — see tests/common/mod.rs) instead of
+//! crates.io `proptest`.
 
-use proptest::prelude::*;
+mod common;
+
+use common::prop_check;
 use sbif::apint::Int;
 use sbif::poly::{Monomial, Poly, Var};
+use sbif_rng::XorShift64;
 
-// ---------- arbitrary generators -----------------------------------------
+// ---------- generators -----------------------------------------------------
 
-fn arb_int() -> impl Strategy<Value = (Int, i128)> {
-    any::<i128>().prop_map(|x| {
-        let x = x >> 1; // keep additions in range
-        (Int::from(x), x)
-    })
+/// An `Int` together with the `i128` it mirrors (kept small enough that
+/// sums of three stay in range).
+fn gen_int(rng: &mut XorShift64) -> (Int, i128) {
+    let x = rng.next_i128() >> 2;
+    (Int::from(x), x)
 }
 
-fn arb_monomial() -> impl Strategy<Value = Monomial> {
-    proptest::collection::vec(0u32..6, 0..4).prop_map(|vs| {
-        Monomial::from_vars(vs.into_iter().map(Var))
-    })
+fn gen_monomial(rng: &mut XorShift64) -> Monomial {
+    let len = rng.below(4) as usize;
+    Monomial::from_vars((0..len).map(|_| Var(rng.below(6) as u32)))
 }
 
-fn arb_poly() -> impl Strategy<Value = Poly> {
-    proptest::collection::vec((arb_monomial(), -8i64..9), 0..10)
-        .prop_map(|pairs| {
-            Poly::from_pairs(pairs.into_iter().map(|(m, c)| (m, Int::from(c))))
-        })
+fn gen_poly(rng: &mut XorShift64) -> Poly {
+    let len = rng.below(10) as usize;
+    Poly::from_pairs((0..len).map(|_| {
+        let m = gen_monomial(rng);
+        let c = rng.below(17) as i64 - 8;
+        (m, Int::from(c))
+    }))
 }
-
-// ---------- apint: ring axioms against i128 -------------------------------
-
-proptest! {
-    #[test]
-    fn apint_add_matches_i128((a, xa) in arb_int(), (b, xb) in arb_int()) {
-        prop_assert_eq!(&a + &b, Int::from(xa + xb));
-        prop_assert_eq!(&a - &b, Int::from(xa - xb));
-        prop_assert_eq!(a.cmp(&b), xa.cmp(&xb));
-    }
-
-    #[test]
-    fn apint_mul_matches_i128(a in any::<i64>(), b in any::<i64>()) {
-        prop_assert_eq!(
-            Int::from(a) * Int::from(b),
-            Int::from(a as i128 * b as i128)
-        );
-    }
-
-    #[test]
-    fn apint_shl_is_mul_pow2(a in any::<i64>(), k in 0u32..150) {
-        prop_assert_eq!(Int::from(a).shl_pow2(k), Int::from(a) * Int::pow2(k));
-    }
-
-    #[test]
-    fn apint_display_roundtrip((a, _) in arb_int()) {
-        let s = a.to_string();
-        prop_assert_eq!(s.parse::<Int>().expect("own display parses"), a);
-    }
-
-    #[test]
-    fn apint_associativity((a, _) in arb_int(), (b, _) in arb_int(), c in any::<i64>()) {
-        let c = Int::from(c);
-        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
-        prop_assert_eq!(&(&a * &b) * &c, &a * &(&b * &c));
-        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
-    }
-}
-
-// ---------- poly: algebra is pointwise arithmetic --------------------------
 
 /// Evaluate on the assignment encoded by the low 6 bits of `bits`.
 fn eval6(p: &Poly, bits: u8) -> Int {
     p.eval(|v| (bits >> v.0) & 1 == 1)
 }
 
-proptest! {
-    #[test]
-    fn poly_add_is_pointwise(p in arb_poly(), q in arb_poly(), bits in 0u8..64) {
-        prop_assert_eq!(eval6(&(&p + &q), bits), eval6(&p, bits) + eval6(&q, bits));
-    }
+// ---------- apint: ring axioms against i128 -------------------------------
 
-    #[test]
-    fn poly_mul_is_pointwise(p in arb_poly(), q in arb_poly(), bits in 0u8..64) {
-        prop_assert_eq!(eval6(&(&p * &q), bits), eval6(&p, bits) * eval6(&q, bits));
-    }
-
-    #[test]
-    fn poly_canonical_equality(p in arb_poly(), q in arb_poly()) {
-        // Structural equality iff semantic equality (canonicity of the
-        // normal form — the Sect. II-A argument).
-        let structurally_equal = p == q;
-        let semantically_equal = (0u8..64).all(|bits| eval6(&p, bits) == eval6(&q, bits));
-        prop_assert_eq!(structurally_equal, semantically_equal);
-    }
-
-    #[test]
-    fn poly_substitution_is_evaluation(p in arb_poly(), q in arb_poly(), v in 0u32..6, bits in 0u8..64) {
-        // p[v ← q] evaluated = p evaluated with v set to q's value —
-        // whenever q is 0/1-valued at the point.
-        let qv = eval6(&q, bits);
-        prop_assume!(qv == Int::zero() || qv == Int::one());
-        let subst = p.substitute(Var(v), &q);
-        let direct = p.eval(|x| {
-            if x == Var(v) {
-                qv == Int::one()
-            } else {
-                (bits >> x.0) & 1 == 1
-            }
-        });
-        prop_assert_eq!(eval6(&subst, bits), direct);
-    }
-
-    #[test]
-    fn poly_complement_is_one_minus(p in arb_poly(), bits in 0u8..64) {
-        prop_assert_eq!(eval6(&p.complement(), bits), Int::one() - eval6(&p, bits));
-    }
-
-    #[test]
-    fn monomial_mul_is_union(a in arb_monomial(), b in arb_monomial()) {
-        let prod = a.mul(&b);
-        for v in a.vars().iter().chain(b.vars()) {
-            prop_assert!(prod.contains(*v));
+#[test]
+fn apint_add_matches_i128() {
+    prop_check!(
+        256,
+        |rng: &mut XorShift64| (gen_int(rng), gen_int(rng)),
+        |((a, xa), (b, xb)): ((Int, i128), (Int, i128))| {
+            &a + &b == Int::from(xa + xb)
+                && &a - &b == Int::from(xa - xb)
+                && a.cmp(&b) == xa.cmp(&xb)
         }
-        prop_assert!(prod.degree() <= a.degree() + b.degree());
-        prop_assert_eq!(a.mul(&b), b.mul(&a));
-    }
+    );
+}
+
+#[test]
+fn apint_mul_matches_i128() {
+    prop_check!(
+        256,
+        |rng: &mut XorShift64| (rng.next_i64(), rng.next_i64()),
+        |(a, b): (i64, i64)| Int::from(a) * Int::from(b) == Int::from(a as i128 * b as i128)
+    );
+}
+
+#[test]
+fn apint_shl_is_mul_pow2() {
+    prop_check!(
+        256,
+        |rng: &mut XorShift64| (rng.next_i64(), rng.below(150) as u32),
+        |(a, k): (i64, u32)| Int::from(a).shl_pow2(k) == Int::from(a) * Int::pow2(k)
+    );
+}
+
+#[test]
+fn apint_display_roundtrip() {
+    prop_check!(
+        256,
+        |rng: &mut XorShift64| gen_int(rng).0,
+        |a: Int| a.to_string().parse::<Int>().expect("own display parses") == a
+    );
+}
+
+#[test]
+fn apint_associativity() {
+    prop_check!(
+        256,
+        |rng: &mut XorShift64| (gen_int(rng).0, gen_int(rng).0, Int::from(rng.next_i64())),
+        |(a, b, c): (Int, Int, Int)| {
+            &(&a + &b) + &c == &a + &(&b + &c)
+                && &(&a * &b) * &c == &a * &(&b * &c)
+                && &a * &(&b + &c) == &(&a * &b) + &(&a * &c)
+        }
+    );
+}
+
+#[test]
+fn apint_shr_floor_matches_i128() {
+    prop_check!(
+        256,
+        |rng: &mut XorShift64| (rng.next_i64(), rng.below(80) as u32),
+        |(a, k): (i64, u32)| {
+            let expect = if k >= 127 {
+                if a < 0 {
+                    -1i128
+                } else {
+                    0
+                }
+            } else {
+                (a as i128) >> k
+            };
+            Int::from(a).shr_floor_pow2(k) == Int::from(expect)
+        }
+    );
+}
+
+// ---------- poly: algebra is pointwise arithmetic --------------------------
+
+#[test]
+fn poly_add_is_pointwise() {
+    prop_check!(
+        256,
+        |rng: &mut XorShift64| (gen_poly(rng), gen_poly(rng), rng.below(64) as u8),
+        |(p, q, bits): (Poly, Poly, u8)| {
+            eval6(&(&p + &q), bits) == eval6(&p, bits) + eval6(&q, bits)
+        }
+    );
+}
+
+#[test]
+fn poly_mul_is_pointwise() {
+    prop_check!(
+        256,
+        |rng: &mut XorShift64| (gen_poly(rng), gen_poly(rng), rng.below(64) as u8),
+        |(p, q, bits): (Poly, Poly, u8)| {
+            eval6(&(&p * &q), bits) == eval6(&p, bits) * eval6(&q, bits)
+        }
+    );
+}
+
+#[test]
+fn poly_canonical_equality() {
+    // Structural equality iff semantic equality (canonicity of the
+    // normal form — the Sect. II-A argument).
+    prop_check!(
+        256,
+        |rng: &mut XorShift64| (gen_poly(rng), gen_poly(rng)),
+        |(p, q): (Poly, Poly)| {
+            let structurally_equal = p == q;
+            let semantically_equal = (0u8..64).all(|bits| eval6(&p, bits) == eval6(&q, bits));
+            structurally_equal == semantically_equal
+        }
+    );
+}
+
+#[test]
+fn poly_substitution_is_evaluation() {
+    // p[v ← q] evaluated = p evaluated with v set to q's value —
+    // whenever q is 0/1-valued at the point.
+    prop_check!(
+        256,
+        |rng: &mut XorShift64| {
+            (gen_poly(rng), gen_poly(rng), Var(rng.below(6) as u32), rng.below(64) as u8)
+        },
+        |(p, q, v, bits): (Poly, Poly, Var, u8)| {
+            let qv = eval6(&q, bits);
+            if qv != Int::zero() && qv != Int::one() {
+                return true; // vacuous: q is not 0/1-valued here
+            }
+            let subst = p.substitute(v, &q);
+            let direct = p.eval(|x| {
+                if x == v {
+                    qv == Int::one()
+                } else {
+                    (bits >> x.0) & 1 == 1
+                }
+            });
+            eval6(&subst, bits) == direct
+        }
+    );
+}
+
+#[test]
+fn poly_complement_is_one_minus() {
+    prop_check!(
+        256,
+        |rng: &mut XorShift64| (gen_poly(rng), rng.below(64) as u8),
+        |(p, bits): (Poly, u8)| {
+            eval6(&p.complement(), bits) == Int::one() - eval6(&p, bits)
+        }
+    );
+}
+
+#[test]
+fn monomial_mul_is_union() {
+    prop_check!(
+        256,
+        |rng: &mut XorShift64| (gen_monomial(rng), gen_monomial(rng)),
+        |(a, b): (Monomial, Monomial)| {
+            let prod = a.mul(&b);
+            a.vars().iter().chain(b.vars()).all(|v| prod.contains(*v))
+                && prod.degree() <= a.degree() + b.degree()
+                && a.mul(&b) == b.mul(&a)
+        }
+    );
 }
 
 // ---------- BDD ops agree with truth tables --------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-    #[test]
-    fn bdd_ops_match_truth_tables(ops in proptest::collection::vec((0u8..6, 0usize..8, 0usize..8), 1..12)) {
-        use sbif::bdd::BddManager;
-        let mut m = BddManager::new();
-        let mut funcs: Vec<sbif::bdd::Bdd> = (0..4).map(|i| m.var(i)).collect();
-        // Mirror truth tables over 4 variables (16 rows).
-        let mut tables: Vec<u16> = vec![0xAAAA, 0xCCCC, 0xF0F0, 0xFF00];
-        for (op, i, j) in ops {
-            let (a, b) = (funcs[i % funcs.len()], funcs[j % funcs.len()]);
-            let (ta, tb) = (tables[i % tables.len()], tables[j % tables.len()]);
-            let (f, t) = match op {
-                0 => (m.and(a, b), ta & tb),
-                1 => (m.or(a, b), ta | tb),
-                2 => (m.xor(a, b), ta ^ tb),
-                3 => (m.not(a), !ta),
-                4 => (m.iff(a, b), !(ta ^ tb)),
-                _ => (m.implies(a, b), !ta | tb),
-            };
-            funcs.push(f);
-            tables.push(t);
-        }
-        for (f, t) in funcs.iter().zip(&tables) {
-            for row in 0..16u16 {
-                let got = m.eval(*f, |v| (row >> v) & 1 == 1);
-                prop_assert_eq!(got, (t >> row) & 1 == 1);
+#[test]
+fn bdd_ops_match_truth_tables() {
+    prop_check!(
+        64,
+        |rng: &mut XorShift64| {
+            let len = 1 + rng.below(11) as usize;
+            (0..len)
+                .map(|_| (rng.below(6) as u8, rng.below(8) as usize, rng.below(8) as usize))
+                .collect::<Vec<_>>()
+        },
+        |ops: Vec<(u8, usize, usize)>| {
+            use sbif::bdd::BddManager;
+            let mut m = BddManager::new();
+            let mut funcs: Vec<sbif::bdd::Bdd> = (0..4).map(|i| m.var(i)).collect();
+            // Mirror truth tables over 4 variables (16 rows).
+            let mut tables: Vec<u16> = vec![0xAAAA, 0xCCCC, 0xF0F0, 0xFF00];
+            for (op, i, j) in ops {
+                let (a, b) = (funcs[i % funcs.len()], funcs[j % funcs.len()]);
+                let (ta, tb) = (tables[i % tables.len()], tables[j % tables.len()]);
+                let (f, t) = match op {
+                    0 => (m.and(a, b), ta & tb),
+                    1 => (m.or(a, b), ta | tb),
+                    2 => (m.xor(a, b), ta ^ tb),
+                    3 => (m.not(a), !ta),
+                    4 => (m.iff(a, b), !(ta ^ tb)),
+                    _ => (m.implies(a, b), !ta | tb),
+                };
+                funcs.push(f);
+                tables.push(t);
             }
+            funcs.iter().zip(&tables).all(|(f, t)| {
+                (0..16u16).all(|row| {
+                    m.eval(*f, |v| (row >> v) & 1 == 1) == ((t >> row) & 1 == 1)
+                })
+            })
         }
-    }
-}
-
-// ---------- apint shifts -----------------------------------------------------
-
-proptest! {
-    #[test]
-    fn apint_shr_floor_matches_i128(a in any::<i64>(), k in 0u32..80) {
-        let expect = if k >= 127 {
-            if a < 0 { -1i128 } else { 0 }
-        } else {
-            (a as i128) >> k
-        };
-        prop_assert_eq!(Int::from(a).shr_floor_pow2(k), Int::from(expect));
-    }
+    );
 }
 
 // ---------- BDD reordering preserves functions ------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-    #[test]
-    fn sifting_preserves_random_circuit_functions(seed in 0u64..1000) {
-        use sbif::bdd::{bdd_of_signal, BddManager};
-        use rand::rngs::SmallRng;
-        use rand::{Rng, SeedableRng};
-        let mut rng = SmallRng::seed_from_u64(seed);
-        let mut nl = sbif::netlist::Netlist::new();
-        let mut pool: Vec<sbif::netlist::Sig> =
-            (0..5).map(|i| nl.input(&format!("x[{i}]"))).collect();
-        for _ in 0..25 {
-            let a = pool[rng.gen_range(0..pool.len())];
-            let b = pool[rng.gen_range(0..pool.len())];
-            let g = match rng.gen_range(0..4) {
-                0 => nl.and(a, b),
-                1 => nl.or(a, b),
-                2 => nl.xor(a, b),
-                _ => nl.not(a),
-            };
-            pool.push(g);
-        }
-        let out = *pool.last().expect("non-empty");
-        nl.add_output("o", out);
-        let mut m = BddManager::new();
-        let f = bdd_of_signal(&mut m, &nl, out);
-        let table: Vec<bool> = (0u64..32)
-            .map(|bits| {
-                let inputs: Vec<bool> = (0..5).map(|i| (bits >> i) & 1 == 1).collect();
-                nl.simulate_bool(&inputs)[out.index()]
+#[test]
+fn sifting_preserves_random_circuit_functions() {
+    prop_check!(
+        32,
+        |rng: &mut XorShift64| rng.next_u64(),
+        |seed: u64| {
+            use sbif::bdd::{bdd_of_signal, BddManager};
+            let mut rng = XorShift64::seed_from_u64(seed);
+            let mut nl = sbif::netlist::Netlist::new();
+            let mut pool: Vec<sbif::netlist::Sig> =
+                (0..5).map(|i| nl.input(&format!("x[{i}]"))).collect();
+            for _ in 0..25 {
+                let a = pool[rng.range_usize(0, pool.len())];
+                let b = pool[rng.range_usize(0, pool.len())];
+                let g = match rng.below(4) {
+                    0 => nl.and(a, b),
+                    1 => nl.or(a, b),
+                    2 => nl.xor(a, b),
+                    _ => nl.not(a),
+                };
+                pool.push(g);
+            }
+            let out = *pool.last().expect("non-empty");
+            nl.add_output("o", out);
+            let mut m = BddManager::new();
+            let f = bdd_of_signal(&mut m, &nl, out);
+            let table: Vec<bool> = (0u64..32)
+                .map(|bits| {
+                    let inputs: Vec<bool> = (0..5).map(|i| (bits >> i) & 1 == 1).collect();
+                    nl.simulate_bool(&inputs)[out.index()]
+                })
+                .collect();
+            m.sift_symmetric(&[f]);
+            table.iter().enumerate().all(|(bits, &expect)| {
+                let got = m.eval(f, |v| {
+                    let s = sbif::netlist::Sig(v);
+                    let name = nl.name(s).expect("input var");
+                    let idx: usize = name[2..name.len() - 1].parse().expect("x[i]");
+                    (bits >> idx) & 1 == 1
+                });
+                got == expect
             })
-            .collect();
-        m.sift_symmetric(&[f]);
-        for (bits, &expect) in table.iter().enumerate() {
-            let got = m.eval(f, |v| {
-                let s = sbif::netlist::Sig(v);
-                let name = nl.name(s).expect("input var");
-                let idx: usize = name[2..name.len() - 1].parse().expect("x[i]");
-                (bits >> idx) & 1 == 1
-            });
-            prop_assert_eq!(got, expect, "bits {:b}", bits);
         }
-    }
+    );
 }
 
 // ---------- netlist simulation agrees with word evaluation ------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-    #[test]
-    fn divider_simulation_is_division(n in 2usize..6, r0 in any::<u64>(), d in any::<u64>()) {
-        use sbif::netlist::build::nonrestoring_divider;
-        let div = nonrestoring_divider(n);
-        let dmax = 1u64 << (n - 1);
-        let d = d % (dmax - 1) + 1; // 1 ..= dmax-1
-        let r0 = r0 % (d << (n - 1));
-        let out = div.netlist.eval_u64(&[("r0", r0), ("d", d)]);
-        prop_assert_eq!(out["q"], r0 / d);
-        prop_assert_eq!(out["r"], r0 % d);
-    }
+#[test]
+fn divider_simulation_is_division() {
+    prop_check!(
+        64,
+        |rng: &mut XorShift64| (2 + rng.below(4) as usize, rng.next_u64(), rng.next_u64()),
+        |(n, r0, d): (usize, u64, u64)| {
+            use sbif::netlist::build::nonrestoring_divider;
+            let div = nonrestoring_divider(n);
+            let dmax = 1u64 << (n - 1);
+            let d = if dmax > 1 { d % (dmax - 1) + 1 } else { 1 };
+            let r0 = r0 % (d << (n - 1));
+            let out = div.netlist.eval_u64(&[("r0", r0), ("d", d)]);
+            out["q"] == r0 / d && out["r"] == r0 % d
+        }
+    );
 }
 
 // ---------- SAT solver agrees with brute force ------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-    #[test]
-    fn solver_matches_bruteforce(clauses in proptest::collection::vec(
-        proptest::collection::vec((0u32..5, any::<bool>()), 1..4), 0..12)) {
-        use sbif::sat::{Lit, SolveResult, Solver, Var as SVar};
-        let mut s = Solver::new();
-        for _ in 0..5 {
-            s.new_var();
-        }
-        for c in &clauses {
-            s.add_clause(c.iter().map(|&(v, pos)| Lit::with_polarity(SVar(v), pos)));
-        }
-        let brute = (0u32..32).any(|m| {
-            clauses.iter().all(|c| {
-                c.iter().any(|&(v, pos)| ((m >> v) & 1 == 1) == pos)
-            })
-        });
-        let got = s.solve();
-        prop_assert_eq!(got == SolveResult::Sat, brute);
-        if got == SolveResult::Sat {
-            for c in &clauses {
-                let satisfied = c
-                    .iter()
-                    .any(|&(v, pos)| s.model_value(SVar(v)).unwrap_or(false) == pos);
-                prop_assert!(satisfied);
+#[test]
+fn solver_matches_bruteforce() {
+    prop_check!(
+        128,
+        |rng: &mut XorShift64| {
+            let num_clauses = rng.below(12) as usize;
+            (0..num_clauses)
+                .map(|_| {
+                    let len = 1 + rng.below(3) as usize;
+                    (0..len)
+                        .map(|_| (rng.below(5) as u32, rng.next_bool()))
+                        .collect::<Vec<_>>()
+                })
+                .collect::<Vec<_>>()
+        },
+        |clauses: Vec<Vec<(u32, bool)>>| {
+            use sbif::sat::{Lit, SolveResult, Solver, Var as SVar};
+            let mut s = Solver::new();
+            for _ in 0..5 {
+                s.new_var();
             }
+            for c in &clauses {
+                s.add_clause(c.iter().map(|&(v, pos)| Lit::with_polarity(SVar(v), pos)));
+            }
+            let brute = (0u32..32).any(|m| {
+                clauses.iter().all(|c| c.iter().any(|&(v, pos)| ((m >> v) & 1 == 1) == pos))
+            });
+            let got = s.solve();
+            if (got == SolveResult::Sat) != brute {
+                return false;
+            }
+            if got == SolveResult::Sat {
+                return clauses.iter().all(|c| {
+                    c.iter().any(|&(v, pos)| s.model_value(SVar(v)).unwrap_or(false) == pos)
+                });
+            }
+            true
         }
-    }
+    );
 }
