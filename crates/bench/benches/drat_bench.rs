@@ -1,0 +1,74 @@
+//! Benchmarks of the certification pipeline: proof-logging overhead in
+//! the solver and throughput of the independent DRAT checker.
+
+use sbif_bench::harness::Harness;
+use sbif_check::{certify_unsat, DratStep};
+use sbif_sat::{Lit, SolveResult, Solver};
+
+/// Builds the pigeonhole instance PHP(pigeons, holes) in `s`.
+fn pigeonhole(s: &mut Solver, pigeons: i64, holes: i64) {
+    for _ in 0..holes * pigeons {
+        s.new_var();
+    }
+    let p = |i: i64, j: i64| Lit::from_dimacs(i * holes + j + 1);
+    for i in 0..pigeons {
+        s.add_clause((0..holes).map(|j| p(i, j)));
+    }
+    for j in 0..holes {
+        for i1 in 0..pigeons {
+            for i2 in (i1 + 1)..pigeons {
+                s.add_clause([!p(i1, j), !p(i2, j)]);
+            }
+        }
+    }
+}
+
+fn bench_drat(c: &mut Harness) {
+    // Logging overhead: same UNSAT instance with and without the proof
+    // sink (the delta is what `--certify` costs inside the solver).
+    c.bench_function("php_6_5_solve_plain", |bench| {
+        bench.iter(|| {
+            let mut s = Solver::new();
+            pigeonhole(&mut s, 6, 5);
+            assert_eq!(s.solve(), SolveResult::Unsat);
+        })
+    });
+    c.bench_function("php_6_5_solve_logged", |bench| {
+        bench.iter(|| {
+            let mut s = Solver::new();
+            s.enable_proof_log();
+            pigeonhole(&mut s, 6, 5);
+            assert_eq!(s.solve(), SolveResult::Unsat);
+        })
+    });
+
+    // Checker throughput on a recorded refutation.
+    let mut s = Solver::new();
+    s.enable_proof_log();
+    pigeonhole(&mut s, 7, 6);
+    assert_eq!(s.solve(), SolveResult::Unsat);
+    let proof = s.proof().expect("logged");
+    let formula = proof.formula().to_vec();
+    let steps: Vec<DratStep> = proof
+        .steps()
+        .iter()
+        .map(|e| {
+            if e.delete {
+                DratStep::delete(e.lits.clone())
+            } else {
+                DratStep::add(e.lits.clone())
+            }
+        })
+        .collect();
+    c.bench_function("php_7_6_drat_check", |bench| {
+        bench.iter(|| {
+            let o = certify_unsat(&formula, &steps, &[]);
+            assert!(o.accepted, "{:?}", o.detail);
+        })
+    });
+}
+
+fn main() {
+    let mut harness = Harness::from_args();
+    bench_drat(&mut harness);
+}

@@ -32,9 +32,10 @@
 mod sat_cec;
 mod sweep;
 
-pub use sat_cec::sat_cec;
+pub use sat_cec::{sat_cec, sat_cec_with};
 pub use sweep::{sweep_cec, SweepConfig};
 
+use sbif_check::{certify_unsat, CertOutcome, CertStats, DratStep};
 use sbif_netlist::{Netlist, Sig};
 
 /// Verdict of an equivalence check.
@@ -58,6 +59,9 @@ pub struct CecStats {
     pub merged: usize,
     /// Counterexamples fed back into simulation (sweeping only).
     pub refinements: usize,
+    /// DRAT certificates of the UNSAT answers, when certification was
+    /// requested (see [`sat_cec_with`]).
+    pub cert: CertStats,
 }
 
 /// Outcome of an equivalence check: verdict plus statistics.
@@ -67,6 +71,26 @@ pub struct CecOutcome {
     pub result: CecResult,
     /// The counters.
     pub stats: CecStats,
+}
+
+/// Replays the UNSAT answer of a proof-logging solver through the
+/// independent DRAT checker of `sbif-check`.
+pub(crate) fn certify_solver_unsat(solver: &sbif_sat::Solver) -> CertOutcome {
+    let proof = solver.proof().expect("certify requires enable_proof_log()");
+    let steps: Vec<DratStep> = proof
+        .steps()
+        .iter()
+        .map(|e| {
+            if e.delete {
+                DratStep::delete(e.lits.clone())
+            } else {
+                DratStep::add(e.lits.clone())
+            }
+        })
+        .collect();
+    let failed: Vec<i32> =
+        solver.unsat_assumptions().map(|l| l.to_dimacs() as i32).collect();
+    certify_unsat(proof.formula(), &steps, &failed)
 }
 
 /// Extracts a named-input counterexample from a solver model.

@@ -1,0 +1,687 @@
+//! A forward DRAT (RUP subset) proof checker.
+//!
+//! Checks a clausal refutation: given a CNF formula and a sequence of
+//! clause additions/deletions, verify that every added clause is a
+//! **reverse unit propagation** (RUP) consequence of the clauses active
+//! before it, and that the derivation reaches the empty clause. On
+//! success the formula is unsatisfiable — no trust in the producing
+//! solver is required.
+//!
+//! # Independence
+//!
+//! This module deliberately shares **no code** with `sbif-sat`: clauses
+//! are plain `i32` DIMACS literals, and the watched-literal propagation
+//! here is a from-scratch implementation with its own data layout
+//! (signed assignment bytes, clause-id watch lists, explicit reason
+//! graph). A bug in the solver's propagation or conflict analysis cannot
+//! silently re-certify itself.
+//!
+//! # Deletions
+//!
+//! Deletion steps remove one active clause matching the literal multiset
+//! (solver-side watch swaps reorder literals, so matching is
+//! order-insensitive). Like `drat-trim`, a deletion of a clause that is
+//! currently the reason of a root-level implied literal is ignored: the
+//! clause stays active. This only retains logical consequences, so the
+//! refutation stays sound; it merely makes the checker lenient about an
+//! (unusual) deletion pattern the solver never emits.
+//!
+//! # Trimming
+//!
+//! Every verified addition records its *antecedents* — the clause ids
+//! whose unit propagations produced the RUP conflict. After the empty
+//! clause is verified, a backward reachability pass over this graph
+//! marks the additions that actually contribute to the refutation;
+//! [`DratStats::used_additions`] reports how many of the logged clauses
+//! were needed.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// One step of a DRAT derivation: an addition or (`delete = true`) a
+/// deletion, over DIMACS literals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DratStep {
+    /// `true` for a deletion step.
+    pub delete: bool,
+    /// The clause, as DIMACS literals.
+    pub lits: Vec<i32>,
+}
+
+impl DratStep {
+    /// An addition step.
+    pub fn add(lits: Vec<i32>) -> Self {
+        DratStep { delete: false, lits }
+    }
+
+    /// A deletion step.
+    pub fn delete(lits: Vec<i32>) -> Self {
+        DratStep { delete: true, lits }
+    }
+}
+
+/// Statistics of a successful check.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DratStats {
+    /// Clauses in the checked formula.
+    pub formula_clauses: usize,
+    /// Addition steps verified (up to and including the empty clause).
+    pub additions: usize,
+    /// Deletion steps applied.
+    pub deletions: usize,
+    /// Addition steps on the backward-reachable path to the empty clause.
+    pub used_additions: usize,
+    /// Unit propagations performed while checking.
+    pub propagations: u64,
+}
+
+impl DratStats {
+    /// Fraction of verified additions that the refutation actually uses
+    /// (1.0 for an empty derivation).
+    pub fn used_fraction(&self) -> f64 {
+        if self.additions == 0 {
+            1.0
+        } else {
+            self.used_additions as f64 / self.additions as f64
+        }
+    }
+}
+
+/// Why a derivation was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DratError {
+    /// An added clause is not a RUP consequence of the active set.
+    NotRup {
+        /// 0-based index of the offending step.
+        step: usize,
+        /// The clause that failed the check.
+        clause: Vec<i32>,
+    },
+    /// A deletion step names a clause that is not active.
+    UnknownDeletion {
+        /// 0-based index of the offending step.
+        step: usize,
+        /// The clause the step tried to delete.
+        clause: Vec<i32>,
+    },
+    /// The derivation ended without deriving the empty clause.
+    NoRefutation,
+}
+
+impl fmt::Display for DratError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DratError::NotRup { step, clause } => {
+                write!(f, "step {step}: clause {clause:?} is not RUP")
+            }
+            DratError::UnknownDeletion { step, clause } => {
+                write!(f, "step {step}: deletion of inactive clause {clause:?}")
+            }
+            DratError::NoRefutation => write!(f, "derivation does not reach the empty clause"),
+        }
+    }
+}
+
+impl std::error::Error for DratError {}
+
+const NO_REASON: usize = usize::MAX;
+
+struct CClause {
+    lits: Vec<i32>,
+    active: bool,
+    /// Index into the additions list (None for formula clauses).
+    addition: Option<usize>,
+    /// Clause ids whose propagations verified this addition.
+    antecedents: Vec<usize>,
+}
+
+/// The checker state: an independent watched-literal propagator.
+struct Checker {
+    clauses: Vec<CClause>,
+    /// Watch lists indexed by literal (see [`Checker::widx`]).
+    watches: Vec<Vec<usize>>,
+    /// Assignment per variable: 0 unknown, 1 true, -1 false.
+    assign: Vec<i8>,
+    /// Assigned literals in propagation order.
+    trail: Vec<i32>,
+    /// Reason clause id per variable (`NO_REASON` for RUP assumptions).
+    reason: Vec<usize>,
+    qhead: usize,
+    /// Active clause ids keyed by sorted literal multiset.
+    by_key: HashMap<Vec<i32>, Vec<usize>>,
+    /// Antecedents of a root-level conflict, once one exists.
+    root_conflict: Option<Vec<usize>>,
+    /// Addition index of each verified addition step, in order.
+    additions: Vec<usize>,
+    stats: DratStats,
+    /// Scratch for antecedent collection.
+    seen: Vec<bool>,
+}
+
+impl Checker {
+    fn new(num_vars: usize) -> Self {
+        Checker {
+            clauses: Vec::new(),
+            watches: vec![Vec::new(); 2 * (num_vars + 1)],
+            assign: vec![0; num_vars + 1],
+            trail: Vec::new(),
+            reason: vec![NO_REASON; num_vars + 1],
+            qhead: 0,
+            by_key: HashMap::new(),
+            root_conflict: None,
+            additions: Vec::new(),
+            stats: DratStats::default(),
+            seen: vec![false; num_vars + 1],
+        }
+    }
+
+    #[inline]
+    fn widx(l: i32) -> usize {
+        2 * l.unsigned_abs() as usize + (l < 0) as usize
+    }
+
+    #[inline]
+    fn value(&self, l: i32) -> i8 {
+        let v = self.assign[l.unsigned_abs() as usize];
+        if l < 0 {
+            -v
+        } else {
+            v
+        }
+    }
+
+    fn enqueue(&mut self, l: i32, reason: usize) {
+        debug_assert_eq!(self.value(l), 0);
+        self.assign[l.unsigned_abs() as usize] = if l < 0 { -1 } else { 1 };
+        self.reason[l.unsigned_abs() as usize] = reason;
+        self.trail.push(l);
+    }
+
+    fn key(lits: &[i32]) -> Vec<i32> {
+        let mut k = lits.to_vec();
+        k.sort_unstable();
+        k.dedup();
+        k
+    }
+
+    /// Unit propagation; returns the id of a conflicting clause.
+    fn propagate(&mut self) -> Option<usize> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+            // Watchers of ¬p: the clause lost a watched literal.
+            let widx = Self::widx(-p);
+            let mut ws = std::mem::take(&mut self.watches[widx]);
+            let mut i = 0;
+            'watchers: while i < ws.len() {
+                let cid = ws[i];
+                if !self.clauses[cid].active {
+                    ws.swap_remove(i);
+                    continue;
+                }
+                // Ensure lits[1] is the falsified watch.
+                {
+                    let c = &mut self.clauses[cid];
+                    if c.lits[0] == -p {
+                        c.lits.swap(0, 1);
+                    }
+                }
+                let first = self.clauses[cid].lits[0];
+                if self.value(first) > 0 {
+                    i += 1;
+                    continue;
+                }
+                let len = self.clauses[cid].lits.len();
+                for k in 2..len {
+                    let lk = self.clauses[cid].lits[k];
+                    // `lk != first`: with duplicate literals (e.g.
+                    // `x ∨ y ∨ y`), picking a copy of the other watch
+                    // would put both watches on one literal and lose the
+                    // clause's unit propagation.
+                    if self.value(lk) >= 0 && lk != first {
+                        self.clauses[cid].lits.swap(1, k);
+                        self.watches[Self::widx(lk)].push(cid);
+                        ws.swap_remove(i);
+                        continue 'watchers;
+                    }
+                }
+                if self.value(first) < 0 {
+                    self.watches[widx] = ws;
+                    return Some(cid);
+                }
+                self.enqueue(first, cid);
+                i += 1;
+            }
+            self.watches[widx] = ws;
+        }
+        None
+    }
+
+    /// Collects the clause ids on the reason paths of `seed_vars` plus
+    /// `extra` (the conflict clause itself, if any).
+    fn collect_antecedents(&mut self, seed_vars: &[u32], extra: Option<usize>) -> Vec<usize> {
+        let mut out: Vec<usize> = Vec::new();
+        let mut cseen: std::collections::HashSet<usize> = std::collections::HashSet::new();
+        let mut cstack: Vec<usize> = Vec::new();
+        let mut vstack: Vec<u32> = seed_vars.to_vec();
+        let mut marked: Vec<u32> = Vec::new();
+        if let Some(cid) = extra {
+            cstack.push(cid);
+        }
+        loop {
+            if let Some(v) = vstack.pop() {
+                if self.seen[v as usize] {
+                    continue;
+                }
+                self.seen[v as usize] = true;
+                marked.push(v);
+                let r = self.reason[v as usize];
+                if r != NO_REASON {
+                    cstack.push(r);
+                }
+            } else if let Some(cid) = cstack.pop() {
+                if !cseen.insert(cid) {
+                    continue;
+                }
+                out.push(cid);
+                for i in 0..self.clauses[cid].lits.len() {
+                    vstack.push(self.clauses[cid].lits[i].unsigned_abs());
+                }
+            } else {
+                break;
+            }
+        }
+        for v in marked {
+            self.seen[v as usize] = false;
+        }
+        out
+    }
+
+    /// Verifies that `lits` is RUP w.r.t. the active clauses; on success
+    /// returns the antecedent clause ids.
+    fn check_rup(&mut self, lits: &[i32]) -> Option<Vec<usize>> {
+        if let Some(a) = &self.root_conflict {
+            // The active set is already contradictory: everything is RUP.
+            return Some(a.clone());
+        }
+        let saved = self.trail.len();
+        let mut result = None;
+        let mut assumed: Vec<i32> = Vec::new();
+        for &l in lits {
+            match self.value(l) {
+                1 => {
+                    // ¬l contradicts a root-implied literal: immediate
+                    // conflict, antecedents = reason path of l.
+                    result = Some(self.collect_antecedents(&[l.unsigned_abs()], None));
+                    break;
+                }
+                -1 => continue, // ¬l already holds
+                _ => {
+                    self.enqueue(-l, NO_REASON);
+                    assumed.push(-l);
+                }
+            }
+        }
+        if result.is_none() {
+            if let Some(confl) = self.propagate() {
+                let vars: Vec<u32> =
+                    self.clauses[confl].lits.iter().map(|l| l.unsigned_abs()).collect();
+                result = Some(self.collect_antecedents(&vars, Some(confl)));
+            }
+        }
+        // Undo the temporary assumptions and their propagations.
+        while self.trail.len() > saved {
+            let l = self.trail.pop().unwrap();
+            self.assign[l.unsigned_abs() as usize] = 0;
+            self.reason[l.unsigned_abs() as usize] = NO_REASON;
+        }
+        self.qhead = self.trail.len();
+        result
+    }
+
+    /// Inserts a clause into the active set, maintaining root-level unit
+    /// propagation. `addition` is `Some(step index)` for derived clauses.
+    fn attach(&mut self, lits: Vec<i32>, addition: Option<usize>, antecedents: Vec<usize>) {
+        let cid = self.clauses.len();
+        let key = Self::key(&lits);
+        self.clauses.push(CClause { lits, active: true, addition, antecedents });
+        self.by_key.entry(key).or_default().push(cid);
+        if self.root_conflict.is_some() {
+            return; // already refuted; no propagation structure needed
+        }
+        // Pick two non-false literals to watch; fewer means the clause
+        // is unit or conflicting at root level.
+        let lits = &self.clauses[cid].lits;
+        let mut free: Vec<usize> = Vec::with_capacity(2);
+        for (i, &l) in lits.iter().enumerate() {
+            // Distinct literals only: a clause like (x ∨ x) must be
+            // recognized as a unit, not watched at two copies of x.
+            if self.value(l) >= 0 && !free.iter().any(|&j| lits[j] == l) {
+                free.push(i);
+                if free.len() == 2 {
+                    break;
+                }
+            }
+        }
+        match free.len() {
+            2 => {
+                // free[0] < free[1] and free[1] >= 1, so the second swap
+                // never disturbs the first.
+                let c = &mut self.clauses[cid];
+                c.lits.swap(0, free[0]);
+                c.lits.swap(1, free[1]);
+                let (w0, w1) = (c.lits[0], c.lits[1]);
+                self.watches[Self::widx(w0)].push(cid);
+                self.watches[Self::widx(w1)].push(cid);
+            }
+            1 => {
+                let l = lits[free[0]];
+                if self.value(l) == 0 {
+                    self.enqueue(l, cid);
+                    if let Some(confl) = self.propagate() {
+                        let vars: Vec<u32> =
+                            self.clauses[confl].lits.iter().map(|l| l.unsigned_abs()).collect();
+                        let a = self.collect_antecedents(&vars, Some(confl));
+                        self.root_conflict = Some(a);
+                    }
+                }
+                // value(l) > 0: clause already satisfied at root.
+            }
+            _ => {
+                // Falsified at root (or the empty clause): the active set
+                // is contradictory.
+                let vars: Vec<u32> =
+                    self.clauses[cid].lits.iter().map(|l| l.unsigned_abs()).collect();
+                let a = self.collect_antecedents(&vars, Some(cid));
+                self.root_conflict = Some(a);
+            }
+        }
+    }
+
+    fn delete(&mut self, lits: &[i32]) -> bool {
+        let key = Self::key(lits);
+        let candidates: Vec<usize> = match self.by_key.get(&key) {
+            Some(ids) => ids.clone(),
+            None => return false,
+        };
+        // Prefer a clause that is not currently a reason; a locked match
+        // stays active (see module docs) but satisfies the step.
+        let mut chosen: Option<usize> = None;
+        let mut locked_match = false;
+        for &cid in &candidates {
+            if !self.clauses[cid].active {
+                continue;
+            }
+            let is_reason = self.clauses[cid].lits.iter().any(|&l| {
+                let v = l.unsigned_abs() as usize;
+                self.assign[v] != 0 && self.reason[v] == cid
+            });
+            if !is_reason {
+                chosen = Some(cid);
+                break;
+            }
+            locked_match = true;
+        }
+        if let Some(cid) = chosen {
+            self.clauses[cid].active = false;
+            if let Some(ids) = self.by_key.get_mut(&key) {
+                ids.retain(|&x| x != cid);
+            }
+            true
+        } else {
+            locked_match
+        }
+    }
+}
+
+/// Checks that `steps` is a valid RUP refutation of `formula`.
+///
+/// `formula` and `steps` use DIMACS literal conventions. The check is
+/// *forward*: steps are replayed in order and every addition must be RUP
+/// at its position; the derivation must produce the empty clause (steps
+/// after the first verified refutation are ignored, as in `drat-trim`).
+///
+/// # Errors
+///
+/// [`DratError::NotRup`] or [`DratError::UnknownDeletion`] pinpoint the
+/// first bad step; [`DratError::NoRefutation`] means all steps verified
+/// but the empty clause was never derived.
+pub fn check_refutation(formula: &[Vec<i32>], steps: &[DratStep]) -> Result<DratStats, DratError> {
+    let num_vars = formula
+        .iter()
+        .flatten()
+        .chain(steps.iter().flat_map(|s| s.lits.iter()))
+        .map(|l| l.unsigned_abs() as usize)
+        .max()
+        .unwrap_or(0);
+    let mut ck = Checker::new(num_vars);
+    ck.stats.formula_clauses = formula.len();
+    for c in formula {
+        ck.attach(c.clone(), None, Vec::new());
+    }
+    let mut refuted = ck.root_conflict.is_some() && formula.iter().any(|c| c.is_empty());
+    // A root conflict from the formula alone still needs an explicit
+    // empty-clause step (or an empty formula clause) to count as a
+    // *derivation* — fall through to the loop either way.
+    let mut final_antecedents: Option<Vec<usize>> = None;
+    if refuted {
+        final_antecedents = ck.root_conflict.clone();
+    }
+    for (i, step) in steps.iter().enumerate() {
+        if refuted {
+            break;
+        }
+        if step.delete {
+            if !ck.delete(&step.lits) {
+                return Err(DratError::UnknownDeletion { step: i, clause: step.lits.clone() });
+            }
+            ck.stats.deletions += 1;
+            continue;
+        }
+        let Some(antecedents) = ck.check_rup(&step.lits) else {
+            return Err(DratError::NotRup { step: i, clause: step.lits.clone() });
+        };
+        ck.stats.additions += 1;
+        if step.lits.is_empty() {
+            refuted = true;
+            final_antecedents = Some(antecedents);
+            break;
+        }
+        let addition_idx = ck.additions.len();
+        ck.attach(step.lits.clone(), Some(addition_idx), antecedents);
+        ck.additions.push(ck.clauses.len() - 1);
+    }
+    if !refuted {
+        return Err(DratError::NoRefutation);
+    }
+    // Trimming: backward reachability from the empty clause's antecedents.
+    let mut used = vec![false; ck.clauses.len()];
+    let mut stack = final_antecedents.unwrap_or_default();
+    while let Some(cid) = stack.pop() {
+        if used[cid] {
+            continue;
+        }
+        used[cid] = true;
+        stack.extend(ck.clauses[cid].antecedents.iter().copied());
+    }
+    ck.stats.used_additions = ck
+        .clauses
+        .iter()
+        .enumerate()
+        .filter(|(cid, c)| c.addition.is_some() && used[*cid])
+        .count();
+    Ok(ck.stats)
+}
+
+/// Parses DRAT text (as produced by the solver's `ProofLog::to_drat`)
+/// into steps. Lines are whitespace-separated literals terminated by
+/// `0`; a leading `d` marks a deletion. Returns `None` on malformed
+/// input.
+pub fn parse_drat(text: &str) -> Option<Vec<DratStep>> {
+    let mut steps = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        let (delete, rest) = match line.strip_prefix("d ") {
+            Some(r) => (true, r),
+            None => (false, line),
+        };
+        let mut lits = Vec::new();
+        let mut terminated = false;
+        for tok in rest.split_whitespace() {
+            let x: i32 = tok.parse().ok()?;
+            if x == 0 {
+                terminated = true;
+                break;
+            }
+            lits.push(x);
+        }
+        if !terminated {
+            return None;
+        }
+        steps.push(DratStep { delete, lits });
+    }
+    Some(steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn add(lits: &[i32]) -> DratStep {
+        DratStep::add(lits.to_vec())
+    }
+
+    #[test]
+    fn accepts_trivial_refutation() {
+        // x ∧ ¬x, empty clause is RUP immediately.
+        let formula = vec![vec![1], vec![-1]];
+        let stats = check_refutation(&formula, &[add(&[])]).expect("valid");
+        assert_eq!(stats.additions, 1);
+        assert_eq!(stats.formula_clauses, 2);
+    }
+
+    #[test]
+    fn accepts_resolution_chain() {
+        // (x∨y) (¬x∨y) (x∨¬y) (¬x∨¬y): derive y, then x... classic.
+        let formula = vec![vec![1, 2], vec![-1, 2], vec![1, -2], vec![-1, -2]];
+        let steps = vec![add(&[2]), add(&[])];
+        let stats = check_refutation(&formula, &steps).expect("valid");
+        assert_eq!(stats.additions, 2);
+        assert_eq!(stats.used_additions, 1); // [2] is needed
+        assert!(stats.used_fraction() > 0.4);
+    }
+
+    #[test]
+    fn rejects_non_rup_addition() {
+        let formula = vec![vec![1, 2]];
+        let err = check_refutation(&formula, &[add(&[1]), add(&[])]).unwrap_err();
+        assert_eq!(err, DratError::NotRup { step: 0, clause: vec![1] });
+    }
+
+    #[test]
+    fn rejects_missing_refutation() {
+        let formula = vec![vec![1, 2], vec![-1, 2]];
+        let err = check_refutation(&formula, &[add(&[2])]).unwrap_err();
+        assert_eq!(err, DratError::NoRefutation);
+    }
+
+    #[test]
+    fn rejects_bogus_empty_clause() {
+        // Satisfiable formula: the empty clause must NOT check.
+        let formula = vec![vec![1, 2]];
+        let err = check_refutation(&formula, &[add(&[])]).unwrap_err();
+        assert!(matches!(err, DratError::NotRup { .. }));
+    }
+
+    #[test]
+    fn deletion_of_unused_clause_ok() {
+        let formula = vec![vec![1, 2], vec![-1, 2], vec![1, -2], vec![-1, -2]];
+        let steps = vec![
+            add(&[2]),
+            DratStep::delete(vec![2, 1]), // order-insensitive match of (x∨y)
+            add(&[]),
+        ];
+        let stats = check_refutation(&formula, &steps).expect("valid");
+        assert_eq!(stats.deletions, 1);
+    }
+
+    #[test]
+    fn deletion_cannot_fake_refutation() {
+        // Deleting a clause and then claiming the empty clause must fail
+        // on a satisfiable formula.
+        let formula = vec![vec![1], vec![1, 2]];
+        let steps = vec![DratStep::delete(vec![1, 2]), add(&[])];
+        let err = check_refutation(&formula, &steps).unwrap_err();
+        assert!(matches!(err, DratError::NotRup { .. }));
+    }
+
+    #[test]
+    fn unknown_deletion_rejected() {
+        let formula = vec![vec![1], vec![-1]];
+        let steps = vec![DratStep::delete(vec![2, 3]), add(&[])];
+        let err = check_refutation(&formula, &steps).unwrap_err();
+        assert!(matches!(err, DratError::UnknownDeletion { step: 0, .. }));
+    }
+
+    #[test]
+    fn pigeonhole_hand_proof() {
+        // 2 pigeons, 1 hole: p11, p21, ¬p11∨¬p21.
+        let formula = vec![vec![1], vec![2], vec![-1, -2]];
+        let stats = check_refutation(&formula, &[add(&[])]).expect("valid");
+        assert_eq!(stats.used_additions, 0);
+        assert_eq!(stats.used_fraction(), 0.0);
+    }
+
+    #[test]
+    fn tautologies_and_duplicates_in_formula() {
+        // The solver logs original clauses verbatim, including
+        // tautologies and duplicate literals.
+        let formula = vec![vec![1, -1], vec![2, 2], vec![-2, -2]];
+        let stats = check_refutation(&formula, &[add(&[])]).expect("valid");
+        assert_eq!(stats.additions, 1);
+    }
+
+    #[test]
+    fn duplicate_literal_watch_replacement() {
+        // Distilled from a netlist encoding of a gate with identical
+        // fanins (x10 = x11 XOR x11). The duplicate-literal clauses are
+        // watched at two distinct literals; when the first watch
+        // falsifies, the remaining copy of the second watch must NOT be
+        // taken as replacement, or the unit propagation of -11 (and the
+        // ensuing conflict on [10, 11, 11]) is lost.
+        let formula = vec![
+            vec![-23],
+            vec![-22, 23],
+            vec![-10, 22],
+            vec![10, -11, -11],
+            vec![10, 11, 11],
+        ];
+        let stats = check_refutation(&formula, &[add(&[])]).expect("root BCP conflict");
+        // Only original clauses are needed; the one addition is the
+        // empty clause itself.
+        assert_eq!((stats.additions, stats.used_additions), (1, 0));
+    }
+
+    #[test]
+    fn parse_drat_roundtrip() {
+        let steps = parse_drat("1 -2 0\nd 3 0\n0\n").expect("parses");
+        assert_eq!(
+            steps,
+            vec![add(&[1, -2]), DratStep::delete(vec![3]), add(&[])]
+        );
+        assert!(parse_drat("1 2\n").is_none(), "unterminated line rejected");
+        assert!(parse_drat("1 x 0\n").is_none(), "bad literal rejected");
+    }
+
+    #[test]
+    fn unit_propagation_chain_rup() {
+        // x1, x1→x2, x2→x3, ¬x3: refutation needs the whole chain.
+        let formula = vec![vec![1], vec![-1, 2], vec![-2, 3], vec![-3]];
+        let stats = check_refutation(&formula, &[add(&[])]).expect("valid");
+        assert!(stats.propagations > 0);
+    }
+}

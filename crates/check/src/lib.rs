@@ -1,0 +1,179 @@
+//! Certification and static analysis for the SBIF pipeline.
+//!
+//! Two trust gaps are closed here:
+//!
+//! * [`drat`] — an independent forward RUP/DRAT proof checker, so that
+//!   every UNSAT answer the pipeline relies on (SBIF window merges, vc1
+//!   residual checks, CEC miters) can be machine-verified without
+//!   trusting the `sbif-sat` solver. [`certify_unsat`] packages the
+//!   common case, including UNSAT-under-assumptions.
+//! * [`lint`] — a structural netlist analyzer (`sbif-lint`) that catches
+//!   malformed inputs (combinational cycles, undriven signals, dead
+//!   cones, arity mismatches, duplicate gates) before they reach
+//!   polynomial extraction or SAT encoding.
+//!
+//! This crate intentionally depends on nothing else in the workspace:
+//! checker independence is the point (see [`drat`] module docs).
+
+pub mod drat;
+pub mod lint;
+
+pub use drat::{check_refutation, parse_drat, DratError, DratStats, DratStep};
+pub use lint::{lint_bnet, LintIssue, LintLevel, LintReport, LintRule};
+
+/// Outcome of certifying one UNSAT answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CertOutcome {
+    /// `true` if the refutation was verified.
+    pub accepted: bool,
+    /// Derivation steps the solver logged (additions, incl. the empty
+    /// clause and any final conflict clause).
+    pub steps_logged: u64,
+    /// Addition steps the refutation actually needed (trimming pass).
+    pub steps_used: u64,
+    /// Checker diagnostics on rejection.
+    pub detail: Option<String>,
+}
+
+/// Aggregated certificate statistics over many solver calls.
+///
+/// `Copy` so it can ride inside the (copyable) pipeline statistics
+/// structs and inside the parallel SBIF engine's per-attempt results.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CertStats {
+    /// UNSAT answers replayed through the checker.
+    pub checked: u32,
+    /// Certificates the checker rejected (must stay 0).
+    pub rejected: u32,
+    /// Total derivation steps logged across all checked calls.
+    pub steps_logged: u64,
+    /// Total addition steps the refutations actually used.
+    pub steps_used: u64,
+}
+
+impl CertStats {
+    /// Folds one certification outcome into the aggregate.
+    pub fn record(&mut self, outcome: &CertOutcome) {
+        self.checked += 1;
+        if !outcome.accepted {
+            self.rejected += 1;
+        }
+        self.steps_logged += outcome.steps_logged;
+        self.steps_used += outcome.steps_used;
+    }
+
+    /// Merges another aggregate into this one.
+    pub fn merge(&mut self, other: CertStats) {
+        self.checked += other.checked;
+        self.rejected += other.rejected;
+        self.steps_logged += other.steps_logged;
+        self.steps_used += other.steps_used;
+    }
+
+    /// Fraction of logged steps the refutations used (1.0 when nothing
+    /// was logged).
+    pub fn used_fraction(&self) -> f64 {
+        if self.steps_logged == 0 {
+            1.0
+        } else {
+            self.steps_used as f64 / self.steps_logged as f64
+        }
+    }
+
+    /// `true` if every checked certificate was accepted.
+    pub fn all_accepted(&self) -> bool {
+        self.rejected == 0
+    }
+}
+
+/// Certifies one UNSAT answer from a proof-logging solver run.
+///
+/// `formula` and `steps` are the solver's recorded original clauses and
+/// derivation (DIMACS literals). `failed_assumptions` is the final
+/// conflict's failed-assumption subset for UNSAT-under-assumptions
+/// answers (empty for a plain refutation); they are added as unit
+/// clauses, after which the derivation must reach the empty clause — an
+/// explicit empty-clause step is appended if the solver did not log one
+/// (the assumption case).
+pub fn certify_unsat(
+    formula: &[Vec<i32>],
+    steps: &[DratStep],
+    failed_assumptions: &[i32],
+) -> CertOutcome {
+    let mut full_formula = formula.to_vec();
+    for &a in failed_assumptions {
+        full_formula.push(vec![a]);
+    }
+    let mut full_steps = steps.to_vec();
+    if !full_steps.iter().any(|s| !s.delete && s.lits.is_empty()) {
+        full_steps.push(DratStep::add(Vec::new()));
+    }
+    let steps_logged = full_steps.iter().filter(|s| !s.delete).count() as u64;
+    match check_refutation(&full_formula, &full_steps) {
+        Ok(stats) => CertOutcome {
+            accepted: true,
+            steps_logged,
+            steps_used: stats.used_additions as u64,
+            detail: None,
+        },
+        Err(e) => CertOutcome {
+            accepted: false,
+            steps_logged,
+            steps_used: 0,
+            detail: Some(e.to_string()),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn certify_plain_refutation() {
+        let formula = vec![vec![1, 2], vec![-1, 2], vec![1, -2], vec![-1, -2]];
+        let steps = vec![DratStep::add(vec![2]), DratStep::add(vec![])];
+        let o = certify_unsat(&formula, &steps, &[]);
+        assert!(o.accepted, "{:?}", o.detail);
+        assert_eq!(o.steps_logged, 2);
+    }
+
+    #[test]
+    fn certify_under_assumptions() {
+        // x1 ∨ x2 is satisfiable; under assumptions ¬x1, ¬x2 it is not.
+        // The solver logs the final conflict clause (x1 ∨ x2 re-derived)
+        // and the checker closes the gap with the assumption units.
+        let formula = vec![vec![1, 2]];
+        let steps = vec![DratStep::add(vec![1, 2])];
+        let o = certify_unsat(&formula, &steps, &[-1, -2]);
+        assert!(o.accepted, "{:?}", o.detail);
+    }
+
+    #[test]
+    fn certify_rejects_wrong_assumption_subset() {
+        // Missing assumption: formula + {¬x1} alone is satisfiable.
+        let formula = vec![vec![1, 2]];
+        let o = certify_unsat(&formula, &[], &[-1]);
+        assert!(!o.accepted);
+        assert!(o.detail.is_some());
+    }
+
+    #[test]
+    fn stats_aggregate_and_fraction() {
+        let mut s = CertStats::default();
+        s.record(&CertOutcome { accepted: true, steps_logged: 10, steps_used: 4, detail: None });
+        s.record(&CertOutcome {
+            accepted: false,
+            steps_logged: 2,
+            steps_used: 0,
+            detail: Some("bad".into()),
+        });
+        assert_eq!((s.checked, s.rejected), (2, 1));
+        assert!(!s.all_accepted());
+        assert!((s.used_fraction() - 4.0 / 12.0).abs() < 1e-12);
+        let mut t = CertStats::default();
+        t.merge(s);
+        assert_eq!(t, s);
+        assert_eq!(CertStats::default().used_fraction(), 1.0);
+    }
+}

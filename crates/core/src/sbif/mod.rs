@@ -25,6 +25,7 @@ mod sim;
 pub use classes::EquivClasses;
 pub use sim::divider_sim_words;
 
+use sbif_check::{certify_unsat, CertOutcome, CertStats, DratStep};
 use sbif_netlist::{Gate, Netlist, Sig};
 use sbif_sat::{Budget, Lit, NetlistEncoder, SolveResult, Solver};
 
@@ -49,6 +50,11 @@ pub struct SbifConfig {
     /// into the simulation signatures as a refinement word, splitting
     /// candidate buckets so spurious pairs are not re-checked.
     pub cex_flush: usize,
+    /// Log a DRAT proof for every window check and replay each UNSAT
+    /// answer through the independent checker in `sbif-check`. A merge is
+    /// only committed if its certificate is accepted; results are
+    /// recorded in [`SbifStats::cert`].
+    pub certify: bool,
 }
 
 impl Default for SbifConfig {
@@ -59,6 +65,7 @@ impl Default for SbifConfig {
             max_candidates: 4,
             jobs: 1,
             cex_flush: 64,
+            certify: false,
         }
     }
 }
@@ -90,6 +97,9 @@ pub struct SbifStats {
     /// Wall-clock microseconds spent inside SAT checks, summed over all
     /// worker threads.
     pub sat_micros: u128,
+    /// DRAT certificate statistics over the UNSAT window checks the
+    /// commit relied on (all zero unless [`SbifConfig::certify`] is set).
+    pub cert: CertStats,
 }
 
 /// Runs Alg. 1: partitions the signals of `nl` into equivalence classes
@@ -167,8 +177,11 @@ fn rep_logged(classes: &EquivClasses, touched: &mut Vec<RepTouch>, s: Sig) -> (S
 ///
 /// Returns the solver verdict, the touch log (every representative the
 /// encoding depended on — the encoding, and hence the verdict and model,
-/// is a pure function of it), and for SAT verdicts the primary-input
-/// counterexample.
+/// is a pure function of it), for SAT verdicts the primary-input
+/// counterexample, and with [`SbifConfig::certify`] the DRAT-check
+/// outcome of every UNSAT verdict. Because the encoding is a pure
+/// function of the touch log, so is the logged proof — a cached result
+/// replayed by the deterministic commit carries the same certificate.
 pub(super) fn check_window_pair(
     nl: &Netlist,
     classes: &EquivClasses,
@@ -177,8 +190,11 @@ pub(super) fn check_window_pair(
     b: Sig,
     same_polarity: bool,
     cfg: &SbifConfig,
-) -> (SolveResult, Vec<RepTouch>, Option<Vec<bool>>) {
+) -> (SolveResult, Vec<RepTouch>, Option<Vec<bool>>, Option<CertOutcome>) {
     let mut solver = Solver::new();
+    if cfg.certify {
+        solver.enable_proof_log();
+    }
     let mut enc = NetlistEncoder::new(nl);
     let mut touched: Vec<RepTouch> = Vec::new();
     if let Some(c) = constraint {
@@ -221,7 +237,32 @@ pub(super) fn check_window_pair(
     });
     touched.sort_unstable_by_key(|&(s, r, p)| (s.0, r.0, p));
     touched.dedup();
-    (result, touched, cex)
+    let cert =
+        (cfg.certify && result == SolveResult::Unsat).then(|| certify_solver_unsat(&solver));
+    (result, touched, cex, cert)
+}
+
+/// Replays the UNSAT answer of a proof-logging solver through the
+/// independent DRAT checker in `sbif-check`.
+///
+/// The solver must have been created with `enable_proof_log()` and have
+/// just returned `Unsat`; the failed-assumption subset (empty for a
+/// plain refutation) closes the gap to the empty clause.
+pub(crate) fn certify_solver_unsat(solver: &Solver) -> CertOutcome {
+    let proof = solver.proof().expect("certify requires enable_proof_log()");
+    let steps: Vec<DratStep> = proof
+        .steps()
+        .iter()
+        .map(|e| {
+            if e.delete {
+                DratStep::delete(e.lits.clone())
+            } else {
+                DratStep::add(e.lits.clone())
+            }
+        })
+        .collect();
+    let failed: Vec<i32> = solver.unsat_assumptions().map(|l| l.to_dimacs() as i32).collect();
+    certify_unsat(proof.formula(), &steps, &failed)
 }
 
 /// Encodes the window `W_root` of depth `d_max`: a BFS backwards from
@@ -443,6 +484,30 @@ mod tests {
                 assert_eq!(vals[s.index()], vals[r.index()] ^ neg, "bits={bits:b}");
             }
         }
+    }
+
+    #[test]
+    fn certified_run_checks_every_merge() {
+        let div = nonrestoring_divider(3);
+        let sim = divider_sim_words(&div, 7, 2);
+        let plain = SbifConfig::default();
+        let certified = SbifConfig { certify: true, ..plain };
+        let (classes_p, stats_p) =
+            forward_information(&div.netlist, Some(div.constraint), &sim, plain);
+        let (classes_c, stats_c) =
+            forward_information(&div.netlist, Some(div.constraint), &sim, certified);
+        // Every committed merge carries exactly one accepted certificate,
+        // and certification must not change what is proven.
+        assert_eq!(stats_c.cert.checked as usize, stats_c.proven);
+        assert!(stats_c.cert.all_accepted(), "rejected: {}", stats_c.cert.rejected);
+        assert!(stats_c.cert.checked > 0);
+        assert!(stats_c.cert.steps_used <= stats_c.cert.steps_logged);
+        assert_eq!(stats_p.proven, stats_c.proven);
+        for s in div.netlist.signals() {
+            assert_eq!(classes_p.rep(s), classes_c.rep(s));
+        }
+        // The plain run logs nothing.
+        assert_eq!(stats_p.cert, sbif_check::CertStats::default());
     }
 
     #[test]

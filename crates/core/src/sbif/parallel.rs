@@ -31,6 +31,7 @@
 //!   SAT-checked again.
 
 use super::{check_window_pair, EquivClasses, RepTouch, SbifConfig, SbifStats};
+use sbif_check::CertOutcome;
 use sbif_netlist::{Netlist, Sig};
 use sbif_sat::SolveResult;
 use std::collections::HashMap;
@@ -99,6 +100,11 @@ struct Attempt {
     touched: Vec<RepTouch>,
     /// Primary-input counterexample for SAT outcomes.
     cex: Option<Vec<bool>>,
+    /// DRAT-check outcome for UNSAT verdicts under
+    /// [`SbifConfig::certify`]. Rides with the attempt so a cache hit at
+    /// commit time reports the same certificate as a fresh check (the
+    /// proof is a pure function of the touch set).
+    cert: Option<CertOutcome>,
 }
 
 struct WorkItem {
@@ -147,12 +153,15 @@ fn worker(
                 tried.push(rb);
                 let eps = item.epoch.flip[i] == item.epoch.flip[b.index()];
                 let t0 = Instant::now();
-                let (result, touched, cex) =
+                let (result, touched, cex, cert) =
                     check_window_pair(nl, &local, constraint, a, b, eps, cfg);
                 stats.sat_micros += t0.elapsed().as_micros();
                 stats.sat_checks += 1;
-                let proven = result == SolveResult::Unsat;
-                attempts.insert((a.0, b.0, eps), Attempt { result, touched, cex });
+                // Mirror the commit's gating: a rejected certificate
+                // does not merge, so the speculative scan continues.
+                let proven = result == SolveResult::Unsat
+                    && cert.as_ref().is_none_or(|c| c.accepted);
+                attempts.insert((a.0, b.0, eps), Attempt { result, touched, cex, cert });
                 if proven {
                     local.union(a, b, !eps);
                     break;
@@ -234,22 +243,33 @@ fn commit_signal(
         let cached = spec.and_then(|m| m.get(&(a.0, b.0, eps))).filter(|att| {
             att.touched.iter().all(|&(s, r, p)| classes.rep(s) == (r, p))
         });
-        let (result, cex) = match cached {
+        let (result, cex, cert) = match cached {
             Some(att) => {
                 hits += 1;
-                (att.result, att.cex.clone())
+                (att.result, att.cex.clone(), att.cert.clone())
             }
             None => {
                 let t0 = Instant::now();
-                let (result, _, cex) =
+                let (result, _, cex, cert) =
                     check_window_pair(nl, classes, constraint, a, b, eps, cfg);
                 stats.sat_micros += t0.elapsed().as_micros();
-                (result, cex)
+                (result, cex, cert)
             }
         };
         stats.sat_checks += 1;
         match result {
             SolveResult::Unsat => {
+                // Under `certify`, the merge is gated on the independent
+                // checker accepting the logged refutation. Certificates
+                // are recorded here (commit side only), so the stats are
+                // identical for every `jobs` value.
+                if let Some(c) = &cert {
+                    stats.cert.record(c);
+                    if !c.accepted {
+                        stats.unknown += 1;
+                        continue;
+                    }
+                }
                 stats.proven += 1;
                 classes.union(a, b, !eps);
                 break;

@@ -3,10 +3,13 @@
 
 use crate::error::VerifyError;
 use crate::rewrite::{BackwardRewriter, RewriteConfig, RewriteStats};
-use crate::sbif::{divider_sim_words, forward_information, SbifConfig, SbifStats};
+use crate::sbif::{
+    certify_solver_unsat, divider_sim_words, forward_information, SbifConfig, SbifStats,
+};
 use crate::spec::divider_spec;
 use crate::vc2::{check_vc2, Vc2Config, Vc2Report};
 use sbif_apint::Int;
+use sbif_check::CertStats;
 use sbif_netlist::build::Divider;
 use std::time::{Duration, Instant};
 
@@ -32,6 +35,11 @@ pub struct VerifierConfig {
     pub smoke_check: bool,
     /// Also check vc2 (`0 ≤ R < D`).
     pub check_vc2: bool,
+    /// Replay every UNSAT answer of the flow (SBIF window checks and the
+    /// vc1 residual decision) through the independent DRAT checker; the
+    /// per-call outcomes are aggregated in the report's certificate
+    /// statistics ([`VerificationReport::certificates`]).
+    pub certify: bool,
 }
 
 impl Default for VerifierConfig {
@@ -45,6 +53,7 @@ impl Default for VerifierConfig {
             use_sbif: true,
             smoke_check: true,
             check_vc2: true,
+            certify: false,
         }
     }
 }
@@ -85,6 +94,10 @@ pub struct Vc1Report {
     pub sbif_time: Duration,
     /// Wall-clock time of the rewriting phase.
     pub rewrite_time: Duration,
+    /// DRAT certificates of the residual decision's UNSAT answers (all
+    /// zero unless [`VerifierConfig::certify`] is set; the SBIF window
+    /// certificates live in [`SbifStats::cert`]).
+    pub cert: CertStats,
 }
 
 /// The complete report of a divider verification run.
@@ -103,6 +116,14 @@ impl VerificationReport {
     pub fn is_correct(&self) -> bool {
         self.vc1.outcome == Vc1Outcome::Proven
             && self.vc2.as_ref().is_none_or(|r| r.holds)
+    }
+
+    /// All certificate statistics of the run, merged over the SBIF
+    /// window checks and the vc1 residual decision.
+    pub fn certificates(&self) -> CertStats {
+        let mut c = self.vc1.cert;
+        c.merge(self.vc1.sbif.cert);
+        c
     }
 }
 
@@ -184,17 +205,18 @@ impl<'a> DividerVerifier<'a> {
                     rewrite: RewriteStats::default(),
                     sbif_time: t0.elapsed(),
                     rewrite_time: Duration::default(),
+                    cert: CertStats::default(),
                 });
             }
         }
+        // `certify` at the verifier level turns on proof logging in every
+        // SAT-answering stage.
+        let mut sbif_cfg = self.config.sbif;
+        sbif_cfg.certify |= self.config.certify;
         let (classes, sbif_stats) = if self.config.use_sbif {
             let sim = divider_sim_words(div, self.config.seed, self.config.sim_words);
-            let (c, s) = forward_information(
-                &div.netlist,
-                Some(div.constraint),
-                &sim,
-                self.config.sbif,
-            );
+            let (c, s) =
+                forward_information(&div.netlist, Some(div.constraint), &sim, sbif_cfg);
             (Some(c), s)
         } else {
             (None, SbifStats::default())
@@ -211,8 +233,8 @@ impl<'a> DividerVerifier<'a> {
         let (residual, rewrite_stats) = rewriter.run(spec)?;
         let rewrite_time = t1.elapsed();
 
-        let outcome = if residual.is_zero() {
-            Vc1Outcome::Proven
+        let (outcome, cert) = if residual.is_zero() {
+            (Vc1Outcome::Proven, CertStats::default())
         } else {
             // SBIF classes hold under the constraint C, so the residual
             // only needs to vanish on C-satisfying inputs. Decide that
@@ -226,6 +248,7 @@ impl<'a> DividerVerifier<'a> {
             rewrite: rewrite_stats,
             sbif_time,
             rewrite_time,
+            cert,
         })
     }
 
@@ -267,17 +290,28 @@ impl<'a> DividerVerifier<'a> {
     /// its support variables — all primary inputs after a complete run —
     /// so enumerate their assignments; for each that makes the residual
     /// non-zero, ask SAT whether it extends to a C-satisfying input.
-    fn decide_residual(&self, residual: &sbif_poly::Poly) -> Vc1Outcome {
+    ///
+    /// Under [`VerifierConfig::certify`], each UNSAT answer (assignment
+    /// does not extend to a valid input) is DRAT-checked; the returned
+    /// statistics cover every such call. The incremental proof log stays
+    /// valid across the calls: learnt clauses are consequences of the
+    /// formula alone, and each call's refutation is closed by its own
+    /// failed-assumption units.
+    fn decide_residual(&self, residual: &sbif_poly::Poly) -> (Vc1Outcome, CertStats) {
         use sbif_sat::{NetlistEncoder, SolveResult, Solver};
         let div = self.divider;
+        let mut cert = CertStats::default();
         let support = residual.support();
         let all_inputs = support
             .iter()
             .all(|v| div.netlist.gate(sbif_netlist::Sig(v.0)).is_input());
         if support.len() > 16 || !all_inputs {
-            return self.find_counterexample(residual);
+            return (self.find_counterexample(residual), cert);
         }
         let mut solver = Solver::new();
+        if self.config.certify {
+            solver.enable_proof_log();
+        }
         let mut enc = NetlistEncoder::new(&div.netlist);
         enc.encode_cone(&mut solver, &div.netlist, div.constraint);
         let lc = enc.lit(&mut solver, div.constraint);
@@ -302,7 +336,11 @@ impl<'a> DividerVerifier<'a> {
                 .enumerate()
                 .map(|(i, &l)| if (bits >> i) & 1 == 1 { l } else { !l })
                 .collect();
-            if solver.solve_assuming(&assumptions) == SolveResult::Sat {
+            let result = solver.solve_assuming(&assumptions);
+            if result == SolveResult::Unsat && self.config.certify {
+                cert.record(&certify_solver_unsat(&solver));
+            }
+            if result == SolveResult::Sat {
                 // A valid input on which SP ≠ 0: reconstruct the values.
                 let mut dividend = Int::zero();
                 let mut divisor = Int::zero();
@@ -326,11 +364,11 @@ impl<'a> DividerVerifier<'a> {
                         _ => divisor += Int::pow2(idx),
                     }
                 }
-                return Vc1Outcome::Refuted { dividend, divisor };
+                return (Vc1Outcome::Refuted { dividend, divisor }, cert);
             }
         }
         // No C-satisfying input makes the residual non-zero: proven.
-        Vc1Outcome::Proven
+        (Vc1Outcome::Proven, cert)
     }
 
     /// Samples valid inputs and evaluates the residual polynomial; any

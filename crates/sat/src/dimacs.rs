@@ -27,80 +27,137 @@ impl Cnf {
     }
 }
 
-/// Error produced while parsing DIMACS text.
+/// Error produced while parsing DIMACS text, pointing at the offending
+/// token.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseDimacsError {
     /// 1-based line of the problem.
     pub line: usize,
+    /// 1-based column of the offending token (`0` when the error is not
+    /// attached to a token, e.g. a truncated file).
+    pub column: usize,
     /// Description.
     pub message: String,
 }
 
 impl fmt::Display for ParseDimacsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "dimacs parse error at line {}: {}", self.line, self.message)
+        if self.column == 0 {
+            write!(f, "dimacs parse error at line {}: {}", self.line, self.message)
+        } else {
+            write!(
+                f,
+                "dimacs parse error at line {}, column {}: {}",
+                self.line, self.column, self.message
+            )
+        }
     }
 }
 
 impl std::error::Error for ParseDimacsError {}
 
+fn err(line: usize, column: usize, message: impl Into<String>) -> ParseDimacsError {
+    ParseDimacsError { line, column, message: message.into() }
+}
+
+/// Tokens of a line together with their 1-based starting columns.
+fn tokens_with_columns(raw: &str) -> impl Iterator<Item = (usize, &str)> {
+    raw.split_whitespace().map(|tok| {
+        // `split_whitespace` yields subslices of `raw`, so pointer
+        // arithmetic recovers the byte offset.
+        let off = tok.as_ptr() as usize - raw.as_ptr() as usize;
+        (off + 1, tok)
+    })
+}
+
 /// Parses DIMACS CNF text.
+///
+/// The parser is strict: every clause must be `0`-terminated (a truncated
+/// file is an error), literals must stay within the declared variable
+/// bound, and the number of clauses must match the header. All errors
+/// carry the 1-based line and column of the offending token.
 ///
 /// # Errors
 ///
 /// Returns [`ParseDimacsError`] on malformed headers, non-integer tokens,
-/// or variables exceeding the declared count.
+/// variables exceeding the declared count, unterminated clauses, or a
+/// clause count that disagrees with the header.
 pub fn read_dimacs(text: &str) -> Result<Cnf, ParseDimacsError> {
     let mut cnf = Cnf::default();
+    let mut declared_clauses = 0usize;
     let mut header_seen = false;
     let mut current: Vec<Lit> = Vec::new();
+    let mut last_line = 0usize;
     for (idx, raw) in text.lines().enumerate() {
         let lineno = idx + 1;
-        let line = raw.trim();
+        last_line = lineno;
+        let line = raw.trim_start();
         if line.is_empty() || line.starts_with('c') {
             continue;
         }
-        if let Some(rest) = line.strip_prefix('p') {
+        if line.starts_with('p') {
+            let col = raw.len() - line.len() + 1;
             if header_seen {
-                return Err(ParseDimacsError { line: lineno, message: "duplicate header".into() });
+                return Err(err(lineno, col, "duplicate header"));
             }
-            let parts: Vec<&str> = rest.split_whitespace().collect();
-            if parts.len() != 3 || parts[0] != "cnf" {
-                return Err(ParseDimacsError {
-                    line: lineno,
-                    message: "expected `p cnf <vars> <clauses>`".into(),
-                });
+            let parts: Vec<(usize, &str)> = tokens_with_columns(raw).collect();
+            if parts.len() != 4 || parts[0].1 != "p" || parts[1].1 != "cnf" {
+                return Err(err(lineno, col, "expected `p cnf <vars> <clauses>`"));
             }
-            cnf.num_vars = parts[1].parse().map_err(|_| ParseDimacsError {
-                line: lineno,
-                message: format!("bad variable count {:?}", parts[1]),
-            })?;
+            cnf.num_vars = parts[2]
+                .1
+                .parse()
+                .map_err(|_| err(lineno, parts[2].0, format!("bad variable count {:?}", parts[2].1)))?;
+            declared_clauses = parts[3]
+                .1
+                .parse()
+                .map_err(|_| err(lineno, parts[3].0, format!("bad clause count {:?}", parts[3].1)))?;
             header_seen = true;
             continue;
         }
-        if !header_seen {
-            return Err(ParseDimacsError { line: lineno, message: "clause before header".into() });
-        }
-        for tok in line.split_whitespace() {
-            let x: i64 = tok.parse().map_err(|_| ParseDimacsError {
-                line: lineno,
-                message: format!("bad literal {tok:?}"),
-            })?;
+        for (col, tok) in tokens_with_columns(raw) {
+            if !header_seen {
+                return Err(err(lineno, col, "clause before header"));
+            }
+            let x: i64 =
+                tok.parse().map_err(|_| err(lineno, col, format!("bad literal {tok:?}")))?;
             if x == 0 {
                 cnf.clauses.push(std::mem::take(&mut current));
+                if cnf.clauses.len() > declared_clauses {
+                    return Err(err(
+                        lineno,
+                        col,
+                        format!("more clauses than the declared {declared_clauses}"),
+                    ));
+                }
             } else {
                 if x.unsigned_abs() as usize > cnf.num_vars {
-                    return Err(ParseDimacsError {
-                        line: lineno,
-                        message: format!("literal {x} exceeds declared variable count"),
-                    });
+                    return Err(err(
+                        lineno,
+                        col,
+                        format!(
+                            "literal {x} exceeds declared variable count {}",
+                            cnf.num_vars
+                        ),
+                    ));
                 }
                 current.push(Lit::from_dimacs(x));
             }
         }
     }
     if !current.is_empty() {
-        cnf.clauses.push(current);
+        return Err(err(
+            last_line,
+            0,
+            format!("truncated file: clause of {} literal(s) without `0` terminator", current.len()),
+        ));
+    }
+    if header_seen && cnf.clauses.len() != declared_clauses {
+        return Err(err(
+            last_line,
+            0,
+            format!("header declares {declared_clauses} clauses, found {}", cnf.clauses.len()),
+        ));
     }
     Ok(cnf)
 }
@@ -141,17 +198,80 @@ mod tests {
     }
 
     #[test]
-    fn errors() {
-        assert!(read_dimacs("1 2 0\n").is_err());
-        assert!(read_dimacs("p cnf x 2\n").is_err());
-        assert!(read_dimacs("p cnf 1 1\n5 0\n").is_err());
-        assert!(read_dimacs("p cnf 1 1\np cnf 1 1\n").is_err());
-        assert!(read_dimacs("p cnf 1 1\nfoo 0\n").is_err());
+    fn clause_before_header() {
+        let e = read_dimacs("1 2 0\n").unwrap_err();
+        assert_eq!((e.line, e.column), (1, 1));
+        assert!(e.message.contains("before header"), "{e}");
     }
 
     #[test]
-    fn clause_without_terminator_is_kept() {
-        let cnf = read_dimacs("p cnf 2 1\n1 2\n").expect("parses");
-        assert_eq!(cnf.clauses.len(), 1);
+    fn bad_variable_count() {
+        let e = read_dimacs("p cnf x 2\n").unwrap_err();
+        assert_eq!((e.line, e.column), (1, 7));
+        assert!(e.message.contains("bad variable count"), "{e}");
+    }
+
+    #[test]
+    fn bad_clause_count_token() {
+        let e = read_dimacs("p cnf 2 y\n").unwrap_err();
+        assert_eq!((e.line, e.column), (1, 9));
+        assert!(e.message.contains("bad clause count"), "{e}");
+    }
+
+    #[test]
+    fn literal_above_header_bound() {
+        let e = read_dimacs("p cnf 1 1\n5 0\n").unwrap_err();
+        assert_eq!((e.line, e.column), (2, 1));
+        assert!(e.message.contains("exceeds declared variable count"), "{e}");
+        // Column points at the offending literal, not the clause start.
+        let e = read_dimacs("p cnf 3 1\n1 -2 -9 0\n").unwrap_err();
+        assert_eq!((e.line, e.column), (2, 6));
+    }
+
+    #[test]
+    fn duplicate_header() {
+        let e = read_dimacs("p cnf 1 1\np cnf 1 1\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("duplicate header"), "{e}");
+    }
+
+    #[test]
+    fn non_integer_literal() {
+        let e = read_dimacs("p cnf 1 1\nfoo 0\n").unwrap_err();
+        assert_eq!((e.line, e.column), (2, 1));
+        assert!(e.message.contains("bad literal"), "{e}");
+    }
+
+    #[test]
+    fn truncated_file_rejected() {
+        let e = read_dimacs("p cnf 2 1\n1 2\n").unwrap_err();
+        assert_eq!(e.column, 0);
+        assert!(e.message.contains("truncated"), "{e}");
+        // Truncation across lines is still detected (clauses may span
+        // lines, but the file must not end mid-clause).
+        let e = read_dimacs("p cnf 2 2\n1 2 0\n-1\n-2\n").unwrap_err();
+        assert!(e.message.contains("truncated"), "{e}");
+    }
+
+    #[test]
+    fn clause_count_mismatch() {
+        let e = read_dimacs("p cnf 2 3\n1 2 0\n").unwrap_err();
+        assert!(e.message.contains("declares 3 clauses, found 1"), "{e}");
+        let e = read_dimacs("p cnf 2 1\n1 0\n2 0\n").unwrap_err();
+        assert_eq!((e.line, e.column), (3, 3));
+        assert!(e.message.contains("more clauses"), "{e}");
+    }
+
+    #[test]
+    fn multiline_clauses_accepted() {
+        let cnf = read_dimacs("p cnf 3 2\n1 2\n3 0 -1\n-2 0\n").expect("parses");
+        assert_eq!(cnf.clauses.len(), 2);
+        assert_eq!(cnf.clauses[0].len(), 3);
+    }
+
+    #[test]
+    fn display_includes_position() {
+        let e = read_dimacs("p cnf 1 1\n5 0\n").unwrap_err();
+        assert_eq!(e.to_string(), "dimacs parse error at line 2, column 1: literal 5 exceeds declared variable count 1");
     }
 }

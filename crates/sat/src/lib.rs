@@ -35,9 +35,11 @@
 
 pub mod dimacs;
 mod lit;
+pub mod proof;
 mod solver;
 pub mod tseitin;
 
 pub use lit::{Lit, Var};
+pub use proof::{ProofEvent, ProofLog};
 pub use solver::{Budget, SolveResult, Solver, SolverStats};
 pub use tseitin::NetlistEncoder;

@@ -1,0 +1,177 @@
+//! DRAT proof logging.
+//!
+//! Every UNSAT answer of the [`Solver`](crate::Solver) can be backed by a
+//! machine-checkable certificate: with proof logging enabled the solver
+//! records, in the order they happen,
+//!
+//! * every **original** clause added through
+//!   [`add_clause`](crate::Solver::add_clause) (the formula),
+//! * every **learnt** clause derived by conflict analysis (a DRAT
+//!   addition step — each is a reverse-unit-propagation consequence of
+//!   the clauses before it),
+//! * every learnt clause **deleted** by database reduction (a DRAT
+//!   deletion step), and
+//! * the **empty clause** when the formula is refuted at decision
+//!   level 0.
+//!
+//! The log is the clause-level subset of the DRAT format: all addition
+//! steps are RUP (the solver never performs a transformation that needs
+//! the full RAT check). An independent checker — `sbif-check`'s forward
+//! RUP checker, or any off-the-shelf DRAT checker via [`ProofLog::to_drat`]
+//! and [`ProofLog::formula_dimacs`] — can replay it without trusting the
+//! solver.
+//!
+//! For UNSAT answers **under assumptions** the log alone is not a
+//! refutation of the formula (the formula may well be satisfiable). The
+//! solver then logs the final conflict clause (the negations of the
+//! failed assumption subset, see
+//! [`Solver::final_conflict`](crate::Solver::final_conflict)), and a
+//! certificate is obtained by adding the failed assumptions as unit
+//! clauses to the formula, after which the empty clause is RUP.
+//!
+//! Logging is off by default and costs one `Option` check per event when
+//! disabled; no allocation happens on the `None` path.
+
+use crate::Lit;
+use std::fmt::Write as _;
+
+/// One recorded proof event: `delete` distinguishes DRAT deletion steps
+/// from addition steps. Literals use the DIMACS convention
+/// (`±(var_index + 1)`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProofEvent {
+    /// `true` for a deletion step (`d` lines of the DRAT format).
+    pub delete: bool,
+    /// The clause, as DIMACS literals.
+    pub lits: Vec<i32>,
+}
+
+/// The recorded formula and derivation of one solver run; see the
+/// [module docs](self).
+///
+/// # Examples
+///
+/// ```
+/// use sbif_sat::{Lit, SolveResult, Solver};
+///
+/// let mut s = Solver::new();
+/// s.enable_proof_log();
+/// let a = s.new_var();
+/// s.add_clause([Lit::pos(a)]);
+/// s.add_clause([Lit::neg(a)]);
+/// assert_eq!(s.solve(), SolveResult::Unsat);
+/// let proof = s.proof().expect("logging enabled");
+/// assert_eq!(proof.formula().len(), 2);
+/// // The derivation ends with the empty clause.
+/// assert_eq!(proof.steps().last().map(|s| s.lits.as_slice()), Some(&[][..]));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProofLog {
+    formula: Vec<Vec<i32>>,
+    steps: Vec<ProofEvent>,
+    max_var: i32,
+}
+
+impl ProofLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        ProofLog::default()
+    }
+
+    /// The original clauses, in the order they were added.
+    pub fn formula(&self) -> &[Vec<i32>] {
+        &self.formula
+    }
+
+    /// The derivation steps (additions and deletions), in order.
+    pub fn steps(&self) -> &[ProofEvent] {
+        &self.steps
+    }
+
+    /// Number of addition steps (learnt clauses plus the empty clause).
+    pub fn num_additions(&self) -> usize {
+        self.steps.iter().filter(|s| !s.delete).count()
+    }
+
+    /// The highest DIMACS variable index mentioned anywhere.
+    pub fn max_var(&self) -> i32 {
+        self.max_var
+    }
+
+    /// Serializes the derivation to standard DRAT text (`d` prefixes
+    /// deletion lines, every clause is `0`-terminated).
+    pub fn to_drat(&self) -> String {
+        let mut out = String::new();
+        for step in &self.steps {
+            if step.delete {
+                out.push_str("d ");
+            }
+            for &l in &step.lits {
+                let _ = write!(out, "{l} ");
+            }
+            out.push_str("0\n");
+        }
+        out
+    }
+
+    /// Serializes the recorded formula to DIMACS CNF text.
+    pub fn formula_dimacs(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "p cnf {} {}", self.max_var, self.formula.len());
+        for c in &self.formula {
+            for &l in c {
+                let _ = write!(out, "{l} ");
+            }
+            out.push_str("0\n");
+        }
+        out
+    }
+
+    fn note_lits(&mut self, lits: &[i32]) {
+        for &l in lits {
+            self.max_var = self.max_var.max(l.abs());
+        }
+    }
+
+    pub(crate) fn log_original(&mut self, lits: &[Lit]) {
+        let c: Vec<i32> = lits.iter().map(|l| l.to_dimacs() as i32).collect();
+        self.note_lits(&c);
+        self.formula.push(c);
+    }
+
+    pub(crate) fn log_add(&mut self, lits: &[Lit]) {
+        let c: Vec<i32> = lits.iter().map(|l| l.to_dimacs() as i32).collect();
+        self.note_lits(&c);
+        self.steps.push(ProofEvent { delete: false, lits: c });
+    }
+
+    pub(crate) fn log_delete(&mut self, lits: &[Lit]) {
+        let c: Vec<i32> = lits.iter().map(|l| l.to_dimacs() as i32).collect();
+        self.steps.push(ProofEvent { delete: true, lits: c });
+    }
+
+    /// `true` if the derivation already ends in the empty clause.
+    pub(crate) fn refuted(&self) -> bool {
+        self.steps.iter().any(|s| !s.delete && s.lits.is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Var;
+
+    #[test]
+    fn drat_text_format() {
+        let mut log = ProofLog::new();
+        log.log_original(&[Lit::pos(Var(0)), Lit::neg(Var(1))]);
+        log.log_add(&[Lit::pos(Var(1))]);
+        log.log_delete(&[Lit::pos(Var(1))]);
+        log.log_add(&[]);
+        assert_eq!(log.to_drat(), "2 0\nd 2 0\n0\n");
+        assert_eq!(log.formula_dimacs(), "p cnf 2 1\n1 -2 0\n");
+        assert_eq!(log.num_additions(), 2);
+        assert!(log.refuted());
+        assert_eq!(log.max_var(), 2);
+    }
+}

@@ -1,5 +1,6 @@
 //! The CDCL solver.
 
+use crate::proof::ProofLog;
 use crate::{Lit, Var};
 use std::time::Instant;
 
@@ -118,6 +119,9 @@ pub struct Solver {
     num_learnts: usize,
     next_reduce: u64,
     reduce_interval: u64,
+    // certification
+    proof: Option<Box<ProofLog>>,
+    final_conflict: Vec<Lit>,
 }
 
 const HEAP_ABSENT: usize = usize::MAX;
@@ -177,6 +181,51 @@ impl Solver {
     /// top level.
     pub fn is_ok(&self) -> bool {
         self.ok
+    }
+
+    // ----- certification ---------------------------------------------
+
+    /// Turns on DRAT proof logging (see [`crate::proof`]). Must be
+    /// enabled before any clause is added so the recorded formula is
+    /// complete.
+    ///
+    /// # Panics
+    ///
+    /// Panics if clauses were already added.
+    pub fn enable_proof_log(&mut self) {
+        assert!(
+            self.clauses.is_empty() && self.trail.is_empty(),
+            "proof logging must be enabled before the first clause"
+        );
+        if self.proof.is_none() {
+            self.proof = Some(Box::default());
+        }
+    }
+
+    /// The recorded proof, if logging is enabled.
+    pub fn proof(&self) -> Option<&ProofLog> {
+        self.proof.as_deref()
+    }
+
+    /// Removes and returns the recorded proof, disabling further logging.
+    pub fn take_proof(&mut self) -> Option<ProofLog> {
+        self.proof.take().map(|b| *b)
+    }
+
+    /// After an UNSAT answer from [`solve_assuming`](Self::solve_assuming)
+    /// or [`solve_with`](Self::solve_with): the final conflict clause in
+    /// MiniSat's sense — a subset of the *negated* assumption literals
+    /// whose conjunction with the formula is already unsatisfiable.
+    ///
+    /// Empty when the formula itself was refuted (no assumption needed).
+    pub fn final_conflict(&self) -> &[Lit] {
+        &self.final_conflict
+    }
+
+    /// The failed assumptions themselves: the subset of the last solve's
+    /// assumptions that [`final_conflict`](Self::final_conflict) blames.
+    pub fn unsat_assumptions(&self) -> impl Iterator<Item = Lit> + '_ {
+        self.final_conflict.iter().map(|&l| !l)
     }
 
     // ----- assignment primitives ------------------------------------
@@ -241,6 +290,9 @@ impl Solver {
             return false;
         }
         let mut v: Vec<Lit> = lits.into_iter().collect();
+        if let Some(p) = &mut self.proof {
+            p.log_original(&v);
+        }
         v.sort_unstable();
         v.dedup();
         // Tautology / level-0 simplification.
@@ -258,12 +310,14 @@ impl Solver {
         match simplified.len() {
             0 => {
                 self.ok = false;
+                self.log_refutation();
                 false
             }
             1 => {
                 self.enqueue(simplified[0], None);
                 if self.propagate().is_some() {
                     self.ok = false;
+                    self.log_refutation();
                 }
                 self.ok
             }
@@ -461,6 +515,51 @@ impl Solver {
         (learnt, bt, lbd)
     }
 
+    /// Records the derivation of the empty clause (the formula was
+    /// refuted at decision level 0).
+    fn log_refutation(&mut self) {
+        if let Some(p) = &mut self.proof {
+            if !p.refuted() {
+                p.log_add(&[]);
+            }
+        }
+    }
+
+    /// MiniSat's `analyzeFinal`: computes the subset of assumptions that
+    /// forced the falsification of assumption `p`, as a conflict clause
+    /// of negated assumption literals. Every decision on the trail is an
+    /// assumption here (assumption re-establishment precedes branching).
+    fn analyze_final(&mut self, p: Lit) {
+        self.final_conflict.clear();
+        self.final_conflict.push(!p);
+        if self.decision_level() == 0 {
+            return;
+        }
+        self.seen[p.var().index()] = true;
+        for i in (self.trail_lim[0]..self.trail.len()).rev() {
+            let x = self.trail[i].var();
+            if !self.seen[x.index()] {
+                continue;
+            }
+            match self.reason[x.index()] {
+                None => {
+                    debug_assert!(self.level[x.index()] > 0);
+                    self.final_conflict.push(!self.trail[i]);
+                }
+                Some(cref) => {
+                    let lits: Vec<Lit> = self.clauses[cref as usize].lits[1..].to_vec();
+                    for l in lits {
+                        if self.level[l.var().index()] > 0 {
+                            self.seen[l.var().index()] = true;
+                        }
+                    }
+                }
+            }
+            self.seen[x.index()] = false;
+        }
+        self.seen[p.var().index()] = false;
+    }
+
     // ----- learnt DB reduction ----------------------------------------
 
     fn reduce_db(&mut self) {
@@ -480,6 +579,12 @@ impl Solver {
             self.clauses[i as usize].deleted = true;
             self.num_learnts -= 1;
             self.stats.deleted += 1;
+            if self.proof.is_some() {
+                let lits = self.clauses[i as usize].lits.clone();
+                if let Some(p) = &mut self.proof {
+                    p.log_delete(&lits);
+                }
+            }
         }
     }
 
@@ -575,6 +680,7 @@ impl Solver {
 
     /// Solves under assumptions and a resource [`Budget`].
     pub fn solve_with(&mut self, assumptions: &[Lit], budget: Budget) -> SolveResult {
+        self.final_conflict.clear();
         if !self.ok {
             return SolveResult::Unsat;
         }
@@ -591,9 +697,13 @@ impl Solver {
                     conflicts_here += 1;
                     if self.decision_level() == 0 {
                         self.ok = false;
+                        self.log_refutation();
                         break 'outer SolveResult::Unsat;
                     }
                     let (learnt, bt, lbd) = self.analyze(confl);
+                    if let Some(p) = &mut self.proof {
+                        p.log_add(&learnt);
+                    }
                     self.backtrack(bt);
                     if learnt.len() == 1 {
                         self.enqueue(learnt[0], None);
@@ -628,7 +738,16 @@ impl Solver {
                     let p = assumptions[self.decision_level() as usize];
                     match self.lit_value(p) {
                         TRUE => self.new_decision_level(),
-                        FALSE => break 'outer SolveResult::Unsat,
+                        FALSE => {
+                            // `p` is falsified by the earlier assumptions:
+                            // compute the responsible subset.
+                            self.analyze_final(p);
+                            let fc = self.final_conflict.clone();
+                            if let Some(log) = &mut self.proof {
+                                log.log_add(&fc);
+                            }
+                            break 'outer SolveResult::Unsat;
+                        }
                         _ => {
                             self.new_decision_level();
                             self.enqueue(p, None);
@@ -904,5 +1023,82 @@ mod tests {
                 }
             }
         }
+    }
+
+    // ----- proof logging & final conflict -----------------------------
+
+    #[test]
+    fn proof_log_records_formula_and_refutation() {
+        let mut s = solver_with_vars(9);
+        s.enable_proof_log();
+        // Odd xor cycle: UNSAT after real conflict analysis.
+        let xor_eq = |s: &mut Solver, a: i64, b: i64| {
+            s.add_clause([lit(a), lit(b)]);
+            s.add_clause([lit(-a), lit(-b)]);
+        };
+        for i in 1..9 {
+            xor_eq(&mut s, i, i + 1);
+        }
+        xor_eq(&mut s, 9, 1);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        let p = s.proof().expect("logging enabled");
+        assert_eq!(p.formula().len(), 18);
+        assert!(p.refuted(), "derivation must end in the empty clause");
+        assert!(p.num_additions() >= 1);
+    }
+
+    #[test]
+    fn proof_log_empty_on_trivial_contradiction() {
+        let mut s = solver_with_vars(1);
+        s.enable_proof_log();
+        s.add_clause([lit(1)]);
+        assert!(!s.add_clause([lit(-1)]));
+        let p = s.proof().unwrap();
+        assert_eq!(p.formula().len(), 2);
+        assert!(p.refuted());
+    }
+
+    #[test]
+    fn final_conflict_is_subset_of_assumptions() {
+        // x1 ∨ x2 with assumptions ¬x1, ¬x2, x3: the conflict must not
+        // mention the irrelevant assumption x3.
+        let mut s = solver_with_vars(3);
+        s.add_clause([lit(1), lit(2)]);
+        assert_eq!(s.solve_assuming(&[lit(-1), lit(-2), lit(3)]), SolveResult::Unsat);
+        let mut fc: Vec<i64> = s.final_conflict().iter().map(|l| l.to_dimacs()).collect();
+        fc.sort_unstable();
+        assert_eq!(fc, vec![1, 2]);
+        let mut failed: Vec<i64> = s.unsat_assumptions().map(|l| l.to_dimacs()).collect();
+        failed.sort_unstable();
+        assert_eq!(failed, vec![-2, -1]);
+    }
+
+    #[test]
+    fn final_conflict_empty_without_assumptions() {
+        let mut s = solver_with_vars(1);
+        s.add_clause([lit(1)]);
+        s.add_clause([lit(-1)]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert!(s.final_conflict().is_empty());
+    }
+
+    #[test]
+    fn final_conflict_contradictory_assumptions() {
+        let mut s = solver_with_vars(2);
+        s.add_clause([lit(1), lit(2)]);
+        assert_eq!(s.solve_assuming(&[lit(1), lit(-1)]), SolveResult::Unsat);
+        let mut fc: Vec<i64> = s.final_conflict().iter().map(|l| l.to_dimacs()).collect();
+        fc.sort_unstable();
+        assert_eq!(fc, vec![-1, 1]);
+    }
+
+    #[test]
+    fn final_conflict_cleared_between_solves() {
+        let mut s = solver_with_vars(2);
+        s.add_clause([lit(1)]);
+        assert_eq!(s.solve_assuming(&[lit(-1)]), SolveResult::Unsat);
+        assert!(!s.final_conflict().is_empty());
+        assert_eq!(s.solve_assuming(&[lit(2)]), SolveResult::Sat);
+        assert!(s.final_conflict().is_empty());
     }
 }

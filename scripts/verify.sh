@@ -4,6 +4,20 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "==> offline-policy lint (Cargo.lock must stay workspace-only)"
+# Every [[package]] in the lock file must be one of our own crates; a
+# `source` line would mean a registry/git dependency crept in.
+if grep -q '^source = ' Cargo.lock; then
+    echo "verify.sh: Cargo.lock contains a non-workspace package:" >&2
+    grep -B2 '^source = ' Cargo.lock >&2
+    exit 1
+fi
+if grep '^name = ' Cargo.lock | grep -qv '"sbif'; then
+    echo "verify.sh: Cargo.lock lists a package outside the sbif workspace:" >&2
+    grep '^name = ' Cargo.lock | grep -v '"sbif' >&2
+    exit 1
+fi
+
 echo "==> cargo build --release"
 cargo build --release --offline
 
@@ -12,5 +26,8 @@ cargo test -q --offline
 
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets --offline -- -D warnings
+
+echo "==> sbif-lint over the shipped example netlists"
+./target/release/sbif-lint examples/netlists/*.bnet
 
 echo "verify.sh: all gates passed"

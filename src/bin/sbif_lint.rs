@@ -1,0 +1,71 @@
+//! `sbif-lint` — static analysis of BNET netlists.
+//!
+//! ```text
+//! sbif-lint [--strict] <netlist.bnet>...
+//! ```
+//!
+//! Runs the structural rule catalog of [`sbif::check::lint`] over each
+//! file: combinational cycles, undriven/floating signals, unknown
+//! operators, fan-in arity mismatches, multiply-driven signals (errors);
+//! dead cones, duplicate gates, bus index gaps, missing outputs
+//! (warnings). `--strict` promotes warnings to failures.
+//!
+//! Exit code 0 = all files pass, 1 = findings failed a file,
+//! 2 = usage or I/O error.
+
+use sbif::check::lint_bnet;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: sbif-lint [--strict] <netlist.bnet>...");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut strict = false;
+    let mut files: Vec<&str> = Vec::new();
+    for a in &args {
+        match a.as_str() {
+            "--strict" => strict = true,
+            "-h" | "--help" => return usage(),
+            f if !f.starts_with('-') => files.push(f),
+            _ => return usage(),
+        }
+    }
+    if files.is_empty() {
+        return usage();
+    }
+    let mut failed = false;
+    for path in files {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let report = lint_bnet(&text);
+        for issue in &report.issues {
+            println!("{path}: {issue}");
+        }
+        if report.passes(strict) {
+            println!(
+                "{path}: ok ({} warning(s))",
+                report.num_warnings()
+            );
+        } else {
+            println!(
+                "{path}: FAILED ({} error(s), {} warning(s))",
+                report.num_errors(),
+                report.num_warnings()
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -2,10 +2,16 @@
 //! line.
 //!
 //! ```text
-//! sbif-verify <netlist.bnet> [--vc1-only] [--no-sbif] [--max-terms N] [--jobs N]
+//! sbif-verify <netlist.bnet> [--vc1-only] [--no-sbif] [--certify] [--max-terms N] [--jobs N]
 //! sbif-verify --demo <n>          # generate and verify an n-bit divider
 //! sbif-verify --emit <n> <file>   # write an n-bit divider as BNET
 //! ```
+//!
+//! Netlist files are first run through the `sbif-lint` static analyzer;
+//! hard errors (cycles, undriven signals, …) abort before verification.
+//! With `--certify`, every UNSAT answer of the flow is replayed through
+//! the independent DRAT checker and the certificate statistics are
+//! reported; a rejected certificate means the run is *not* trusted.
 //!
 //! The netlist must expose the Definition-1 interface: input buses
 //! `r0[0..2n−3]` and `d[0..n−2]` (the sign bits are constant 0 per the
@@ -14,6 +20,7 @@
 //! Exit code 0 = verified correct, 1 = refuted/failed, 2 = usage or
 //! resource error.
 
+use sbif::check::lint_bnet;
 use sbif::core::verify::{DividerVerifier, Vc1Outcome, VerifierConfig};
 use sbif::netlist::build::{nonrestoring_divider, Divider};
 use sbif::netlist::io::{read_bnet, write_bnet};
@@ -21,7 +28,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: sbif-verify <netlist.bnet> [--vc1-only] [--no-sbif] [--max-terms N] [--jobs N]\n\
+        "usage: sbif-verify <netlist.bnet> [--vc1-only] [--no-sbif] [--certify] [--max-terms N] [--jobs N]\n\
          \x20      sbif-verify --demo <n>\n\
          \x20      sbif-verify --emit <n> <file>"
     );
@@ -80,6 +87,10 @@ fn main() -> ExitCode {
                 config.use_sbif = false;
                 i += 1;
             }
+            "--certify" => {
+                config.certify = true;
+                i += 1;
+            }
             "--jobs" => {
                 let Some(jobs) = args.get(i + 1).and_then(|s| s.parse::<usize>().ok())
                 else {
@@ -104,6 +115,20 @@ fn main() -> ExitCode {
                         return ExitCode::from(2);
                     }
                 };
+                // Static analysis before anything interprets the file:
+                // a cyclic or undriven netlist must not reach polynomial
+                // extraction or SAT encoding.
+                let lint = lint_bnet(&text);
+                for issue in &lint.issues {
+                    eprintln!("{path}: {issue}");
+                }
+                if lint.num_errors() > 0 {
+                    eprintln!(
+                        "{path}: {} lint error(s) — refusing to verify",
+                        lint.num_errors()
+                    );
+                    return ExitCode::from(2);
+                }
                 let nl = match read_bnet(&text) {
                     Ok(nl) => nl,
                     Err(e) => {
@@ -160,7 +185,18 @@ fn main() -> ExitCode {
             report.vc2_time
         );
     }
-    if report.is_correct() {
+    let mut certified_ok = true;
+    if config.certify {
+        let cert = report.certificates();
+        certified_ok = cert.all_accepted();
+        println!(
+            "certificates:       {} UNSAT answers DRAT-checked, {} rejected, {:.1}% of logged steps used",
+            cert.checked,
+            cert.rejected,
+            100.0 * cert.used_fraction()
+        );
+    }
+    if report.is_correct() && certified_ok {
         println!("VERDICT: correct");
         ExitCode::SUCCESS
     } else {

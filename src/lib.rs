@@ -12,7 +12,9 @@
 //! * [`sat`] — a CDCL SAT solver with Tseitin encoding,
 //! * [`bdd`] — an ROBDD package with dynamic reordering,
 //! * [`core`] — SCA backward rewriting + SBIF + the full verifier,
-//! * [`cec`] — the SAT-miter and SAT-sweeping baselines.
+//! * [`cec`] — the SAT-miter and SAT-sweeping baselines,
+//! * [`check`] — independent DRAT proof checking (`--certify`) and the
+//!   `sbif-lint` netlist static analyzer.
 //!
 //! # Examples
 //!
@@ -32,6 +34,7 @@
 pub use sbif_apint as apint;
 pub use sbif_bdd as bdd;
 pub use sbif_cec as cec;
+pub use sbif_check as check;
 pub use sbif_core as core;
 pub use sbif_netlist as netlist;
 pub use sbif_poly as poly;

@@ -1,0 +1,81 @@
+//! Integration tests of the `sbif-lint` netlist static analyzer: seeded
+//! defects must be flagged, and every netlist shipped in-tree must pass.
+
+use sbif::check::{lint_bnet, LintRule};
+
+#[test]
+fn cyclic_netlist_is_flagged() {
+    let text = "\
+.inputs a
+x = AND a y
+y = OR x a
+o = BUF y
+.output o o
+.end
+";
+    let report = lint_bnet(text);
+    assert!(report.has(LintRule::Cycle), "{:?}", report.issues);
+    assert!(report.num_errors() > 0);
+    assert!(!report.passes(false));
+}
+
+#[test]
+fn undriven_signal_is_flagged() {
+    let text = "\
+.inputs a
+o = AND a ghost
+.output o o
+.end
+";
+    let report = lint_bnet(text);
+    assert!(report.has(LintRule::Undriven), "{:?}", report.issues);
+    assert!(!report.passes(false));
+}
+
+#[test]
+fn dead_cone_and_arity_are_flagged() {
+    let text = "\
+.inputs a b unused
+dead = XOR a b
+bad = NOT a b
+o = AND a b
+.output o o
+.end
+";
+    let report = lint_bnet(text);
+    assert!(report.has(LintRule::Unreachable), "{:?}", report.issues);
+    assert!(report.has(LintRule::ArityMismatch), "{:?}", report.issues);
+}
+
+#[test]
+fn shipped_example_netlists_pass() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/netlists");
+    let mut checked = 0;
+    for entry in std::fs::read_dir(&dir).expect("examples/netlists exists") {
+        let path = entry.expect("entry").path();
+        if path.extension().is_none_or(|e| e != "bnet") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).expect("readable");
+        let report = lint_bnet(&text);
+        assert!(
+            report.passes(false),
+            "{}: {:?}",
+            path.display(),
+            report.issues
+        );
+        checked += 1;
+    }
+    assert!(checked >= 2, "expected at least two shipped netlists, found {checked}");
+}
+
+#[test]
+fn emitted_dividers_pass_lint() {
+    // Whatever `sbif-verify --emit` produces must be accepted back.
+    for n in [2usize, 5] {
+        let div = sbif::netlist::build::nonrestoring_divider(n);
+        let text = sbif::netlist::io::write_bnet(&div.netlist);
+        let report = lint_bnet(&text);
+        assert!(report.passes(false), "n={n}: {:?}", report.issues);
+    }
+}
