@@ -23,7 +23,7 @@ mod parallel;
 mod sim;
 
 pub use classes::EquivClasses;
-pub use sim::divider_sim_words;
+pub use sim::{divider_sim_words, try_divider_sim_words};
 
 use sbif_check::{certify_unsat, CertOutcome, CertStats, DratStep};
 use sbif_netlist::{Gate, Netlist, Sig};

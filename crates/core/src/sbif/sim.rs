@@ -14,7 +14,28 @@ use sbif_rng::XorShift64;
 ///
 /// The result is indexed `[input][word]` in the netlist's input order and
 /// can be fed directly to [`sbif_netlist::Netlist::simulate64`].
+///
+/// # Panics
+///
+/// Panics if an input is unnamed or not part of the `r0`/`d` buses; use
+/// [`try_divider_sim_words`] for externally supplied dividers.
 pub fn divider_sim_words(div: &Divider, seed: u64, words: usize) -> Vec<Vec<u64>> {
+    try_divider_sim_words(div, seed, words).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`divider_sim_words`] for dividers that were not produced by the
+/// in-tree generators: instead of panicking on an input outside the
+/// `r0`/`d` buses (possible when a [`Divider`] is assembled by hand),
+/// the malformed input is reported.
+///
+/// # Errors
+///
+/// Describes the first unnamed, un-bus-indexed, or out-of-range input.
+pub fn try_divider_sim_words(
+    div: &Divider,
+    seed: u64,
+    words: usize,
+) -> Result<Vec<Vec<u64>>, String> {
     let n = div.n;
     let num_lo = n - 1; // r0[0 .. n-2]
     let num_hi = n - 1; // r0[n-1 .. 2n-3]
@@ -67,18 +88,21 @@ pub fn divider_sim_words(div: &Divider, seed: u64, words: usize) -> Vec<Vec<u64>
         .inputs()
         .iter()
         .map(|&s| {
-            let name = div.netlist.name(s).expect("inputs are named");
+            let name = div
+                .netlist
+                .name(s)
+                .ok_or_else(|| format!("divider input {s} is unnamed"))?;
             let (bus, idx) = name
                 .split_once('[')
-                .map(|(b, rest)| {
-                    (b, rest.trim_end_matches(']').parse::<usize>().expect("index"))
+                .and_then(|(b, rest)| {
+                    Some((b, rest.strip_suffix(']')?.parse::<usize>().ok()?))
                 })
-                .expect("bus-indexed input");
+                .ok_or_else(|| format!("divider input {name:?} is not bus-indexed"))?;
             match bus {
-                "r0" if idx < num_lo => lo[idx].clone(),
-                "r0" => hi[idx - num_lo].clone(),
-                "d" => d[idx].clone(),
-                other => panic!("unexpected divider input bus {other:?}"),
+                "r0" if idx < num_lo => Ok(lo[idx].clone()),
+                "r0" if idx < num_lo + num_hi => Ok(hi[idx - num_lo].clone()),
+                "d" if idx < num_d => Ok(d[idx].clone()),
+                _ => Err(format!("unexpected divider input {name:?} for n = {n}")),
             }
         })
         .collect()

@@ -4,7 +4,7 @@
 use crate::error::VerifyError;
 use crate::rewrite::{BackwardRewriter, RewriteConfig, RewriteStats};
 use crate::sbif::{
-    certify_solver_unsat, divider_sim_words, forward_information, SbifConfig, SbifStats,
+    certify_solver_unsat, forward_information, try_divider_sim_words, SbifConfig, SbifStats,
 };
 use crate::spec::divider_spec;
 use crate::vc2::{check_vc2, Vc2Config, Vc2Report};
@@ -151,6 +151,23 @@ pub struct DividerVerifier<'a> {
     config: VerifierConfig,
 }
 
+/// Splits the `"bus[idx]"` name of a primary input. Generated and
+/// imported dividers always satisfy this; a hand-assembled [`Divider`]
+/// (the fault-injection subsystem builds them wholesale) may not, and
+/// must surface as an error rather than a panic.
+fn input_bus(nl: &sbif_netlist::Netlist, s: sbif_netlist::Sig) -> Result<(&str, u32), VerifyError> {
+    let name = nl.name(s).ok_or_else(|| {
+        VerifyError::MalformedInterface(format!("primary input {s} is unnamed"))
+    })?;
+    name.split_once('[')
+        .and_then(|(b, rest)| Some((b, rest.strip_suffix(']')?.parse::<u32>().ok()?)))
+        .ok_or_else(|| {
+            VerifyError::MalformedInterface(format!(
+                "primary input {name:?} is not a bus bit"
+            ))
+        })
+}
+
 impl<'a> DividerVerifier<'a> {
     /// A verifier with the default configuration (SBIF on, vc2 on).
     pub fn new(divider: &'a Divider) -> Self {
@@ -198,7 +215,7 @@ impl<'a> DividerVerifier<'a> {
         // constrained inputs already; catching them here produces an
         // immediate counterexample instead of a polynomial blow-up.
         if self.config.smoke_check {
-            if let Some((dividend, divisor)) = self.simulation_counterexample() {
+            if let Some((dividend, divisor)) = self.simulation_counterexample()? {
                 return Ok(Vc1Report {
                     outcome: Vc1Outcome::Refuted { dividend, divisor },
                     sbif: SbifStats::default(),
@@ -214,7 +231,8 @@ impl<'a> DividerVerifier<'a> {
         let mut sbif_cfg = self.config.sbif;
         sbif_cfg.certify |= self.config.certify;
         let (classes, sbif_stats) = if self.config.use_sbif {
-            let sim = divider_sim_words(div, self.config.seed, self.config.sim_words);
+            let sim = try_divider_sim_words(div, self.config.seed, self.config.sim_words)
+                .map_err(VerifyError::MalformedInterface)?;
             let (c, s) =
                 forward_information(&div.netlist, Some(div.constraint), &sim, sbif_cfg);
             (Some(c), s)
@@ -240,7 +258,7 @@ impl<'a> DividerVerifier<'a> {
             // only needs to vanish on C-satisfying inputs. Decide that
             // exactly when the residual's support is small; otherwise
             // fall back to sampling.
-            self.decide_residual(&residual)
+            self.decide_residual(&residual)?
         };
         Ok(Vc1Report {
             outcome,
@@ -254,9 +272,10 @@ impl<'a> DividerVerifier<'a> {
 
     /// Simulates constrained random inputs and checks vc1 numerically;
     /// returns the first violating `(dividend, divisor)` pair, if any.
-    fn simulation_counterexample(&self) -> Option<(Int, Int)> {
+    fn simulation_counterexample(&self) -> Result<Option<(Int, Int)>, VerifyError> {
         let div = self.divider;
-        let words = divider_sim_words(div, self.config.seed ^ 0xFACE, 1);
+        let words = try_divider_sim_words(div, self.config.seed ^ 0xFACE, 1)
+            .map_err(VerifyError::MalformedInterface)?;
         let plane: Vec<u64> = words.iter().map(|v| v[0]).collect();
         let vals = div.netlist.simulate64(&plane);
         let word_value = |w: &sbif_netlist::Word, k: u32| -> Int {
@@ -279,10 +298,10 @@ impl<'a> DividerVerifier<'a> {
                 r -= Int::pow2(wbits);
             }
             if &(&q * &d) + &r != r0 {
-                return Some((r0, d));
+                return Ok(Some((r0, d)));
             }
         }
-        None
+        Ok(None)
     }
 
     /// Decides whether a non-zero residual still vanishes on every input
@@ -297,7 +316,10 @@ impl<'a> DividerVerifier<'a> {
     /// valid across the calls: learnt clauses are consequences of the
     /// formula alone, and each call's refutation is closed by its own
     /// failed-assumption units.
-    fn decide_residual(&self, residual: &sbif_poly::Poly) -> (Vc1Outcome, CertStats) {
+    fn decide_residual(
+        &self,
+        residual: &sbif_poly::Poly,
+    ) -> Result<(Vc1Outcome, CertStats), VerifyError> {
         use sbif_sat::{NetlistEncoder, SolveResult, Solver};
         let div = self.divider;
         let mut cert = CertStats::default();
@@ -306,7 +328,7 @@ impl<'a> DividerVerifier<'a> {
             .iter()
             .all(|v| div.netlist.gate(sbif_netlist::Sig(v.0)).is_input());
         if support.len() > 16 || !all_inputs {
-            return (self.find_counterexample(residual), cert);
+            return Ok((self.find_counterexample(residual)?, cert));
         }
         let mut solver = Solver::new();
         if self.config.certify {
@@ -352,30 +374,25 @@ impl<'a> DividerVerifier<'a> {
                     if !val {
                         continue;
                     }
-                    let name = div.netlist.name(s).expect("named");
-                    let (bus, idx) = name
-                        .split_once('[')
-                        .map(|(b, r)| {
-                            (b, r.trim_end_matches(']').parse::<u32>().expect("idx"))
-                        })
-                        .expect("bus");
+                    let (bus, idx) = input_bus(&div.netlist, s)?;
                     match bus {
                         "r0" => dividend += Int::pow2(idx),
                         _ => divisor += Int::pow2(idx),
                     }
                 }
-                return (Vc1Outcome::Refuted { dividend, divisor }, cert);
+                return Ok((Vc1Outcome::Refuted { dividend, divisor }, cert));
             }
         }
         // No C-satisfying input makes the residual non-zero: proven.
-        (Vc1Outcome::Proven, cert)
+        Ok((Vc1Outcome::Proven, cert))
     }
 
     /// Samples valid inputs and evaluates the residual polynomial; any
     /// non-zero value is a definite counterexample to vc1.
-    fn find_counterexample(&self, residual: &sbif_poly::Poly) -> Vc1Outcome {
+    fn find_counterexample(&self, residual: &sbif_poly::Poly) -> Result<Vc1Outcome, VerifyError> {
         let div = self.divider;
-        let words = divider_sim_words(div, self.config.seed ^ 0x5eed, 4);
+        let words = try_divider_sim_words(div, self.config.seed ^ 0x5eed, 4)
+            .map_err(VerifyError::MalformedInterface)?;
         let inputs = div.netlist.inputs();
         #[allow(clippy::needless_range_loop)] // w indexes every input's word list
         for w in 0..words.first().map_or(0, |v| v.len()) {
@@ -396,23 +413,17 @@ impl<'a> DividerVerifier<'a> {
                         if (words[pos][w] >> k) & 1 == 0 {
                             continue;
                         }
-                        let name = div.netlist.name(s).expect("named");
-                        let (bus, idx) = name
-                            .split_once('[')
-                            .map(|(b, r)| {
-                                (b, r.trim_end_matches(']').parse::<u32>().expect("idx"))
-                            })
-                            .expect("bus");
+                        let (bus, idx) = input_bus(&div.netlist, s)?;
                         match bus {
                             "r0" => dividend += Int::pow2(idx),
                             _ => divisor += Int::pow2(idx),
                         }
                     }
-                    return Vc1Outcome::Refuted { dividend, divisor };
+                    return Ok(Vc1Outcome::Refuted { dividend, divisor });
                 }
             }
         }
-        Vc1Outcome::Inconclusive { residual_terms: residual.num_terms() }
+        Ok(Vc1Outcome::Inconclusive { residual_terms: residual.num_terms() })
     }
 }
 
@@ -558,6 +569,50 @@ mod tests {
         }
         assert!(checked > 0, "no behaviour-changing mutants generated");
         assert_eq!(caught, checked, "every real bug must be caught");
+    }
+
+    /// A hand-assembled divider whose inputs are not `r0[i]`/`d[i]` bus
+    /// bits must be reported as malformed, not crash the process — the
+    /// fault-injection campaign feeds such netlists on purpose.
+    #[test]
+    fn non_bus_input_names_error_instead_of_panicking() {
+        let mut div = nonrestoring_divider(3);
+        let s = div.netlist.inputs()[0];
+        div.netlist.set_name(s, "weird");
+        let err = DividerVerifier::new(&div).verify().expect_err("malformed");
+        assert!(matches!(err, VerifyError::MalformedInterface(_)), "{err}");
+        assert!(err.to_string().contains("weird"));
+        // The symbolic path (smoke check disabled) must error the same way.
+        let cfg = VerifierConfig { smoke_check: false, ..VerifierConfig::default() };
+        let err = DividerVerifier::new(&div).with_config(cfg).verify().expect_err("malformed");
+        assert!(matches!(err, VerifyError::MalformedInterface(_)), "{err}");
+    }
+
+    #[test]
+    fn unnamed_inputs_error_instead_of_panicking() {
+        // `push_gate(Gate::Input)` creates unnamed inputs — legal for a
+        // raw netlist, malformed as a divider interface.
+        let mut nl = Netlist::new();
+        for _ in 0..6 {
+            nl.push_gate(Gate::Input);
+        }
+        let ins = nl.inputs().to_vec();
+        let q = nl.and(ins[0], ins[1]);
+        nl.add_output("q[0]", q);
+        let div = Divider {
+            netlist: nl,
+            n: 3,
+            kind: sbif_netlist::build::DividerKind::Imported,
+            dividend: sbif_netlist::Word::new(ins[0..4].to_vec()),
+            divisor: sbif_netlist::Word::new(ins[4..6].to_vec()),
+            quotient: sbif_netlist::Word::new(vec![q; 3]),
+            remainder: sbif_netlist::Word::new(vec![q; 5]),
+            stage_signs: Vec::new(),
+            constraint: ins[0],
+        };
+        let err = DividerVerifier::new(&div).verify_vc1().expect_err("malformed");
+        assert!(matches!(err, VerifyError::MalformedInterface(_)), "{err}");
+        assert!(err.to_string().contains("unnamed"));
     }
 
     #[test]

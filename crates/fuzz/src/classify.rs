@@ -1,0 +1,269 @@
+//! The benign/semantics-changing filter.
+//!
+//! A mutant is *benign* when it agrees with the seed on every input —
+//! structurally different, behaviorally identical; the pipeline must
+//! accept it exactly like the seed. A mutant that agrees only on inputs
+//! satisfying the divider constraint `C` (but differs on some
+//! unconstrained input) is *benign under C*: the abstract divider
+//! specification still holds, but backward rewriting may legitimately
+//! fail to discover the constrained-only equivalence, so the campaign
+//! records the pipeline's verdict on such mutants without judging it.
+//! Everything else is *semantics-changing* and must be rejected.
+//!
+//! The filter is staged, cheapest first:
+//!
+//! 1. **Constrained simulation** — replay the campaign's constrained
+//!    simulation planes through both netlists; any output mismatch is
+//!    semantics-changing in microseconds (the vast majority).
+//! 2. **Unconstrained simulation + SAT** — a plain miter decides strict
+//!    equivalence. The miter is built through the folding/strashing
+//!    builders, so the (nearly identical) seed and mutant cones dedupe
+//!    against each other and a benign single-gate mutant usually folds
+//!    to constant 0 before the solver even starts.
+//! 3. **Constraint-gated SAT** — for strictly inequivalent mutants, a
+//!    miter gated by `C` separates benign-under-C from
+//!    semantics-changing.
+
+use sbif_cec::{sat_cec, CecResult};
+use sbif_netlist::build::{append_netlist, constraint_circuit, Divider};
+use sbif_netlist::{Netlist, Sig, Word};
+use sbif_rng::XorShift64;
+use sbif_sat::Budget;
+use std::collections::HashMap;
+
+/// The filter's verdict on one mutant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MutantClass {
+    /// Agrees with the seed on *every* input — the pipeline must accept
+    /// it exactly like the seed.
+    Benign,
+    /// Agrees with the seed on every input satisfying the divider
+    /// constraint `C`, but differs somewhere outside `C`. Still a
+    /// correct divider; rejecting it is an incompleteness, not a bug.
+    BenignUnderC,
+    /// Differs on at least one constrained input.
+    SemanticsChanging,
+    /// The SAT budget ran out — reported, never silently dropped.
+    Unknown,
+}
+
+/// Builds a plain (ungated) miter over a subset of the outputs: the
+/// single output `"miter"` is `seed ≠ mutant on the subset`. UNSAT iff
+/// the mutant is strictly equivalent.
+///
+/// # Panics
+///
+/// Panics if a requested output is missing from either divider.
+pub fn strict_miter(seed: &Divider, mutant: &Divider, outputs: &[String]) -> Netlist {
+    build_miter(seed, mutant, outputs, false)
+}
+
+/// Builds a constraint-gated miter over a subset of the outputs: the
+/// single output `"miter"` is `C ∧ (seed ≠ mutant on the subset)`.
+/// With the full output list this is the classification miter; the
+/// shrinker calls it with shrinking subsets.
+///
+/// # Panics
+///
+/// Panics if a requested output is missing from either divider.
+pub fn subset_miter(seed: &Divider, mutant: &Divider, outputs: &[String]) -> Netlist {
+    build_miter(seed, mutant, outputs, true)
+}
+
+fn build_miter(seed: &Divider, mutant: &Divider, outputs: &[String], gated: bool) -> Netlist {
+    let mut nl = Netlist::new();
+    let mut seen: HashMap<String, Sig> = HashMap::new();
+    let mut shared = |d: &mut Netlist, name: &str| -> Sig {
+        if let Some(&s) = seen.get(name) {
+            s
+        } else {
+            let s = d.input(name);
+            seen.insert(name.to_string(), s);
+            s
+        }
+    };
+    let map_a = append_netlist(&mut nl, &seed.netlist, |d, n| shared(d, n));
+    let map_b = append_netlist(&mut nl, &mutant.netlist, |d, n| shared(d, n));
+    let mut diff = nl.const0();
+    for name in outputs {
+        let sa = seed
+            .netlist
+            .output(name)
+            .unwrap_or_else(|| panic!("seed lacks output {name:?}"));
+        let sb = mutant
+            .netlist
+            .output(name)
+            .unwrap_or_else(|| panic!("mutant lacks output {name:?}"));
+        let x = nl.xor(map_a[sa.index()], map_b[sb.index()]);
+        diff = nl.or(diff, x);
+    }
+    if gated {
+        // Rebuild the constraint over the shared inputs rather than
+        // reusing the seed's comparator cone: the mutant side must not
+        // be able to influence it even by accident.
+        let dividend: Word = seed.dividend.iter().map(|&s| map_a[s.index()]).collect();
+        let divisor: Word = seed.divisor.iter().map(|&s| map_a[s.index()]).collect();
+        let c = constraint_circuit(&mut nl, &dividend, &divisor);
+        diff = nl.and(c, diff);
+    }
+    nl.add_output("miter", diff);
+    nl
+}
+
+/// Unconstrained random planes (layout `[input][word]`) for the strict
+/// fast path. Derived from a fixed constant so classification stays a
+/// pure function of the netlists.
+fn raw_sim_planes(div: &Divider, words: usize) -> Vec<Vec<u64>> {
+    let mut rng = XorShift64::seed_from_u64(0x7ab1_e5ee_d00d_cafe);
+    div.netlist
+        .inputs()
+        .iter()
+        .map(|_| (0..words).map(|_| rng.next_u64()).collect())
+        .collect()
+}
+
+/// `true` if seed and mutant disagree on `outputs` for some pattern of
+/// the (constrained) simulation planes. Plane layout is
+/// `[input][word]` in the seed netlist's input order — the mutant is a
+/// gate-for-gate rebuild, so its input order is identical.
+pub fn sim_disagrees(
+    seed: &Divider,
+    mutant: &Divider,
+    planes: &[Vec<u64>],
+    outputs: &[String],
+) -> bool {
+    let words = planes.first().map_or(0, |p| p.len());
+    for w in 0..words {
+        let plane: Vec<u64> = planes.iter().map(|p| p[w]).collect();
+        let va = seed.netlist.simulate64(&plane);
+        let vb = mutant.netlist.simulate64(&plane);
+        for name in outputs {
+            let sa = seed.netlist.output(name).expect("seed output");
+            let sb = mutant.netlist.output(name).expect("mutant output");
+            if va[sa.index()] != vb[sb.index()] {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Classifies a mutant against its seed: constrained simulation fast
+/// path, then strict (ungated) equivalence, then the constraint-gated
+/// miter — each SAT stage under its own `conflicts` budget.
+pub fn classify(
+    seed: &Divider,
+    mutant: &Divider,
+    planes: &[Vec<u64>],
+    conflicts: u64,
+) -> MutantClass {
+    let outputs: Vec<String> =
+        seed.netlist.outputs().iter().map(|(n, _)| n.clone()).collect();
+    if sim_disagrees(seed, mutant, planes, &outputs) {
+        return MutantClass::SemanticsChanging;
+    }
+    let budget = || Budget::new().with_conflicts(conflicts);
+    // Strict equivalence: unconstrained random simulation rules most
+    // inequivalent mutants out before the plain miter gets built.
+    let words = planes.first().map_or(2, |p| p.len().max(1));
+    let raw = raw_sim_planes(seed, words);
+    if !sim_disagrees(seed, mutant, &raw, &outputs) {
+        let miter = strict_miter(seed, mutant, &outputs);
+        if let CecResult::Equivalent = sat_cec(&miter, "miter", budget()).result {
+            return MutantClass::Benign;
+        }
+        // NotEquivalent proves nothing under C; Unknown falls through —
+        // the gated check may still settle the class (conservatively as
+        // BenignUnderC if the mutant was in fact strictly equivalent).
+    }
+    let miter = subset_miter(seed, mutant, &outputs);
+    match sat_cec(&miter, "miter", budget()).result {
+        CecResult::Equivalent => MutantClass::BenignUnderC,
+        CecResult::NotEquivalent(_) => MutantClass::SemanticsChanging,
+        CecResult::Unknown => MutantClass::Unknown,
+    }
+}
+
+/// Convenience for tests and the shrinker: decide disagreement on an
+/// output subset by simulation, then SAT.
+pub fn subset_disagrees(
+    seed: &Divider,
+    mutant: &Divider,
+    planes: &[Vec<u64>],
+    outputs: &[String],
+    conflicts: u64,
+) -> bool {
+    if sim_disagrees(seed, mutant, planes, outputs) {
+        return true;
+    }
+    let miter = subset_miter(seed, mutant, outputs);
+    matches!(
+        sat_cec(&miter, "miter", Budget::new().with_conflicts(conflicts)).result,
+        CecResult::NotEquivalent(_)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mutate::{apply, enumerate_sites, instantiate, FaultModel};
+    use sbif_core::sbif::divider_sim_words;
+    use sbif_netlist::build::nonrestoring_divider;
+    use sbif_netlist::{BinOp, Gate};
+    use sbif_rng::XorShift64;
+
+    const CONFLICTS: u64 = 100_000;
+
+    #[test]
+    fn unmutated_seed_is_benign_against_itself() {
+        let div = nonrestoring_divider(4);
+        let planes = divider_sim_words(&div, 3, 1);
+        assert_eq!(classify(&div, &div, &planes, CONFLICTS), MutantClass::Benign);
+    }
+
+    #[test]
+    fn input_swap_on_commutative_gate_is_benign() {
+        let div = nonrestoring_divider(4);
+        let planes = divider_sim_words(&div, 3, 1);
+        // Find a commutative victim: swap is then semantics-preserving.
+        let m = enumerate_sites(&div, FaultModel::InputSwap)
+            .into_iter()
+            .find(|m| {
+                !matches!(div.netlist.gate(m.site), Gate::Binary(BinOp::AndNot, ..))
+            })
+            .expect("some commutative gate");
+        let mutant = apply(&div, &m);
+        assert_eq!(classify(&div, &mutant, &planes, CONFLICTS), MutantClass::Benign);
+    }
+
+    #[test]
+    fn stuck_quotient_msb_is_semantic() {
+        let div = nonrestoring_divider(4);
+        let planes = divider_sim_words(&div, 3, 1);
+        // Stuck-at-1 on the driver of q's top bit definitely changes Q.
+        let victim = div.quotient.msb();
+        let m = enumerate_sites(&div, FaultModel::StuckAt1)
+            .into_iter()
+            .find(|m| m.site == victim)
+            .expect("q msb driver is a gate in the cone");
+        let mutant = apply(&div, &m);
+        assert_eq!(
+            classify(&div, &mutant, &planes, CONFLICTS),
+            MutantClass::SemanticsChanging
+        );
+    }
+
+    #[test]
+    fn sat_backstop_catches_rare_disagreements() {
+        let div = nonrestoring_divider(4);
+        // No simulation planes at all: force the SAT path to decide.
+        let m = enumerate_sites(&div, FaultModel::GateFlip)
+            .last()
+            .copied()
+            .expect("sites");
+        let mut rng = XorShift64::seed_from_u64(2);
+        let mutant = apply(&div, &instantiate(&div, m, &mut rng));
+        let class = classify(&div, &mutant, &[], CONFLICTS);
+        assert_ne!(class, MutantClass::Unknown);
+    }
+}

@@ -1,0 +1,375 @@
+//! Gate-level fault models and mutant construction.
+//!
+//! A mutation targets one gate inside the *DUT cone* — the transitive
+//! fanin of the quotient/remainder outputs. The input-constraint
+//! comparator (the "testbench" deciding which inputs are valid) is
+//! deliberately out of bounds: mutating it would change the question,
+//! not the design.
+//!
+//! Mutants are built by replaying the seed netlist gate for gate through
+//! [`Netlist::push_gate`] (no folding, no structural hashing) with an
+//! old-index → new-signal map, swapping in the faulty gate at the site.
+//! This keeps the mutant structurally honest: the verifier sees the
+//! fault exactly as injected, not a rewritten simplification of it.
+
+use sbif_netlist::build::Divider;
+use sbif_netlist::{BinOp, Gate, Netlist, Sig, UnaryOp, Word};
+use sbif_rng::XorShift64;
+
+/// The gate-level fault models of the campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FaultModel {
+    /// Replace a gate's operator by its dual (`And↔Or`, `Xor↔Xnor`,
+    /// `Nand↔Nor`, `AndNot→Or`).
+    GateFlip,
+    /// Swap the two fanins of a gate. Benign on commutative operators —
+    /// the deliberate source of "correct but structurally different"
+    /// twins — and a real fault on [`BinOp::AndNot`].
+    InputSwap,
+    /// Insert an inverter on one fanin.
+    InputNegate,
+    /// Replace a gate by constant 0.
+    StuckAt0,
+    /// Replace a gate by constant 1.
+    StuckAt1,
+    /// Reconnect one fanin to a different (earlier) signal — a routing
+    /// fault.
+    WireCross,
+    /// Invert the sum bit of a full-adder cell (`Xor` whose fanin is
+    /// itself an `Xor`): the classic off-by-one in a subtract/restore
+    /// cell's column.
+    OffByOne,
+}
+
+impl FaultModel {
+    /// All fault models, in the canonical campaign order.
+    pub fn all() -> [FaultModel; 7] {
+        [
+            FaultModel::GateFlip,
+            FaultModel::InputSwap,
+            FaultModel::InputNegate,
+            FaultModel::StuckAt0,
+            FaultModel::StuckAt1,
+            FaultModel::WireCross,
+            FaultModel::OffByOne,
+        ]
+    }
+
+    /// Stable kebab-case name (reports, file names, CLI).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultModel::GateFlip => "gate-flip",
+            FaultModel::InputSwap => "input-swap",
+            FaultModel::InputNegate => "input-negate",
+            FaultModel::StuckAt0 => "stuck-at-0",
+            FaultModel::StuckAt1 => "stuck-at-1",
+            FaultModel::WireCross => "wire-cross",
+            FaultModel::OffByOne => "off-by-one",
+        }
+    }
+
+    /// Parses a CLI fault-model name.
+    pub fn parse(s: &str) -> Option<FaultModel> {
+        FaultModel::all().into_iter().find(|m| m.name() == s)
+    }
+}
+
+impl std::fmt::Display for FaultModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A concrete fault: model, victim gate, and the per-model detail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mutation {
+    /// The fault model applied.
+    pub model: FaultModel,
+    /// The victim gate in the *seed* netlist.
+    pub site: Sig,
+    /// Which fanin is affected (`InputNegate`/`WireCross`; 0 otherwise).
+    pub fanin: u8,
+    /// The new fanin for [`FaultModel::WireCross`]; filled by
+    /// [`instantiate`], [`UNFILLED`] in raw [`enumerate_sites`] output.
+    pub replacement: Sig,
+}
+
+/// Placeholder for [`Mutation::replacement`] before [`instantiate`].
+pub const UNFILLED: Sig = Sig(u32::MAX);
+
+/// The sorted DUT cone: every signal feeding a primary output. For
+/// generated dividers the outputs are exactly the `q`/`r` buses, so the
+/// constraint comparator is excluded.
+fn dut_cone(div: &Divider) -> Vec<Sig> {
+    let roots: Vec<Sig> = div.netlist.outputs().iter().map(|&(_, s)| s).collect();
+    div.netlist.cone(&roots)
+}
+
+/// Enumerates every site the fault model applies to, in ascending signal
+/// order (deterministic). `WireCross` mutations come back with an
+/// [`UNFILLED`] replacement — pass them through [`instantiate`].
+pub fn enumerate_sites(div: &Divider, model: FaultModel) -> Vec<Mutation> {
+    let nl = &div.netlist;
+    let mut sites = Vec::new();
+    let mut push = |site: Sig, fanin: u8| {
+        sites.push(Mutation { model, site, fanin, replacement: UNFILLED });
+    };
+    for s in dut_cone(div) {
+        match (nl.gate(s), model) {
+            (Gate::Input | Gate::Const(_), _) => {}
+            (Gate::Binary(..), FaultModel::GateFlip) => push(s, 0),
+            (Gate::Binary(_, a, b), FaultModel::InputSwap) if a != b => push(s, 0),
+            (Gate::Binary(..), FaultModel::InputNegate) => {
+                push(s, 0);
+                push(s, 1);
+            }
+            (Gate::Unary(..), FaultModel::InputNegate) => push(s, 0),
+            (_, FaultModel::StuckAt0 | FaultModel::StuckAt1) => push(s, 0),
+            (Gate::Binary(..), FaultModel::WireCross) => {
+                push(s, 0);
+                push(s, 1);
+            }
+            (Gate::Unary(..), FaultModel::WireCross) => push(s, 0),
+            (Gate::Binary(BinOp::Xor, a, b), FaultModel::OffByOne)
+                if matches!(nl.gate(*a), Gate::Binary(BinOp::Xor, ..))
+                    || matches!(nl.gate(*b), Gate::Binary(BinOp::Xor, ..)) =>
+            {
+                push(s, 0)
+            }
+            _ => {}
+        }
+    }
+    sites
+}
+
+/// Completes a site from [`enumerate_sites`] into an applicable
+/// [`Mutation`]: for `WireCross` the replacement fanin is drawn from the
+/// non-constant signals preceding the site (skipping the wire already
+/// connected); other models pass through unchanged.
+pub fn instantiate(div: &Divider, proto: Mutation, rng: &mut XorShift64) -> Mutation {
+    if proto.model != FaultModel::WireCross {
+        return proto;
+    }
+    let nl = &div.netlist;
+    let current = fanin_of(nl.gate(proto.site), proto.fanin);
+    let candidates: Vec<Sig> = (0..proto.site.0)
+        .map(Sig)
+        .filter(|&t| t != current && !nl.gate(t).is_const())
+        .collect();
+    assert!(!candidates.is_empty(), "wire-cross site {} has no candidate", proto.site);
+    let replacement = candidates[rng.below(candidates.len() as u64) as usize];
+    Mutation { replacement, ..proto }
+}
+
+/// Draws one applicable mutation of the given model uniformly at random.
+/// Returns the site's ordinal in the [`enumerate_sites`] order (the
+/// shrinker uses it to find the corresponding site at a smaller width)
+/// together with the mutation, or `None` if the model has no site in
+/// this divider.
+pub fn pick(
+    div: &Divider,
+    model: FaultModel,
+    rng: &mut XorShift64,
+) -> Option<(usize, Mutation)> {
+    let sites = enumerate_sites(div, model);
+    if sites.is_empty() {
+        return None;
+    }
+    let ordinal = rng.below(sites.len() as u64) as usize;
+    Some((ordinal, instantiate(div, sites[ordinal], rng)))
+}
+
+fn fanin_of(gate: &Gate, slot: u8) -> Sig {
+    match (gate, slot) {
+        (Gate::Unary(_, a), 0) | (Gate::Binary(_, a, _), 0) => *a,
+        (Gate::Binary(_, _, b), 1) => *b,
+        _ => panic!("gate {gate:?} has no fanin slot {slot}"),
+    }
+}
+
+/// The operator a [`FaultModel::GateFlip`] turns `op` into.
+fn flipped(op: BinOp) -> BinOp {
+    match op {
+        BinOp::And => BinOp::Or,
+        BinOp::Or => BinOp::And,
+        BinOp::Xor => BinOp::Xnor,
+        BinOp::Xnor => BinOp::Xor,
+        BinOp::Nand => BinOp::Nor,
+        BinOp::Nor => BinOp::Nand,
+        BinOp::AndNot => BinOp::Or,
+    }
+}
+
+/// Applies a mutation, producing a fresh [`Divider`] with the same
+/// interface (same input/output names, remapped word/constraint
+/// signals).
+///
+/// # Panics
+///
+/// Panics if the mutation does not fit the site's gate (e.g. produced
+/// for a different divider) or a `WireCross` replacement is [`UNFILLED`].
+pub fn apply(div: &Divider, m: &Mutation) -> Divider {
+    let src = &div.netlist;
+    let mut nl = Netlist::new();
+    let mut map: Vec<Sig> = Vec::with_capacity(src.num_signals());
+    for s in src.signals() {
+        let new = if s == m.site {
+            mutated_gate(&mut nl, src.gate(s), m, &map)
+        } else {
+            match src.gate(s) {
+                Gate::Input => nl.input(src.name(s).expect("divider inputs are named")),
+                Gate::Const(v) => nl.push_gate(Gate::Const(*v)),
+                Gate::Unary(op, a) => nl.push_gate(Gate::Unary(*op, map[a.index()])),
+                Gate::Binary(op, a, b) => {
+                    nl.push_gate(Gate::Binary(*op, map[a.index()], map[b.index()]))
+                }
+            }
+        };
+        map.push(new);
+    }
+    // Preserve diagnostic names (inputs were named on creation).
+    for s in src.signals() {
+        if !src.gate(s).is_input() {
+            if let Some(name) = src.name(s) {
+                nl.set_name(map[s.index()], name);
+            }
+        }
+    }
+    for (name, s) in src.outputs() {
+        nl.add_output(name, map[s.index()]);
+    }
+    let remap_word = |w: &Word| -> Word { w.iter().map(|s| map[s.index()]).collect() };
+    Divider {
+        n: div.n,
+        kind: div.kind,
+        dividend: remap_word(&div.dividend),
+        divisor: remap_word(&div.divisor),
+        quotient: remap_word(&div.quotient),
+        remainder: remap_word(&div.remainder),
+        stage_signs: div.stage_signs.iter().map(|s| map[s.index()]).collect(),
+        constraint: map[div.constraint.index()],
+        netlist: nl,
+    }
+}
+
+/// Builds the replacement for the victim gate. `map` covers all signals
+/// preceding the site (topological order guarantees the fanins are in).
+fn mutated_gate(nl: &mut Netlist, gate: &Gate, m: &Mutation, map: &[Sig]) -> Sig {
+    let mapped = |s: Sig| map[s.index()];
+    match (m.model, gate) {
+        (FaultModel::StuckAt0, _) => nl.push_gate(Gate::Const(false)),
+        (FaultModel::StuckAt1, _) => nl.push_gate(Gate::Const(true)),
+        (FaultModel::GateFlip | FaultModel::OffByOne, Gate::Binary(op, a, b)) => {
+            nl.push_gate(Gate::Binary(flipped(*op), mapped(*a), mapped(*b)))
+        }
+        (FaultModel::InputSwap, Gate::Binary(op, a, b)) => {
+            nl.push_gate(Gate::Binary(*op, mapped(*b), mapped(*a)))
+        }
+        (FaultModel::InputNegate, Gate::Unary(op, a)) => {
+            let inv = nl.push_gate(Gate::Unary(UnaryOp::Not, mapped(*a)));
+            nl.push_gate(Gate::Unary(*op, inv))
+        }
+        (FaultModel::InputNegate, Gate::Binary(op, a, b)) => {
+            let victim = if m.fanin == 0 { *a } else { *b };
+            let inv = nl.push_gate(Gate::Unary(UnaryOp::Not, mapped(victim)));
+            let (fa, fb) =
+                if m.fanin == 0 { (inv, mapped(*b)) } else { (mapped(*a), inv) };
+            nl.push_gate(Gate::Binary(*op, fa, fb))
+        }
+        (FaultModel::WireCross, g @ (Gate::Unary(..) | Gate::Binary(..))) => {
+            assert_ne!(m.replacement, UNFILLED, "wire-cross mutation not instantiated");
+            let r = mapped(m.replacement);
+            nl.push_gate(match (g, m.fanin) {
+                (Gate::Unary(op, _), 0) => Gate::Unary(*op, r),
+                (Gate::Binary(op, _, b), 0) => Gate::Binary(*op, r, mapped(*b)),
+                (Gate::Binary(op, a, _), 1) => Gate::Binary(*op, mapped(*a), r),
+                _ => panic!("wire-cross fanin slot {} on {g:?}", m.fanin),
+            })
+        }
+        (model, g) => panic!("fault model {model} does not apply to {g:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbif_netlist::build::nonrestoring_divider;
+
+    #[test]
+    fn every_model_has_sites_on_every_arch() {
+        for arch in crate::Arch::all() {
+            let div = arch.build(4);
+            for model in FaultModel::all() {
+                assert!(
+                    !enumerate_sites(&div, model).is_empty(),
+                    "{model} has no sites on {arch}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sites_stay_inside_the_dut_cone() {
+        let div = nonrestoring_divider(4);
+        let cone = dut_cone(&div);
+        // The comparator feeds `constraint`, which is not an output.
+        assert!(!cone.contains(&div.constraint));
+        for model in FaultModel::all() {
+            for m in enumerate_sites(&div, model) {
+                assert!(cone.contains(&m.site), "{model} site {} outside cone", m.site);
+            }
+        }
+    }
+
+    #[test]
+    fn apply_preserves_the_interface() {
+        let div = nonrestoring_divider(4);
+        let mut rng = XorShift64::seed_from_u64(9);
+        for model in FaultModel::all() {
+            let (_, m) = pick(&div, model, &mut rng).unwrap();
+            let mutant = apply(&div, &m);
+            assert_eq!(mutant.n, div.n);
+            assert_eq!(mutant.netlist.inputs().len(), div.netlist.inputs().len());
+            assert_eq!(mutant.netlist.outputs().len(), div.netlist.outputs().len());
+            for ((na, _), (nb, _)) in
+                div.netlist.outputs().iter().zip(mutant.netlist.outputs())
+            {
+                assert_eq!(na, nb);
+            }
+            // Topological order survives the rebuild.
+            for s in mutant.netlist.signals() {
+                for f in mutant.netlist.gate(s).fanins() {
+                    assert!(f < s);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stuck_at_rewires_the_victim_to_a_constant() {
+        let div = nonrestoring_divider(3);
+        let m = enumerate_sites(&div, FaultModel::StuckAt1)[0];
+        let mutant = apply(&div, &m);
+        assert_eq!(mutant.netlist.const_value(Sig(m.site.0)), Some(true));
+    }
+
+    #[test]
+    fn input_negate_changes_simulation_at_the_site() {
+        let div = nonrestoring_divider(3);
+        let m = enumerate_sites(&div, FaultModel::InputNegate)[0];
+        let mutant = apply(&div, &m);
+        // The rebuilt netlist has one extra gate (the inserted inverter).
+        assert_eq!(mutant.netlist.num_signals(), div.netlist.num_signals() + 1);
+    }
+
+    #[test]
+    fn instantiate_fills_wire_cross_replacements() {
+        let div = nonrestoring_divider(3);
+        let mut rng = XorShift64::seed_from_u64(1);
+        for proto in enumerate_sites(&div, FaultModel::WireCross) {
+            let m = instantiate(&div, proto, &mut rng);
+            assert_ne!(m.replacement, UNFILLED);
+            assert!(m.replacement < m.site);
+        }
+    }
+}

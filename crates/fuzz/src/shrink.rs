@@ -1,0 +1,275 @@
+//! Delta-debugging shrinker for escaping or crashing mutants.
+//!
+//! Two reduction axes, applied in order:
+//!
+//! 1. **Width descent** — rebuild the same architecture at every smaller
+//!    width, re-inject the structurally corresponding fault (same model,
+//!    proportional site ordinal) and keep the smallest width on which
+//!    the failure reproduces. Divider bugs are overwhelmingly
+//!    width-generic, so this alone usually takes a 16-bit escape down
+//!    to a 2- or 3-bit one.
+//! 2. **Output-set ddmin** — Zeller's minimizing delta debugging over
+//!    the divider's output list: find a (1-minimal) subset of outputs
+//!    on which seed and mutant still disagree, then cut the witness
+//!    netlist to the cone of those outputs.
+
+use crate::classify::subset_disagrees;
+use crate::mutate::{apply, enumerate_sites, instantiate, FaultModel, Mutation};
+use crate::Arch;
+use sbif_core::sbif::divider_sim_words;
+use sbif_netlist::build::Divider;
+use sbif_netlist::{io::write_bnet, Gate, Netlist, Sig};
+use sbif_rng::XorShift64;
+use std::collections::HashMap;
+
+/// A minimized failure witness.
+#[derive(Debug, Clone)]
+pub struct ShrunkWitness {
+    /// Width the failure was reduced to.
+    pub n: usize,
+    /// The mutation at that width.
+    pub mutation: Mutation,
+    /// The mutant divider (full interface — replayable through the
+    /// pipeline).
+    pub mutant: Divider,
+    /// The 1-minimal output subset still disagreeing with the seed
+    /// (empty when the repro is a crash rather than a miscompute).
+    pub kept_outputs: Vec<String>,
+    /// BNET text of the mutant cone restricted to `kept_outputs`
+    /// (falls back to the full mutant netlist for crashes).
+    pub cone_bnet: String,
+    /// BNET text of the full-interface mutant at the reduced width.
+    pub full_bnet: String,
+}
+
+/// Minimizing delta debugging (ddmin): returns a subset of `items` that
+/// still satisfies `test`, such that removing any single remaining
+/// element makes `test` fail (1-minimality).
+///
+/// `test(&[])` is never called; if `test(items)` does not hold, the
+/// input is returned unchanged.
+pub fn ddmin<T: Clone>(items: &[T], test: &mut dyn FnMut(&[T]) -> bool) -> Vec<T> {
+    let mut cur: Vec<T> = items.to_vec();
+    if cur.len() < 2 || !test(&cur) {
+        return cur;
+    }
+    let mut granularity = 2usize;
+    loop {
+        let chunk = cur.len().div_ceil(granularity);
+        let mut reduced = false;
+        let mut start = 0;
+        while start < cur.len() {
+            let end = (start + chunk).min(cur.len());
+            // Try the complement of cur[start..end].
+            let mut candidate: Vec<T> = Vec::with_capacity(cur.len() - (end - start));
+            candidate.extend_from_slice(&cur[..start]);
+            candidate.extend_from_slice(&cur[end..]);
+            if !candidate.is_empty() && test(&candidate) {
+                cur = candidate;
+                granularity = granularity.saturating_sub(1).max(2);
+                reduced = true;
+                // Restart the chunk sweep on the reduced list.
+                start = 0;
+                continue;
+            }
+            start = end;
+        }
+        if !reduced {
+            if granularity >= cur.len() {
+                return cur;
+            }
+            granularity = (granularity * 2).min(cur.len());
+        }
+        if cur.len() < 2 {
+            return cur;
+        }
+    }
+}
+
+/// Copies the cone of the named outputs into a fresh netlist (verbatim
+/// gates, preserved input names).
+pub fn cone_netlist(nl: &Netlist, outputs: &[String]) -> Netlist {
+    let roots: Vec<Sig> = outputs
+        .iter()
+        .map(|n| nl.output(n).unwrap_or_else(|| panic!("no output {n:?}")))
+        .collect();
+    let cone = nl.cone(&roots);
+    let mut out = Netlist::new();
+    let mut map: HashMap<usize, Sig> = HashMap::with_capacity(cone.len());
+    for &s in &cone {
+        let new = match nl.gate(s) {
+            Gate::Input => out.input(nl.name(s).expect("inputs are named")),
+            Gate::Const(v) => out.push_gate(Gate::Const(*v)),
+            Gate::Unary(op, a) => out.push_gate(Gate::Unary(*op, map[&a.index()])),
+            Gate::Binary(op, a, b) => {
+                out.push_gate(Gate::Binary(*op, map[&a.index()], map[&b.index()]))
+            }
+        };
+        map.insert(s.index(), new);
+    }
+    for name in outputs {
+        let s = nl.output(name).expect("checked above");
+        out.add_output(name, map[&s.index()]);
+    }
+    out
+}
+
+/// Derives the mutation "structurally corresponding" to ordinal
+/// `ordinal` (taken at a width with `orig_len` sites) in a site list of
+/// `len` entries: the proportional position, clamped.
+fn scaled_ordinal(ordinal: usize, orig_len: usize, len: usize) -> usize {
+    if orig_len == 0 {
+        return 0;
+    }
+    ((ordinal * len) / orig_len).min(len - 1)
+}
+
+/// Shrinks an escaping/crashing mutant. `repro` receives a candidate
+/// (seed, mutant) pair and must say whether the original failure still
+/// shows; it is responsible for catching panics when the failure *is* a
+/// panic. `rng_seed` makes `WireCross` replacement choices reproducible.
+///
+/// Returns `None` when the fault cannot even be re-instantiated at the
+/// original width (should not happen for mutations produced by
+/// [`crate::mutate::pick`]).
+pub fn shrink_escape(
+    arch: Arch,
+    model: FaultModel,
+    ordinal: usize,
+    orig_n: usize,
+    rng_seed: u64,
+    repro: &mut dyn FnMut(&Divider, &Divider) -> bool,
+) -> Option<ShrunkWitness> {
+    let orig_len = enumerate_sites(&arch.build(orig_n), model).len();
+    let mut found: Option<(usize, Mutation, Divider, Divider)> = None;
+    for n in 2..=orig_n {
+        let seed = arch.build(n);
+        let sites = enumerate_sites(&seed, model);
+        if sites.is_empty() {
+            continue;
+        }
+        let k = if n == orig_n {
+            ordinal.min(sites.len() - 1)
+        } else {
+            scaled_ordinal(ordinal, orig_len, sites.len())
+        };
+        let mut rng = XorShift64::seed_from_u64(rng_seed ^ (n as u64) << 32);
+        let m = instantiate(&seed, sites[k], &mut rng);
+        let mutant = apply(&seed, &m);
+        if repro(&seed, &mutant) {
+            found = Some((n, m, seed, mutant));
+            break;
+        }
+    }
+    let (n, mutation, seed, mutant) = found?;
+
+    // Output-set minimization: which outputs still witness disagreement?
+    let all_outputs: Vec<String> =
+        seed.netlist.outputs().iter().map(|(name, _)| name.clone()).collect();
+    let planes = divider_sim_words(&seed, rng_seed, 4);
+    let disagrees = |subset: &[String]| -> bool {
+        subset_disagrees(&seed, &mutant, &planes, subset, 100_000)
+    };
+    let kept = if disagrees(&all_outputs) {
+        ddmin(&all_outputs, &mut |subset| disagrees(subset))
+    } else {
+        // Crash repro (or escape with no functional disagreement):
+        // output minimization does not apply.
+        Vec::new()
+    };
+    let cone = if kept.is_empty() { mutant.netlist.clone() } else { cone_netlist(&mutant.netlist, &kept) };
+    Some(ShrunkWitness {
+        n,
+        mutation,
+        full_bnet: write_bnet(&mutant.netlist),
+        mutant,
+        kept_outputs: kept,
+        cone_bnet: write_bnet(&cone),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::{classify, MutantClass};
+    use crate::mutate::pick;
+
+    #[test]
+    fn ddmin_finds_a_single_culprit() {
+        let items: Vec<u32> = (0..16).collect();
+        let mut calls = 0;
+        let min = ddmin(&items, &mut |s| {
+            calls += 1;
+            s.contains(&11)
+        });
+        assert_eq!(min, vec![11]);
+        assert!(calls < 200, "ddmin wasted {calls} probes");
+    }
+
+    #[test]
+    fn ddmin_keeps_interacting_pairs() {
+        let items: Vec<u32> = (0..12).collect();
+        let min = ddmin(&items, &mut |s| s.contains(&3) && s.contains(&9));
+        assert_eq!(min, vec![3, 9]);
+    }
+
+    #[test]
+    fn ddmin_handles_non_failing_input() {
+        let items = [1u32, 2, 3];
+        let min = ddmin(&items, &mut |_| false);
+        assert_eq!(min, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn cone_netlist_preserves_simulation() {
+        let div = Arch::NonRestoring.build(3);
+        let outputs = vec!["q[0]".to_string(), "r[1]".to_string()];
+        let cone = cone_netlist(&div.netlist, &outputs);
+        assert_eq!(cone.outputs().len(), 2);
+        assert!(cone.num_signals() <= div.netlist.num_signals());
+        // Same values on a common assignment: drive each input by a
+        // word derived from its (preserved) name, so the cone can drop
+        // dead input bits freely.
+        let word_for = |nl: &Netlist, s: Sig| -> u64 {
+            let mut h = XorShift64::seed_from_u64(
+                nl.name(s).unwrap().bytes().map(u64::from).sum(),
+            );
+            h.next_u64()
+        };
+        let pa: Vec<u64> =
+            div.netlist.inputs().iter().map(|&s| word_for(&div.netlist, s)).collect();
+        let pb: Vec<u64> = cone.inputs().iter().map(|&s| word_for(&cone, s)).collect();
+        let va = div.netlist.simulate64(&pa);
+        let vb = cone.simulate64(&pb);
+        for name in &outputs {
+            let sa = div.netlist.output(name).unwrap();
+            let sb = cone.output(name).unwrap();
+            assert_eq!(va[sa.index()], vb[sb.index()], "{name} differs in the cone");
+        }
+    }
+
+    #[test]
+    fn width_descent_reduces_a_generic_fault() {
+        // A semantics-changing fault at n = 6 that also exists at small
+        // widths: the shrinker must land well below 6.
+        let arch = Arch::NonRestoring;
+        let model = FaultModel::StuckAt1;
+        let mut rng = XorShift64::seed_from_u64(5);
+        let big = arch.build(6);
+        let planes = divider_sim_words(&big, 1, 1);
+        let (ordinal, m) = pick(&big, model, &mut rng).unwrap();
+        let mutant = apply(&big, &m);
+        // Only meaningful if the picked fault is semantic at n = 6.
+        if classify(&big, &mutant, &planes, 50_000) != MutantClass::SemanticsChanging {
+            return;
+        }
+        let witness = shrink_escape(arch, model, ordinal, 6, 5, &mut |seed, cand| {
+            let p = divider_sim_words(seed, 1, 1);
+            classify(seed, cand, &p, 50_000) == MutantClass::SemanticsChanging
+        })
+        .expect("must reproduce at some width");
+        assert!(witness.n < 6, "no width reduction: stuck at n = {}", witness.n);
+        assert!(!witness.kept_outputs.is_empty());
+        assert!(witness.cone_bnet.contains(".end"));
+    }
+}

@@ -181,11 +181,18 @@ pub fn read_bnet(text: &str) -> Result<Netlist, ParseBnetError> {
     if !ended {
         return Err(err(text.lines().count().max(1), "missing .end"));
     }
+    let mut seen_outputs: std::collections::HashSet<String> = std::collections::HashSet::new();
     for (lineno, name, sig) in outputs {
         let s = by_name
             .get(&sig)
             .copied()
             .ok_or_else(|| err(lineno, format!("unknown output signal {sig:?}")))?;
+        // `Netlist::add_output` treats duplicate names as a caller bug
+        // and panics; a *file* declaring the same output twice must
+        // surface as a parse error instead.
+        if !seen_outputs.insert(name.clone()) {
+            return Err(err(lineno, format!("duplicate output {name:?}")));
+        }
         nl.add_output(&name, s);
     }
     Ok(nl)
@@ -251,6 +258,7 @@ g = AND a b
             (".inputs a\n.output o a\n", 2, "missing .end"),
             (".inputs a\n.end\nx = NOT a\n", 3, "after .end"),
             (".inputs a\nx = AND a a a\n.end\n", 2, "trailing"),
+            (".inputs a b\n.output o a\n.output o b\n.end\n", 3, "duplicate output"),
         ];
         for (text, line, needle) in cases {
             let e = read_bnet(text).expect_err("must fail");

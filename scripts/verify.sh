@@ -30,4 +30,18 @@ cargo clippy --all-targets --offline -- -D warnings
 echo "==> sbif-lint over the shipped example netlists"
 ./target/release/sbif-lint examples/netlists/*.bnet
 
+echo "==> sbif-fuzz --smoke mutation-kill gate (fixed seed, jobs-determinism)"
+# The smoke profile pins the seed and mutant population; the binary
+# itself fails unless every semantics-changing mutant (>= 200 required)
+# is rejected with zero false alarms, zero escapes and zero crashes.
+# Running it at two worker counts and byte-comparing the kill matrices
+# extends the jobs-determinism discipline to the fuzz subsystem.
+FUZZ_TMP="$(mktemp -d)"
+trap 'rm -rf "$FUZZ_TMP"' EXIT
+./target/release/sbif-fuzz --smoke --jobs 1 --json "$FUZZ_TMP/kill-1.json"
+./target/release/sbif-fuzz --smoke --jobs 4 --json "$FUZZ_TMP/kill-4.json"
+cmp "$FUZZ_TMP/kill-1.json" "$FUZZ_TMP/kill-4.json"
+grep '"totals"' "$FUZZ_TMP/kill-1.json" | grep -q '"escaped": 0,'
+grep '"totals"' "$FUZZ_TMP/kill-1.json" | grep -q '"false_alarms": 0,'
+
 echo "verify.sh: all gates passed"

@@ -14,7 +14,9 @@
 //! * [`core`] — SCA backward rewriting + SBIF + the full verifier,
 //! * [`cec`] — the SAT-miter and SAT-sweeping baselines,
 //! * [`check`] — independent DRAT proof checking (`--certify`) and the
-//!   `sbif-lint` netlist static analyzer.
+//!   `sbif-lint` netlist static analyzer,
+//! * [`fuzz`] — gate-level fault injection and the `sbif-fuzz`
+//!   mutation-kill campaign runner.
 //!
 //! # Examples
 //!
@@ -36,6 +38,7 @@ pub use sbif_bdd as bdd;
 pub use sbif_cec as cec;
 pub use sbif_check as check;
 pub use sbif_core as core;
+pub use sbif_fuzz as fuzz;
 pub use sbif_netlist as netlist;
 pub use sbif_poly as poly;
 pub use sbif_sat as sat;
