@@ -287,6 +287,21 @@ impl BddManager {
         self.nodes.len() - self.free.len()
     }
 
+    /// Current number of unique-table entries (canonical triples). Lags
+    /// [`live_nodes`](Self::live_nodes) by the two terminals, which are
+    /// not hashed.
+    pub fn unique_len(&self) -> usize {
+        self.unique.len()
+    }
+
+    /// Current number of computed-table (operation cache) entries.
+    /// Cleared on garbage collection and reordering, so this is the
+    /// residue of the work since the last such event, not a lifetime
+    /// total.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
     /// The support of `f` (variables it depends on), ascending by id.
     pub fn support(&self, f: Bdd) -> Vec<VarId> {
         let mut seen = std::collections::HashSet::new();

@@ -1,8 +1,18 @@
 //! Benchmarks of Alg. 1 (Table II cols. 5–6).
+//!
+//! Besides the timing lines, a run writes `BENCH_sbif.json` to the
+//! working directory (`SBIF_BENCH_SBIF_JSON` overrides the path):
+//! deterministic Alg. 1 counters (candidates, SAT checks, proven
+//! equivalences, solver conflicts/propagations) for the benched widths.
+//! Its `"det"` object is machine-independent and is diffed against a
+//! checked-in baseline by `scripts/bench_check.sh`.
 
+use sbif_bench::bench_json;
 use sbif_bench::harness::Harness;
 use sbif_core::sbif::{divider_sim_words, forward_information, SbifConfig};
 use sbif_netlist::build::nonrestoring_divider;
+use sbif_trace::json::Value;
+use std::collections::BTreeMap;
 
 fn bench_sbif(c: &mut Harness) {
     for n in [8usize, 16] {
@@ -28,7 +38,41 @@ fn bench_sbif(c: &mut Harness) {
     });
 }
 
+/// One untimed Alg. 1 run per width, harvesting the deterministic
+/// counters for the baseline diff.
+fn write_det_artifact() {
+    let mut det = BTreeMap::new();
+    for n in [8usize, 16] {
+        let div = nonrestoring_divider(n);
+        let sim = divider_sim_words(&div, 1, 2);
+        let (_, stats) = forward_information(
+            &div.netlist,
+            Some(div.constraint),
+            &sim,
+            SbifConfig::default(),
+        );
+        let key = |metric: &str| format!("n{n}.{metric}");
+        det.insert(key("candidates"), Value::Int(stats.candidates as i64));
+        det.insert(key("sat_checks"), Value::Int(stats.sat_checks as i64));
+        det.insert(key("proven"), Value::Int(stats.proven as i64));
+        det.insert(key("refuted"), Value::Int(stats.refuted as i64));
+        det.insert(key("conflicts"), Value::Int(stats.solver.conflicts as i64));
+        det.insert(
+            key("propagations"),
+            Value::Int(stats.solver.propagations as i64),
+        );
+    }
+    let json = bench_json("sbif-bench-sbif-v1", det, []);
+    let path = std::env::var("SBIF_BENCH_SBIF_JSON")
+        .unwrap_or_else(|_| "BENCH_sbif.json".to_string());
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("deterministic counters written to {path}"),
+        Err(e) => eprintln!("cannot write {path}: {e}"),
+    }
+}
+
 fn main() {
     let mut harness = Harness::from_args();
     bench_sbif(&mut harness);
+    write_det_artifact();
 }

@@ -2,29 +2,58 @@
 //! dividers — plain SAT and sweeping-CEC baselines vs. the SCA+SBIF flow
 //! (read / SBIF / rewrite) and the BDD-based vc2 check.
 //!
-//! Usage: `table2 [sizes...] [--timeout SECS] [--no-baselines]`
+//! Usage: `table2 [sizes...] [--timeout SECS] [--no-baselines] [--json FILE]`
 //! (default sizes: 2 4 8 16 24 32; the paper goes to 128 — expect the
 //! baselines to time out beyond ~16 and pass `--no-baselines` for the
 //! largest widths).
+//!
+//! Besides the aligned text table, every run writes the machine-readable
+//! artifact `BENCH_table2.json` (`--json FILE` overrides the path). The
+//! file is rewritten after each completed row, so an interrupted run
+//! still leaves the rows finished so far; its `"det"` object holds only
+//! deterministic counters and is what `scripts/bench_check.sh` compares
+//! against the checked-in baseline.
 
-use sbif_bench::{render_table2, table2_row, Table2Config};
+use sbif_bench::{render_table2, table2_json, table2_row, Table2Config};
+use std::process::ExitCode;
 use std::time::Duration;
 
-fn main() {
+fn main() -> ExitCode {
     let mut sizes: Vec<usize> = Vec::new();
     let mut cfg = Table2Config::default();
+    let mut json_path = "BENCH_table2.json".to_string();
     let mut args = std::env::args().skip(1).peekable();
     while let Some(a) = args.next() {
         match a.as_str() {
             "--timeout" => {
-                let secs: u64 = args
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .expect("--timeout needs seconds");
+                let Some(secs) = args.next().and_then(|s| s.parse::<u64>().ok()) else {
+                    eprintln!("--timeout needs a whole number of seconds");
+                    return ExitCode::from(2);
+                };
                 cfg.baseline_timeout = Duration::from_secs(secs);
             }
             "--no-baselines" => cfg.skip_baselines = true,
-            other => sizes.push(other.parse().expect("size argument")),
+            "--json" => {
+                let Some(path) = args.next() else {
+                    eprintln!("--json needs a file path");
+                    return ExitCode::from(2);
+                };
+                json_path = path;
+            }
+            other => match other.parse::<usize>() {
+                Ok(n) if n >= 2 => sizes.push(n),
+                Ok(n) => {
+                    eprintln!("divisor width must be at least 2 bits, got {n}");
+                    return ExitCode::from(2);
+                }
+                Err(_) => {
+                    eprintln!(
+                        "unrecognized argument {other:?} — expected a width or \
+                         --timeout SECS / --no-baselines / --json FILE"
+                    );
+                    return ExitCode::from(2);
+                }
+            },
         }
     }
     if sizes.is_empty() {
@@ -39,5 +68,11 @@ fn main() {
         eprintln!("running n = {n} ...");
         rows.push(table2_row(n, cfg));
         println!("{}", render_table2(&rows));
+        if let Err(e) = std::fs::write(&json_path, table2_json(&rows)) {
+            eprintln!("cannot write {json_path}: {e}");
+            return ExitCode::from(2);
+        }
     }
+    println!("machine-readable rows written to {json_path}");
+    ExitCode::SUCCESS
 }

@@ -23,6 +23,8 @@ use sbif_core::VerifyError;
 use sbif_netlist::build::{divider_miter, nonrestoring_divider, restoring_divider};
 use sbif_netlist::io::{read_bnet, write_bnet};
 use sbif_sat::Budget;
+use sbif_trace::json::Value;
+use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
 /// Outcome of a resource-limited measurement.
@@ -121,11 +123,15 @@ pub struct Table2Row {
     pub read: Duration,
     /// Equivalences/antivalences proven by Alg. 1 (col. 5).
     pub sbif_equiv: usize,
+    /// Window-SAT checks Alg. 1 performed (deterministic).
+    pub sbif_checks: usize,
     /// Time of Alg. 1 (col. 6).
     pub sbif: Duration,
     /// Time of the modified backward rewriting (col. 7); `Memout` cannot
     /// occur with SBIF at these sizes.
     pub rewrite: Measured,
+    /// Peak term count of the SBIF rewrite (deterministic; 0 on MEMOUT).
+    pub rewrite_peak: usize,
     /// Peak BDD nodes of the vc2 proof (col. 8).
     pub vc2_nodes: usize,
     /// Time of the vc2 proof (col. 9).
@@ -208,13 +214,15 @@ pub fn table2_row(n: usize, cfg: Table2Config) -> Table2Row {
     // Column 7: modified backward rewriting.
     let sp = divider_spec(&div);
     let t = Instant::now();
+    let mut rewrite_peak = 0;
     let rewrite = match BackwardRewriter::new(&div.netlist)
         .with_classes(&classes)
         .with_config(RewriteConfig { max_terms: Some(cfg.term_limit), ..Default::default() })
         .run(sp)
     {
-        Ok((res, _)) => {
+        Ok((res, stats)) => {
             assert!(res.is_zero(), "SBIF run must prove vc1 for n={n}");
+            rewrite_peak = stats.peak_terms;
             Measured::Time(t.elapsed())
         }
         Err(VerifyError::TermLimitExceeded { .. }) => Measured::Memout,
@@ -233,11 +241,66 @@ pub fn table2_row(n: usize, cfg: Table2Config) -> Table2Row {
         cec,
         read,
         sbif_equiv: sbif_stats.proven,
+        sbif_checks: sbif_stats.sat_checks,
         sbif,
         rewrite,
+        rewrite_peak,
         vc2_nodes: report.peak_nodes,
         vc2,
     }
+}
+
+/// Assembles a `BENCH_*.json` document: a `"det"` object holding only
+/// machine-independent counters (what `scripts/bench_check.sh` diffs
+/// against the checked-in baselines, via `sbif-trace det`) next to
+/// arbitrary extra top-level entries such as wall-clock rows.
+pub fn bench_json(
+    schema: &str,
+    det: BTreeMap<String, Value>,
+    extra: impl IntoIterator<Item = (String, Value)>,
+) -> String {
+    let mut top = BTreeMap::new();
+    top.insert("schema".to_string(), Value::Str(schema.to_string()));
+    top.insert("det".to_string(), Value::Object(det));
+    top.extend(extra);
+    let mut s = Value::Object(top).to_canonical();
+    s.push('\n');
+    s
+}
+
+/// The machine-readable Table II artifact (`BENCH_table2.json`).
+///
+/// The `"det"` object carries the deterministic columns keyed
+/// `n<width>.<metric>` — identical on every machine and for every
+/// `--jobs` value — while the `"rows"` array repeats each row with its
+/// wall-clock measurements (excluded from baseline comparison).
+pub fn table2_json(rows: &[Table2Row]) -> String {
+    let mut det = BTreeMap::new();
+    let mut arr = Vec::new();
+    for r in rows {
+        let key = |metric: &str| format!("n{}.{metric}", r.n);
+        det.insert(key("sbif_equiv"), Value::Int(r.sbif_equiv as i64));
+        det.insert(key("sbif_checks"), Value::Int(r.sbif_checks as i64));
+        det.insert(key("rewrite_peak"), Value::Int(r.rewrite_peak as i64));
+        det.insert(key("vc2_nodes"), Value::Int(r.vc2_nodes as i64));
+        let mut row = BTreeMap::new();
+        row.insert("n".to_string(), Value::Int(r.n as i64));
+        row.insert("sat".to_string(), Value::Str(r.sat.to_string()));
+        row.insert("cec".to_string(), Value::Str(r.cec.to_string()));
+        row.insert("read_s".to_string(), Value::Float(r.read.as_secs_f64()));
+        row.insert("sbif_equiv".to_string(), Value::Int(r.sbif_equiv as i64));
+        row.insert("sbif_s".to_string(), Value::Float(r.sbif.as_secs_f64()));
+        row.insert("rewrite".to_string(), Value::Str(r.rewrite.to_string()));
+        row.insert("rewrite_peak".to_string(), Value::Int(r.rewrite_peak as i64));
+        row.insert("vc2_nodes".to_string(), Value::Int(r.vc2_nodes as i64));
+        row.insert("vc2_s".to_string(), Value::Float(r.vc2.as_secs_f64()));
+        arr.push(Value::Object(row));
+    }
+    bench_json(
+        "sbif-bench-table2-v1",
+        det,
+        [("rows".to_string(), Value::Array(arr))],
+    )
 }
 
 /// Renders rows as an aligned text table (same columns as the paper's
@@ -309,8 +372,21 @@ mod tests {
         assert!(matches!(row.cec, Measured::Time(_)));
         assert!(matches!(row.rewrite, Measured::Time(_)));
         assert!(row.sbif_equiv > 0);
+        assert!(row.sbif_checks >= row.sbif_equiv);
+        assert!(row.rewrite_peak > 0);
         assert!(row.vc2_nodes > 0);
-        let rendered = render_table2(&[row]);
+        let rendered = render_table2(&[row.clone()]);
         assert!(rendered.contains("vc2"));
+
+        // The JSON artifact parses, and its det subtree carries exactly
+        // the machine-independent columns.
+        let json = table2_json(&[row.clone()]);
+        let v = sbif_trace::json::parse(&json).expect("artifact parses");
+        let det = v.as_object().unwrap()["det"].as_object().unwrap();
+        assert_eq!(det["n3.sbif_equiv"].as_u64(), Some(row.sbif_equiv as u64));
+        assert_eq!(det["n3.vc2_nodes"].as_u64(), Some(row.vc2_nodes as u64));
+        assert_eq!(det.len(), 4);
+        // Wall times stay out of det.
+        assert!(!det.keys().any(|k| k.contains("_s")));
     }
 }

@@ -37,6 +37,7 @@ pub use sweep::{sweep_cec, SweepConfig};
 
 use sbif_check::{certify_unsat, CertOutcome, CertStats, DratStep};
 use sbif_netlist::{Netlist, Sig};
+use sbif_sat::SolverStats;
 
 /// Verdict of an equivalence check.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -62,6 +63,12 @@ pub struct CecStats {
     /// DRAT certificates of the UNSAT answers, when certification was
     /// requested (see [`sat_cec_with`]).
     pub cert: CertStats,
+    /// CDCL counters totalled over every SAT query of the check. Note
+    /// that both baselines run under *wall-clock* budgets, so unlike the
+    /// SBIF pipeline's [`sbif_sat::SolverStats`] aggregate these are not
+    /// machine-independent — they are reported for diagnosis, not for
+    /// the deterministic metrics payload.
+    pub solver: SolverStats,
 }
 
 /// Outcome of an equivalence check: verdict plus statistics.

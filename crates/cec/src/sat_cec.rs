@@ -47,7 +47,7 @@ pub fn sat_cec_with(nl: &Netlist, output: &str, budget: Budget, certify: bool) -
     };
     CecOutcome {
         result,
-        stats: CecStats { sat_checks: 1, cert, ..CecStats::default() },
+        stats: CecStats { sat_checks: 1, cert, solver: solver.stats(), ..CecStats::default() },
     }
 }
 

@@ -145,6 +145,7 @@ pub fn sweep_cec(
     let signals: Vec<Sig> = nl.signals().collect();
     while idx < signals.len() {
         if start.elapsed() > cfg.timeout {
+            stats.solver = solver.stats();
             return CecOutcome { result: CecResult::Unknown, stats };
         }
         // Fold pending counterexamples into the signatures in batches.
@@ -247,6 +248,7 @@ pub fn sweep_cec(
     assumptions.push(lo);
     let remaining = cfg.timeout.saturating_sub(start.elapsed());
     if remaining.is_zero() {
+        stats.solver = solver.stats();
         return CecOutcome { result: CecResult::Unknown, stats };
     }
     stats.sat_checks += 1;
@@ -255,6 +257,7 @@ pub fn sweep_cec(
         SolveResult::Sat => CecResult::NotEquivalent(model_counterexample(nl, &solver, &enc)),
         SolveResult::Unknown => CecResult::Unknown,
     };
+    stats.solver = solver.stats();
     CecOutcome { result, stats }
 }
 

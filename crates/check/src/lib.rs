@@ -31,6 +31,10 @@ pub struct CertOutcome {
     pub steps_logged: u64,
     /// Addition steps the refutation actually needed (trimming pass).
     pub steps_used: u64,
+    /// Size of the certificate in textual DRAT bytes (what a
+    /// `.drat` file of the derivation would occupy) — the proof-size
+    /// column of the observability layer.
+    pub drat_bytes: u64,
     /// Checker diagnostics on rejection.
     pub detail: Option<String>,
 }
@@ -49,6 +53,8 @@ pub struct CertStats {
     pub steps_logged: u64,
     /// Total addition steps the refutations actually used.
     pub steps_used: u64,
+    /// Total textual DRAT bytes of all logged derivations.
+    pub drat_bytes: u64,
 }
 
 impl CertStats {
@@ -60,6 +66,7 @@ impl CertStats {
         }
         self.steps_logged += outcome.steps_logged;
         self.steps_used += outcome.steps_used;
+        self.drat_bytes += outcome.drat_bytes;
     }
 
     /// Merges another aggregate into this one.
@@ -68,6 +75,7 @@ impl CertStats {
         self.rejected += other.rejected;
         self.steps_logged += other.steps_logged;
         self.steps_used += other.steps_used;
+        self.drat_bytes += other.drat_bytes;
     }
 
     /// Fraction of logged steps the refutations used (1.0 when nothing
@@ -109,20 +117,46 @@ pub fn certify_unsat(
         full_steps.push(DratStep::add(Vec::new()));
     }
     let steps_logged = full_steps.iter().filter(|s| !s.delete).count() as u64;
+    let drat_bytes = drat_text_bytes(&full_steps);
     match check_refutation(&full_formula, &full_steps) {
         Ok(stats) => CertOutcome {
             accepted: true,
             steps_logged,
             steps_used: stats.used_additions as u64,
+            drat_bytes,
             detail: None,
         },
         Err(e) => CertOutcome {
             accepted: false,
             steps_logged,
             steps_used: 0,
+            drat_bytes,
             detail: Some(e.to_string()),
         },
     }
+}
+
+/// The byte count of the derivation rendered as textual DRAT
+/// (`d` markers, space-separated DIMACS literals, `0`-terminated
+/// lines), without materializing the text.
+fn drat_text_bytes(steps: &[DratStep]) -> u64 {
+    let digits = |l: i32| -> u64 {
+        let mut n = if l < 0 { 1u64 } else { 0 };
+        let mut v = (l as i64).unsigned_abs().max(1);
+        while v > 0 {
+            n += 1;
+            v /= 10;
+        }
+        n
+    };
+    steps
+        .iter()
+        .map(|s| {
+            let marker = if s.delete { 2 } else { 0 };
+            let lits: u64 = s.lits.iter().map(|&l| digits(l) + 1).sum();
+            marker + lits + 2 // trailing "0\n"
+        })
+        .sum()
 }
 
 #[cfg(test)]
@@ -159,16 +193,35 @@ mod tests {
     }
 
     #[test]
+    fn drat_byte_count_matches_rendering() {
+        let steps = vec![
+            DratStep::add(vec![1, -23, 456]),
+            DratStep::delete(vec![-7]),
+            DratStep::add(vec![]),
+        ];
+        let rendered = "1 -23 456 0\nd -7 0\n0\n";
+        assert_eq!(drat_text_bytes(&steps), rendered.len() as u64);
+    }
+
+    #[test]
     fn stats_aggregate_and_fraction() {
         let mut s = CertStats::default();
-        s.record(&CertOutcome { accepted: true, steps_logged: 10, steps_used: 4, detail: None });
+        s.record(&CertOutcome {
+            accepted: true,
+            steps_logged: 10,
+            steps_used: 4,
+            drat_bytes: 40,
+            detail: None,
+        });
         s.record(&CertOutcome {
             accepted: false,
             steps_logged: 2,
             steps_used: 0,
+            drat_bytes: 8,
             detail: Some("bad".into()),
         });
         assert_eq!((s.checked, s.rejected), (2, 1));
+        assert_eq!(s.drat_bytes, 48);
         assert!(!s.all_accepted());
         assert!((s.used_fraction() - 4.0 / 12.0).abs() < 1e-12);
         let mut t = CertStats::default();

@@ -55,6 +55,10 @@ pub struct RewriteStats {
     pub final_terms: usize,
     /// Full-adder sums substituted as atomic blocks.
     pub block_substitutions: usize,
+    /// Sum of the intermediate polynomial sizes after every
+    /// substitution — the area under the Fig. 3 curve, available without
+    /// paying for [`trace`](Self::trace) recording.
+    pub total_terms: u64,
     /// Size after each substitution, when
     /// [`record_trace`](RewriteConfig::record_trace) is set (Fig. 3).
     pub trace: Vec<usize>,
@@ -333,6 +337,7 @@ impl<'a> BackwardRewriter<'a> {
         stats.steps += 1;
         let size = sp.num_terms();
         stats.peak_terms = stats.peak_terms.max(size);
+        stats.total_terms += size as u64;
         if self.cfg.record_trace {
             stats.trace.push(size);
         }

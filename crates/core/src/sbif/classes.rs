@@ -128,6 +128,25 @@ impl EquivClasses {
         }
     }
 
+    /// Histogram of non-singleton class sizes: `size → how many classes
+    /// have that many members` (the representative counts as a member,
+    /// so every listed size is ≥ 2). Deterministic: class structure only
+    /// depends on the union sequence, which the SBIF commit replays in
+    /// sequential order for every `jobs` value.
+    pub fn size_histogram(&self) -> std::collections::BTreeMap<usize, usize> {
+        let mut sizes: std::collections::BTreeMap<u32, usize> =
+            std::collections::BTreeMap::new();
+        for i in 0..self.parent.len() as u32 {
+            let (r, _) = self.rep(Sig(i));
+            *sizes.entry(r.0).or_insert(0) += 1;
+        }
+        let mut hist = std::collections::BTreeMap::new();
+        for size in sizes.into_values().filter(|&s| s >= 2) {
+            *hist.entry(size).or_insert(0) += 1;
+        }
+        hist
+    }
+
     /// All non-singleton classes as `(representative, members)` where
     /// members carry their polarity relative to the representative
     /// (the representative itself is not listed as a member).

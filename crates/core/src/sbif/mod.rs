@@ -27,7 +27,7 @@ pub use sim::{divider_sim_words, try_divider_sim_words};
 
 use sbif_check::{certify_unsat, CertOutcome, CertStats, DratStep};
 use sbif_netlist::{Gate, Netlist, Sig};
-use sbif_sat::{Budget, Lit, NetlistEncoder, SolveResult, Solver};
+use sbif_sat::{Budget, Lit, NetlistEncoder, SolveResult, Solver, SolverStats};
 
 /// Configuration of Alg. 1.
 #[derive(Debug, Clone, Copy)]
@@ -100,6 +100,14 @@ pub struct SbifStats {
     /// DRAT certificate statistics over the UNSAT window checks the
     /// commit relied on (all zero unless [`SbifConfig::certify`] is set).
     pub cert: CertStats,
+    /// CDCL solver effort totalled over the window checks the commit
+    /// relied on. Recorded commit-side only: each check's counters are a
+    /// pure function of its CNF encoding (itself a pure function of the
+    /// touch log), so the totals are identical for every `jobs` value —
+    /// unlike [`wasted_checks`](Self::wasted_checks) and
+    /// [`sat_micros`](Self::sat_micros), these belong in the
+    /// deterministic metrics report.
+    pub solver: SolverStats,
 }
 
 /// Runs Alg. 1: partitions the signals of `nl` into equivalence classes
@@ -182,6 +190,9 @@ fn rep_logged(classes: &EquivClasses, touched: &mut Vec<RepTouch>, s: Sig) -> (S
 /// outcome of every UNSAT verdict. Because the encoding is a pure
 /// function of the touch log, so is the logged proof — a cached result
 /// replayed by the deterministic commit carries the same certificate.
+/// The same argument covers the solver counters: the CDCL run is
+/// deterministic (conflict budget, no wall-clock cutoffs), so the
+/// returned [`SolverStats`] are reproducible per touch log.
 pub(super) fn check_window_pair(
     nl: &Netlist,
     classes: &EquivClasses,
@@ -190,7 +201,7 @@ pub(super) fn check_window_pair(
     b: Sig,
     same_polarity: bool,
     cfg: &SbifConfig,
-) -> (SolveResult, Vec<RepTouch>, Option<Vec<bool>>, Option<CertOutcome>) {
+) -> WindowOutcome {
     let mut solver = Solver::new();
     if cfg.certify {
         solver.enable_proof_log();
@@ -239,7 +250,24 @@ pub(super) fn check_window_pair(
     touched.dedup();
     let cert =
         (cfg.certify && result == SolveResult::Unsat).then(|| certify_solver_unsat(&solver));
-    (result, touched, cex, cert)
+    WindowOutcome { result, touched, cex, cert, solver: solver.stats() }
+}
+
+/// Everything one windowed SAT check produced — all of it a pure
+/// function of `(a, b, ε)` and the touch log (see
+/// [`check_window_pair`]), which is what lets the parallel commit reuse
+/// speculative outcomes without perturbing any statistic.
+pub(super) struct WindowOutcome {
+    /// The solver verdict.
+    pub(super) result: SolveResult,
+    /// Every `rep()` answer the encoding depended on.
+    pub(super) touched: Vec<RepTouch>,
+    /// Primary-input counterexample for SAT verdicts.
+    pub(super) cex: Option<Vec<bool>>,
+    /// DRAT-check outcome for certified UNSAT verdicts.
+    pub(super) cert: Option<CertOutcome>,
+    /// The solver's counters for this one check.
+    pub(super) solver: SolverStats,
 }
 
 /// Replays the UNSAT answer of a proof-logging solver through the

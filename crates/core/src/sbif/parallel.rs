@@ -30,10 +30,10 @@
 //!   buffered), splitting candidate buckets so spurious pairs are never
 //!   SAT-checked again.
 
-use super::{check_window_pair, EquivClasses, RepTouch, SbifConfig, SbifStats};
+use super::{check_window_pair, EquivClasses, RepTouch, SbifConfig, SbifStats, WindowOutcome};
 use sbif_check::CertOutcome;
 use sbif_netlist::{Netlist, Sig};
-use sbif_sat::SolveResult;
+use sbif_sat::{SolveResult, SolverStats};
 use std::collections::HashMap;
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{mpsc, Arc, Mutex};
@@ -105,6 +105,17 @@ struct Attempt {
     /// commit time reports the same certificate as a fresh check (the
     /// proof is a pure function of the touch set).
     cert: Option<CertOutcome>,
+    /// Solver counters of the speculative check — reported by the commit
+    /// on a cache hit, where a fresh check would have produced the exact
+    /// same numbers (deterministic solver over a touch-set-determined
+    /// encoding).
+    solver: SolverStats,
+}
+
+impl From<WindowOutcome> for Attempt {
+    fn from(o: WindowOutcome) -> Self {
+        Attempt { result: o.result, touched: o.touched, cex: o.cex, cert: o.cert, solver: o.solver }
+    }
 }
 
 struct WorkItem {
@@ -153,15 +164,14 @@ fn worker(
                 tried.push(rb);
                 let eps = item.epoch.flip[i] == item.epoch.flip[b.index()];
                 let t0 = Instant::now();
-                let (result, touched, cex, cert) =
-                    check_window_pair(nl, &local, constraint, a, b, eps, cfg);
+                let outcome = check_window_pair(nl, &local, constraint, a, b, eps, cfg);
                 stats.sat_micros += t0.elapsed().as_micros();
                 stats.sat_checks += 1;
                 // Mirror the commit's gating: a rejected certificate
                 // does not merge, so the speculative scan continues.
-                let proven = result == SolveResult::Unsat
-                    && cert.as_ref().is_none_or(|c| c.accepted);
-                attempts.insert((a.0, b.0, eps), Attempt { result, touched, cex, cert });
+                let proven = outcome.result == SolveResult::Unsat
+                    && outcome.cert.as_ref().is_none_or(|c| c.accepted);
+                attempts.insert((a.0, b.0, eps), Attempt::from(outcome));
                 if proven {
                     local.union(a, b, !eps);
                     break;
@@ -243,20 +253,22 @@ fn commit_signal(
         let cached = spec.and_then(|m| m.get(&(a.0, b.0, eps))).filter(|att| {
             att.touched.iter().all(|&(s, r, p)| classes.rep(s) == (r, p))
         });
-        let (result, cex, cert) = match cached {
+        let (result, cex, cert, solver) = match cached {
             Some(att) => {
                 hits += 1;
-                (att.result, att.cex.clone(), att.cert.clone())
+                (att.result, att.cex.clone(), att.cert.clone(), att.solver)
             }
             None => {
                 let t0 = Instant::now();
-                let (result, _, cex, cert) =
-                    check_window_pair(nl, classes, constraint, a, b, eps, cfg);
+                let o = check_window_pair(nl, classes, constraint, a, b, eps, cfg);
                 stats.sat_micros += t0.elapsed().as_micros();
-                (result, cex, cert)
+                (o.result, o.cex, o.cert, o.solver)
             }
         };
         stats.sat_checks += 1;
+        // Solver effort is totalled here (commit side only), so the
+        // aggregate is the sequential one for every `jobs` value.
+        stats.solver.absorb(solver);
         match result {
             SolveResult::Unsat => {
                 // Under `certify`, the merge is gated on the independent

@@ -36,6 +36,13 @@ pub struct Vc2Report {
     pub holds: bool,
     /// Peak number of allocated BDD nodes (Table II, col. 8).
     pub peak_nodes: usize,
+    /// Live BDD nodes when the check finished (≤ `peak_nodes`).
+    pub final_nodes: usize,
+    /// Entries in the manager's unique table at the end of the check.
+    pub unique_entries: usize,
+    /// Entries in the manager's computed-table (operation cache) at the
+    /// end of the check.
+    pub cache_entries: usize,
     /// Statistics of the backward traversal.
     pub wpc_stats: WpcStats,
     /// When `holds` is false: a valid input violating the remainder
@@ -82,7 +89,15 @@ pub fn check_vc2(div: &Divider, cfg: Vc2Config) -> Vc2Report {
                 .collect()
         })
     };
-    Vc2Report { holds, peak_nodes: m.peak_nodes, wpc_stats, counterexample }
+    Vc2Report {
+        holds,
+        peak_nodes: m.peak_nodes,
+        final_nodes: m.live_nodes(),
+        unique_entries: m.unique_len(),
+        cache_entries: m.cache_len(),
+        wpc_stats,
+        counterexample,
+    }
 }
 
 #[cfg(test)]

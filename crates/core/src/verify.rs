@@ -4,13 +4,15 @@
 use crate::error::VerifyError;
 use crate::rewrite::{BackwardRewriter, RewriteConfig, RewriteStats};
 use crate::sbif::{
-    certify_solver_unsat, forward_information, try_divider_sim_words, SbifConfig, SbifStats,
+    certify_solver_unsat, forward_information, try_divider_sim_words, EquivClasses, SbifConfig,
+    SbifStats,
 };
 use crate::spec::divider_spec;
 use crate::vc2::{check_vc2, Vc2Config, Vc2Report};
 use sbif_apint::Int;
 use sbif_check::CertStats;
 use sbif_netlist::build::Divider;
+use sbif_trace::{MetricsReport, Recorder};
 use std::time::{Duration, Instant};
 
 /// Configuration of the full verification flow.
@@ -109,6 +111,14 @@ pub struct VerificationReport {
     pub vc2: Option<Vc2Report>,
     /// Wall-clock time of the vc2 phase.
     pub vc2_time: Duration,
+    /// The deterministic metrics payload of the run: every counter and
+    /// gauge the pipeline recorded, frozen by
+    /// [`Recorder::finish`]. Byte-identical (via
+    /// [`MetricsReport::to_json`]) for every [`SbifConfig::jobs`] value
+    /// and across machines — wall-clock and speculation-dependent
+    /// numbers live in the explicit `*_time` / [`SbifStats`] fields
+    /// instead.
+    pub metrics: MetricsReport,
 }
 
 impl VerificationReport {
@@ -149,6 +159,7 @@ impl VerificationReport {
 pub struct DividerVerifier<'a> {
     divider: &'a Divider,
     config: VerifierConfig,
+    recorder: Recorder,
 }
 
 /// Splits the `"bus[idx]"` name of a primary input. Generated and
@@ -171,12 +182,26 @@ fn input_bus(nl: &sbif_netlist::Netlist, s: sbif_netlist::Sig) -> Result<(&str, 
 impl<'a> DividerVerifier<'a> {
     /// A verifier with the default configuration (SBIF on, vc2 on).
     pub fn new(divider: &'a Divider) -> Self {
-        DividerVerifier { divider, config: VerifierConfig::default() }
+        DividerVerifier {
+            divider,
+            config: VerifierConfig::default(),
+            recorder: Recorder::new(),
+        }
     }
 
     /// Overrides the configuration.
     pub fn with_config(mut self, config: VerifierConfig) -> Self {
         self.config = config;
+        self
+    }
+
+    /// Uses `recorder` for the run's spans, counters and gauges — attach
+    /// sinks to it beforehand to stream the events (`--trace` in the
+    /// CLI). Each recorder is meant to observe one `verify()` call: the
+    /// deterministic payload accumulates, so reusing one across runs
+    /// sums their counters.
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
         self
     }
 
@@ -187,6 +212,7 @@ impl<'a> DividerVerifier<'a> {
     /// [`VerifyError::TermLimitExceeded`] when backward rewriting blows
     /// up (expected without SBIF beyond small widths).
     pub fn verify(&self) -> Result<VerificationReport, VerifyError> {
+        let verify_span = self.recorder.span("verify");
         let vc1 = self.verify_vc1()?;
         let t0 = Instant::now();
         // A refuted vc1 already settles the verdict; the vc2 BDD
@@ -195,11 +221,17 @@ impl<'a> DividerVerifier<'a> {
         let run_vc2 =
             self.config.check_vc2 && !matches!(vc1.outcome, Vc1Outcome::Refuted { .. });
         let vc2 = if run_vc2 {
-            Some(check_vc2(self.divider, self.config.vc2))
+            let span = self.recorder.span("vc2");
+            let report = check_vc2(self.divider, self.config.vc2);
+            self.record_vc2_metrics(&report);
+            span.close();
+            Some(report)
         } else {
             None
         };
-        Ok(VerificationReport { vc1, vc2, vc2_time: t0.elapsed() })
+        verify_span.close();
+        let metrics = self.recorder.finish();
+        Ok(VerificationReport { vc1, vc2, vc2_time: t0.elapsed(), metrics })
     }
 
     /// Runs only the vc1 check (SBIF + modified backward rewriting).
@@ -209,13 +241,18 @@ impl<'a> DividerVerifier<'a> {
     /// [`VerifyError::TermLimitExceeded`] on polynomial blow-up.
     pub fn verify_vc1(&self) -> Result<Vc1Report, VerifyError> {
         let div = self.divider;
+        let _vc1_span = self.recorder.span("vc1");
         let t0 = Instant::now();
         // Cheap smoke refutation: badly broken dividers (mis-wired
         // outputs, wrong operators on hot paths) violate vc1 on random
         // constrained inputs already; catching them here produces an
         // immediate counterexample instead of a polynomial blow-up.
         if self.config.smoke_check {
-            if let Some((dividend, divisor)) = self.simulation_counterexample()? {
+            let span = self.recorder.span("smoke");
+            let cex = self.simulation_counterexample()?;
+            span.close();
+            if let Some((dividend, divisor)) = cex {
+                self.recorder.add("vc1.smoke_refuted", 1);
                 return Ok(Vc1Report {
                     outcome: Vc1Outcome::Refuted { dividend, divisor },
                     sbif: SbifStats::default(),
@@ -231,10 +268,12 @@ impl<'a> DividerVerifier<'a> {
         let mut sbif_cfg = self.config.sbif;
         sbif_cfg.certify |= self.config.certify;
         let (classes, sbif_stats) = if self.config.use_sbif {
+            let span = self.recorder.span("sbif");
             let sim = try_divider_sim_words(div, self.config.seed, self.config.sim_words)
                 .map_err(VerifyError::MalformedInterface)?;
             let (c, s) =
                 forward_information(&div.netlist, Some(div.constraint), &sim, sbif_cfg);
+            span.close();
             (Some(c), s)
         } else {
             (None, SbifStats::default())
@@ -242,6 +281,7 @@ impl<'a> DividerVerifier<'a> {
         let sbif_time = t0.elapsed();
 
         let t1 = Instant::now();
+        let rewrite_span = self.recorder.span("rewrite");
         let spec = divider_spec(div);
         let mut rewriter =
             BackwardRewriter::new(&div.netlist).with_config(self.config.rewrite);
@@ -249,6 +289,7 @@ impl<'a> DividerVerifier<'a> {
             rewriter = rewriter.with_classes(c);
         }
         let (residual, rewrite_stats) = rewriter.run(spec)?;
+        rewrite_span.close();
         let rewrite_time = t1.elapsed();
 
         let (outcome, cert) = if residual.is_zero() {
@@ -258,16 +299,82 @@ impl<'a> DividerVerifier<'a> {
             // only needs to vanish on C-satisfying inputs. Decide that
             // exactly when the residual's support is small; otherwise
             // fall back to sampling.
-            self.decide_residual(&residual)?
+            let span = self.recorder.span("residual");
+            let decided = self.decide_residual(&residual)?;
+            span.close();
+            decided
         };
-        Ok(Vc1Report {
+        let report = Vc1Report {
             outcome,
             sbif: sbif_stats,
             rewrite: rewrite_stats,
             sbif_time,
             rewrite_time,
             cert,
-        })
+        };
+        self.record_vc1_metrics(&report, classes.as_ref());
+        Ok(report)
+    }
+
+    /// Records the deterministic vc1 metrics. Wall-clock numbers and the
+    /// speculation accounting (`wasted_checks`, `sat_micros`) are
+    /// intentionally absent — they vary with the machine and the worker
+    /// count, and the metrics payload must not.
+    fn record_vc1_metrics(&self, report: &Vc1Report, classes: Option<&EquivClasses>) {
+        let r = &self.recorder;
+        let s = &report.sbif;
+        r.add("sbif.candidates", s.candidates as u64);
+        r.add("sbif.sat_checks", s.sat_checks as u64);
+        r.add("sbif.proven", s.proven as u64);
+        r.add("sbif.refuted", s.refuted as u64);
+        r.add("sbif.unknown", s.unknown as u64);
+        r.add("sbif.refinements", s.refinements as u64);
+        r.add("sbif.sat.decisions", s.solver.decisions);
+        r.add("sbif.sat.conflicts", s.solver.conflicts);
+        r.add("sbif.sat.propagations", s.solver.propagations);
+        r.add("sbif.sat.restarts", s.solver.restarts);
+        r.add("sbif.sat.learnts", s.solver.learnts);
+        r.add("sbif.sat.deleted", s.solver.deleted);
+        if let Some(c) = classes {
+            r.add("sbif.merges", c.num_merges() as u64);
+            for (size, count) in c.size_histogram() {
+                r.add(&format!("sbif.class_size.{size}"), count as u64);
+            }
+        }
+        let w = &report.rewrite;
+        r.add("rewrite.steps", w.steps as u64);
+        r.add("rewrite.block_substitutions", w.block_substitutions as u64);
+        r.add("rewrite.total_terms", w.total_terms);
+        r.gauge_max("rewrite.peak_terms", w.peak_terms as u64);
+        r.gauge_max("rewrite.final_terms", w.final_terms as u64);
+        let mut cert = report.cert;
+        cert.merge(s.cert);
+        if cert.checked > 0 {
+            r.add("cert.checked", u64::from(cert.checked));
+            r.add("cert.rejected", u64::from(cert.rejected));
+            r.add("cert.steps_logged", cert.steps_logged);
+            r.add("cert.steps_used", cert.steps_used);
+            r.add("cert.drat_bytes", cert.drat_bytes);
+            // Integer permille of used steps: deterministic (no float
+            // rounding in the payload), 1000 when nothing was logged.
+            let permille = (cert.steps_used * 1000)
+                .checked_div(cert.steps_logged)
+                .unwrap_or(1000);
+            r.gauge_max("cert.used_permille", permille);
+        }
+    }
+
+    /// Records the deterministic vc2 metrics (BDD table sizes and the
+    /// backward-traversal counters).
+    fn record_vc2_metrics(&self, report: &Vc2Report) {
+        let r = &self.recorder;
+        r.add("vc2.composed", report.wpc_stats.composed as u64);
+        r.add("vc2.reorders", report.wpc_stats.reorders as u64);
+        r.gauge_max("vc2.peak_nodes", report.peak_nodes as u64);
+        r.gauge_max("vc2.final_nodes", report.final_nodes as u64);
+        r.gauge_max("vc2.unique_entries", report.unique_entries as u64);
+        r.gauge_max("vc2.cache_entries", report.cache_entries as u64);
+        r.gauge_max("vc2.wpc_final_size", report.wpc_stats.final_size as u64);
     }
 
     /// Simulates constrained random inputs and checks vc1 numerically;

@@ -615,6 +615,36 @@ impl CampaignReport {
             && self.total_crashed() == 0
     }
 
+    /// Records the campaign's deterministic tallies on `rec` (the
+    /// `fuzz.*` namespace of the observability layer). Counts only —
+    /// the same numbers as [`kill_matrix_json`](Self::kill_matrix_json),
+    /// so the recorded metrics are identical for any `jobs` value.
+    pub fn record_metrics(&self, rec: &sbif_trace::Recorder) {
+        rec.add("fuzz.seeds", self.seeds.len() as u64);
+        let verified =
+            self.seeds.iter().filter(|s| s.correct == Some(true)).count();
+        rec.add("fuzz.seeds_verified", verified as u64);
+        rec.add("fuzz.cells", self.cells.len() as u64);
+        let generated: usize = self.cells.iter().map(|c| c.generated).sum();
+        rec.add("fuzz.generated", generated as u64);
+        rec.add("fuzz.semantic", self.total_semantic() as u64);
+        rec.add("fuzz.killed", self.total_killed() as u64);
+        rec.add("fuzz.aborted", self.total_aborted() as u64);
+        rec.add("fuzz.escaped", self.total_escaped() as u64);
+        rec.add("fuzz.false_alarms", self.total_false_alarms() as u64);
+        let benign_accepted: usize =
+            self.cells.iter().map(|c| c.benign_accepted).sum();
+        rec.add("fuzz.benign_accepted", benign_accepted as u64);
+        let under_c_accepted: usize =
+            self.cells.iter().map(|c| c.under_c_accepted).sum();
+        rec.add("fuzz.under_c_accepted", under_c_accepted as u64);
+        rec.add("fuzz.under_c_rejected", self.total_under_c_rejected() as u64);
+        rec.add("fuzz.skipped", self.total_skipped() as u64);
+        rec.add("fuzz.crashed", self.total_crashed() as u64);
+        rec.add("fuzz.unclassified", self.total_unclassified() as u64);
+        rec.add("fuzz.escapes_recorded", self.escapes.len() as u64);
+    }
+
     /// The kill matrix as deterministic JSON: pure counts and witness
     /// structure, no timings, no panic messages — byte-identical for
     /// any `jobs` value.

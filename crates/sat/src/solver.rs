@@ -76,6 +76,21 @@ pub struct SolverStats {
     pub deleted: u64,
 }
 
+impl SolverStats {
+    /// Folds another solver's counters into this aggregate. Used by the
+    /// pipeline observability layer to total the effort over many
+    /// short-lived solvers (one per SBIF window check); addition is
+    /// commutative, so the total is independent of aggregation order.
+    pub fn absorb(&mut self, other: SolverStats) {
+        self.decisions += other.decisions;
+        self.conflicts += other.conflicts;
+        self.propagations += other.propagations;
+        self.restarts += other.restarts;
+        self.learnts += other.learnts;
+        self.deleted += other.deleted;
+    }
+}
+
 #[derive(Debug)]
 struct Clause {
     lits: Vec<Lit>,

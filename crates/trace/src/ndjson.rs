@@ -1,0 +1,206 @@
+//! Well-formedness checking of an NDJSON trace stream.
+//!
+//! Used by the `sbif-trace check` CLI gate and the fuzz tests: every
+//! line must parse as a JSON object, the event kinds must come from the
+//! closed set the [`crate::sink::NdjsonSink`] emits, and span
+//! open/close events must pair up exactly.
+
+use crate::json::{parse, Value};
+use std::collections::BTreeMap;
+
+/// Aggregate of a checked stream.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StreamSummary {
+    /// Total lines (= events).
+    pub events: usize,
+    /// Completed span pairs.
+    pub spans: usize,
+    /// Counter events.
+    pub counters: usize,
+    /// Gauge events.
+    pub gauges: usize,
+    /// Report events.
+    pub reports: usize,
+}
+
+/// Checks one NDJSON trace stream end to end.
+///
+/// # Errors
+///
+/// The first violation, with its 1-based line number: unparseable
+/// line, non-object line, unknown or missing `ev` kind, missing or
+/// ill-typed required fields, close without open, name mismatch
+/// between a span's open and close, duplicate span id, or unclosed
+/// spans at end of stream.
+///
+/// # Examples
+///
+/// ```
+/// use sbif_trace::check_stream;
+///
+/// let ok = "{\"ev\": \"span_open\", \"id\": 0, \"name\": \"x\"}\n\
+///           {\"ev\": \"span_close\", \"id\": 0, \"name\": \"x\", \"wall_us\": 5}\n";
+/// assert_eq!(check_stream(ok).unwrap().spans, 1);
+/// assert!(check_stream("{\"ev\": \"mystery\"}\n").is_err());
+/// ```
+pub fn check_stream(text: &str) -> Result<StreamSummary, String> {
+    let mut summary = StreamSummary::default();
+    let mut open: BTreeMap<u64, String> = BTreeMap::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        if line.trim().is_empty() {
+            return Err(format!("line {lineno}: empty line in NDJSON stream"));
+        }
+        let value =
+            parse(line).map_err(|e| format!("line {lineno}: not valid JSON: {e}"))?;
+        let obj = value
+            .as_object()
+            .ok_or_else(|| format!("line {lineno}: not a JSON object"))?;
+        let ev = obj
+            .get("ev")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("line {lineno}: missing \"ev\" kind"))?;
+        summary.events += 1;
+        let field_u64 = |key: &str| -> Result<u64, String> {
+            obj.get(key)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("line {lineno}: {ev} needs unsigned \"{key}\""))
+        };
+        let field_str = |key: &str| -> Result<&str, String> {
+            obj.get(key)
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("line {lineno}: {ev} needs string \"{key}\""))
+        };
+        match ev {
+            "span_open" => {
+                let id = field_u64("id")?;
+                let name = field_str("name")?;
+                if open.insert(id, name.to_string()).is_some() {
+                    return Err(format!("line {lineno}: span id {id} opened twice"));
+                }
+            }
+            "span_close" => {
+                let id = field_u64("id")?;
+                let name = field_str("name")?;
+                // wall_us may exceed u64::MAX in theory (u128 on the
+                // writer side) but must at least be a number.
+                match obj.get("wall_us") {
+                    Some(Value::Int(i)) if *i >= 0 => {}
+                    Some(Value::Float(f)) if *f >= 0.0 => {}
+                    _ => {
+                        return Err(format!(
+                            "line {lineno}: span_close needs non-negative \"wall_us\""
+                        ))
+                    }
+                }
+                match open.remove(&id) {
+                    None => {
+                        return Err(format!("line {lineno}: span id {id} closed but never opened"))
+                    }
+                    Some(opened) if opened != name => {
+                        return Err(format!(
+                            "line {lineno}: span id {id} opened as {opened:?} but closed as {name:?}"
+                        ))
+                    }
+                    Some(_) => summary.spans += 1,
+                }
+            }
+            "counter" => {
+                field_str("name")?;
+                field_u64("value")?;
+                summary.counters += 1;
+            }
+            "gauge" => {
+                field_str("name")?;
+                field_u64("value")?;
+                summary.gauges += 1;
+            }
+            "report" => {
+                let metrics = obj
+                    .get("metrics")
+                    .and_then(Value::as_object)
+                    .ok_or_else(|| format!("line {lineno}: report needs \"metrics\" object"))?;
+                for key in ["counters", "gauges"] {
+                    let map = metrics.get(key).and_then(Value::as_object).ok_or_else(|| {
+                        format!("line {lineno}: report metrics need \"{key}\" object")
+                    })?;
+                    for (k, v) in map {
+                        if v.as_u64().is_none() {
+                            return Err(format!(
+                                "line {lineno}: report {key} entry {k:?} is not an unsigned integer"
+                            ));
+                        }
+                    }
+                }
+                summary.reports += 1;
+            }
+            other => return Err(format!("line {lineno}: unknown event kind {other:?}")),
+        }
+    }
+    if let Some((id, name)) = open.iter().next() {
+        return Err(format!("span id {id} ({name:?}) never closed"));
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Recorder;
+    use crate::sink::NdjsonSink;
+    use std::sync::{Arc, Mutex};
+
+    /// A `Write` into a shared buffer, so the test can read back what
+    /// the sink wrote while the recorder still owns it.
+    #[derive(Clone, Default)]
+    pub struct SharedBuf(pub Arc<Mutex<Vec<u8>>>);
+    impl std::io::Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn real_recorder_stream_checks_clean() {
+        let buf = SharedBuf::default();
+        let rec = Recorder::new();
+        rec.attach(Box::new(NdjsonSink::new(buf.clone())));
+        {
+            let _a = rec.span("outer");
+            rec.add("k", 2);
+            rec.span("inner").close();
+        }
+        rec.finish();
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let summary = check_stream(&text).expect("stream well-formed");
+        assert_eq!(summary.spans, 2);
+        assert_eq!(summary.reports, 1);
+        assert!(summary.counters >= 1);
+    }
+
+    #[test]
+    fn violations_are_rejected() {
+        let cases = [
+            ("not json\n", "not valid JSON"),
+            ("[1, 2]\n", "not a JSON object"),
+            ("{\"no\": \"ev\"}\n", "missing \"ev\""),
+            ("{\"ev\": \"martian\"}\n", "unknown event kind"),
+            ("{\"ev\": \"span_close\", \"id\": 7, \"name\": \"x\", \"wall_us\": 1}\n", "never opened"),
+            ("{\"ev\": \"span_open\", \"id\": 0, \"name\": \"x\"}\n", "never closed"),
+            ("{\"ev\": \"counter\", \"name\": \"c\"}\n", "needs unsigned"),
+            (
+                "{\"ev\": \"span_open\", \"id\": 0, \"name\": \"x\"}\n\
+                 {\"ev\": \"span_close\", \"id\": 0, \"name\": \"y\", \"wall_us\": 1}\n",
+                "closed as",
+            ),
+        ];
+        for (text, needle) in cases {
+            let err = check_stream(text).expect_err(text);
+            assert!(err.contains(needle), "{text:?}: {err}");
+        }
+    }
+}

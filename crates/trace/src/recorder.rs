@@ -1,0 +1,256 @@
+//! The thread-safe recorder behind every instrumented pipeline layer.
+
+use crate::metrics::{MetricsFrame, MetricsReport};
+use crate::sink::{Event, TraceSink};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+struct State {
+    frame: MetricsFrame,
+    sinks: Vec<Box<dyn TraceSink + Send>>,
+    next_span: u64,
+    open_spans: u64,
+}
+
+/// A cheaply clonable handle to one trace session.
+///
+/// All clones share the same state; recording is serialized by a
+/// mutex. Counters and gauges go into a [`MetricsFrame`] whose merge
+/// operations are order-independent, so the deterministic payload is
+/// identical no matter which thread recorded what first. Parallel
+/// engines (the SBIF commit loop) go one step further and record only
+/// from their in-order commit path, which also pins the *event stream*
+/// order.
+///
+/// A recorder with no sinks attached is cheap: each call is a mutex
+/// acquisition and one or two `BTreeMap` updates.
+#[derive(Clone)]
+pub struct Recorder {
+    inner: Arc<Mutex<State>>,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Recorder::new()
+    }
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.inner.lock().expect("recorder poisoned");
+        f.debug_struct("Recorder")
+            .field("frame", &st.frame)
+            .field("sinks", &st.sinks.len())
+            .field("open_spans", &st.open_spans)
+            .finish()
+    }
+}
+
+impl Recorder {
+    /// A recorder with no sinks.
+    pub fn new() -> Self {
+        Recorder {
+            inner: Arc::new(Mutex::new(State {
+                frame: MetricsFrame::default(),
+                sinks: Vec::new(),
+                next_span: 0,
+                open_spans: 0,
+            })),
+        }
+    }
+
+    /// Attaches an event sink (events emitted from now on reach it).
+    pub fn attach(&self, sink: Box<dyn TraceSink + Send>) {
+        self.inner.lock().expect("recorder poisoned").sinks.push(sink);
+    }
+
+    /// Opens a phase span. The returned guard closes it on drop (or
+    /// explicitly via [`Span::close`]); the span count is recorded as
+    /// the deterministic counter `span.<name>`, the wall time only on
+    /// the `span_close` event.
+    pub fn span(&self, name: &str) -> Span {
+        let id = {
+            let mut st = self.inner.lock().expect("recorder poisoned");
+            let id = st.next_span;
+            st.next_span += 1;
+            st.open_spans += 1;
+            st.frame.add(&format!("span.{name}"), 1);
+            let ev = Event::SpanOpen { id, name };
+            for s in &mut st.sinks {
+                s.event(&ev);
+            }
+            id
+        };
+        Span {
+            rec: self.clone(),
+            id,
+            name: name.to_string(),
+            start: Instant::now(),
+            closed: false,
+        }
+    }
+
+    /// Adds `delta` to the deterministic counter `name`.
+    pub fn add(&self, name: &str, delta: u64) {
+        self.inner.lock().expect("recorder poisoned").frame.add(name, delta);
+    }
+
+    /// Raises the deterministic gauge `name` to at least `value`.
+    pub fn gauge_max(&self, name: &str, value: u64) {
+        self.inner.lock().expect("recorder poisoned").frame.gauge_max(name, value);
+    }
+
+    /// Merges a worker-local frame into the shared payload.
+    pub fn merge(&self, frame: &MetricsFrame) {
+        self.inner.lock().expect("recorder poisoned").frame.merge(frame);
+    }
+
+    /// Snapshot of the deterministic payload so far.
+    pub fn report(&self) -> MetricsReport {
+        self.inner.lock().expect("recorder poisoned").frame.clone().into_report()
+    }
+
+    /// Number of spans currently open (0 once every guard dropped).
+    pub fn open_spans(&self) -> u64 {
+        self.inner.lock().expect("recorder poisoned").open_spans
+    }
+
+    /// Finalizes the session: emits every counter and gauge as an
+    /// event (sorted by name — deterministic order), then the full
+    /// report, flushes the sinks, and returns the report.
+    pub fn finish(&self) -> MetricsReport {
+        let mut st = self.inner.lock().expect("recorder poisoned");
+        let report = st.frame.clone().into_report();
+        let State { sinks, .. } = &mut *st;
+        for (name, value) in report.counters.iter().map(|(k, &v)| (k.clone(), v)) {
+            let ev = Event::Counter { name: &name, value };
+            for s in sinks.iter_mut() {
+                s.event(&ev);
+            }
+        }
+        for (name, value) in report.gauges.iter().map(|(k, &v)| (k.clone(), v)) {
+            let ev = Event::Gauge { name: &name, value };
+            for s in sinks.iter_mut() {
+                s.event(&ev);
+            }
+        }
+        let ev = Event::Report { report: &report };
+        for s in sinks.iter_mut() {
+            s.event(&ev);
+            s.flush();
+        }
+        report
+    }
+}
+
+/// RAII guard of one open span (see [`Recorder::span`]).
+#[derive(Debug)]
+pub struct Span {
+    rec: Recorder,
+    id: u64,
+    name: String,
+    start: Instant,
+    closed: bool,
+}
+
+impl Span {
+    /// Closes the span now (otherwise the drop does).
+    pub fn close(mut self) {
+        self.emit_close();
+    }
+
+    fn emit_close(&mut self) {
+        if self.closed {
+            return;
+        }
+        self.closed = true;
+        let wall_us = self.start.elapsed().as_micros();
+        let mut st = self.rec.inner.lock().expect("recorder poisoned");
+        st.open_spans = st.open_spans.saturating_sub(1);
+        let ev = Event::SpanClose { id: self.id, name: &self.name, wall_us };
+        for s in &mut st.sinks {
+            s.event(&ev);
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.emit_close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::NdjsonSink;
+    use std::sync::mpsc;
+
+    /// A sink that forwards events to a channel for inspection.
+    struct Probe(mpsc::Sender<String>);
+    impl TraceSink for Probe {
+        fn event(&mut self, e: &Event<'_>) {
+            let kind = match e {
+                Event::SpanOpen { .. } => "open",
+                Event::SpanClose { .. } => "close",
+                Event::Counter { .. } => "counter",
+                Event::Gauge { .. } => "gauge",
+                Event::Report { .. } => "report",
+            };
+            let _ = self.0.send(kind.to_string());
+        }
+    }
+
+    #[test]
+    fn spans_balance_and_count() {
+        let rec = Recorder::new();
+        let (tx, rx) = mpsc::channel();
+        rec.attach(Box::new(Probe(tx)));
+        {
+            let _outer = rec.span("outer");
+            assert_eq!(rec.open_spans(), 1);
+            rec.span("inner").close();
+        }
+        assert_eq!(rec.open_spans(), 0);
+        let report = rec.finish();
+        assert_eq!(report.counter("span.outer"), 1);
+        assert_eq!(report.counter("span.inner"), 1);
+        let kinds: Vec<String> = rx.try_iter().collect();
+        assert_eq!(
+            kinds,
+            ["open", "open", "close", "close", "counter", "counter", "report"]
+        );
+    }
+
+    #[test]
+    fn concurrent_recording_aggregates_exactly() {
+        let rec = Recorder::new();
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let rec = rec.clone();
+                scope.spawn(move || {
+                    let mut local = MetricsFrame::default();
+                    for i in 0..100u64 {
+                        local.add("work", 1);
+                        local.gauge_max("peak", t * 100 + i);
+                    }
+                    rec.merge(&local);
+                });
+            }
+        });
+        let report = rec.report();
+        assert_eq!(report.counter("work"), 800);
+        assert_eq!(report.gauge("peak"), Some(799));
+    }
+
+    #[test]
+    fn finish_emits_parseable_ndjson_with_report() {
+        let rec = Recorder::new();
+        rec.attach(Box::new(NdjsonSink::new(Vec::new())));
+        rec.add("a", 1);
+        rec.gauge_max("b", 2);
+        let report = rec.finish();
+        assert_eq!(report.counter("a"), 1);
+        assert_eq!(report.gauge("b"), Some(2));
+    }
+}

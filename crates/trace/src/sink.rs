@@ -1,0 +1,207 @@
+//! Trace event sinks: the machine NDJSON stream and the human tree.
+
+use crate::json::escape;
+use crate::metrics::MetricsReport;
+use std::io::Write;
+
+/// One trace event, borrowed from the recorder at emission time.
+///
+/// The event *kinds* are a closed set — the NDJSON checker
+/// ([`crate::ndjson::check_stream`]) rejects anything else:
+/// `span_open`, `span_close`, `counter`, `gauge`, `report`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event<'a> {
+    /// A phase timer started.
+    SpanOpen {
+        /// Recorder-unique span id (open/close pairs share it).
+        id: u64,
+        /// Dotted phase name, e.g. `vc1.sbif`.
+        name: &'a str,
+    },
+    /// A phase timer finished. `wall_us` is monotonic-clock wall time —
+    /// the one deliberately nondeterministic field of the stream; it
+    /// never enters the [`MetricsReport`].
+    SpanClose {
+        /// Id of the matching [`Event::SpanOpen`].
+        id: u64,
+        /// Same name as the open event.
+        name: &'a str,
+        /// Wall-clock microseconds between open and close.
+        wall_us: u128,
+    },
+    /// Final value of one deterministic counter.
+    Counter {
+        /// Counter name.
+        name: &'a str,
+        /// Accumulated value.
+        value: u64,
+    },
+    /// Final value of one deterministic gauge (high-water mark).
+    Gauge {
+        /// Gauge name.
+        name: &'a str,
+        /// Peak value.
+        value: u64,
+    },
+    /// The full deterministic summary, emitted once by
+    /// [`crate::Recorder::finish`].
+    Report {
+        /// The frozen report.
+        report: &'a MetricsReport,
+    },
+}
+
+/// A consumer of trace events.
+///
+/// Sinks run under the recorder's lock, so implementations must not
+/// call back into the recorder; they should do cheap formatting and
+/// buffered writes only.
+pub trait TraceSink {
+    /// Consumes one event.
+    fn event(&mut self, e: &Event<'_>);
+    /// Flushes any buffered output (called by `Recorder::finish`).
+    fn flush(&mut self) {}
+}
+
+/// Newline-delimited JSON: one object per event, `"ev"` keyed kind.
+///
+/// # Examples
+///
+/// ```
+/// use sbif_trace::{NdjsonSink, Recorder};
+///
+/// let buf: Vec<u8> = Vec::new();
+/// let rec = Recorder::new();
+/// rec.attach(Box::new(NdjsonSink::new(buf)));
+/// drop(rec.span("demo"));
+/// ```
+#[derive(Debug)]
+pub struct NdjsonSink<W: Write> {
+    w: W,
+}
+
+impl<W: Write> NdjsonSink<W> {
+    /// Wraps a writer.
+    pub fn new(w: W) -> Self {
+        NdjsonSink { w }
+    }
+}
+
+impl<W: Write> TraceSink for NdjsonSink<W> {
+    fn event(&mut self, e: &Event<'_>) {
+        // Trace output is best-effort: a broken pipe must not take the
+        // pipeline down, so write errors are swallowed.
+        let _ = match e {
+            Event::SpanOpen { id, name } => {
+                writeln!(self.w, "{{\"ev\": \"span_open\", \"id\": {id}, \"name\": \"{}\"}}", escape(name))
+            }
+            Event::SpanClose { id, name, wall_us } => writeln!(
+                self.w,
+                "{{\"ev\": \"span_close\", \"id\": {id}, \"name\": \"{}\", \"wall_us\": {wall_us}}}",
+                escape(name)
+            ),
+            Event::Counter { name, value } => {
+                writeln!(self.w, "{{\"ev\": \"counter\", \"name\": \"{}\", \"value\": {value}}}", escape(name))
+            }
+            Event::Gauge { name, value } => {
+                writeln!(self.w, "{{\"ev\": \"gauge\", \"name\": \"{}\", \"value\": {value}}}", escape(name))
+            }
+            Event::Report { report } => {
+                writeln!(self.w, "{{\"ev\": \"report\", \"metrics\": {}}}", report.to_inline_json())
+            }
+        };
+    }
+
+    fn flush(&mut self) {
+        let _ = self.w.flush();
+    }
+}
+
+/// The human-readable tree: spans indent, counters/gauges align.
+///
+/// ```text
+/// ▶ verify
+///   ▶ vc1.sbif
+///   ◀ vc1.sbif                              12.3 ms
+/// ◀ verify                                  15.9 ms
+/// sat.conflicts                      = 1234
+/// ```
+#[derive(Debug)]
+pub struct PrettySink<W: Write> {
+    w: W,
+    depth: usize,
+}
+
+impl<W: Write> PrettySink<W> {
+    /// Wraps a writer.
+    pub fn new(w: W) -> Self {
+        PrettySink { w, depth: 0 }
+    }
+}
+
+impl<W: Write> TraceSink for PrettySink<W> {
+    fn event(&mut self, e: &Event<'_>) {
+        let pad = "  ".repeat(self.depth);
+        let _ = match e {
+            Event::SpanOpen { name, .. } => {
+                self.depth += 1;
+                writeln!(self.w, "{pad}▶ {name}")
+            }
+            Event::SpanClose { name, wall_us, .. } => {
+                self.depth = self.depth.saturating_sub(1);
+                let pad = "  ".repeat(self.depth);
+                let label = format!("{pad}◀ {name}");
+                writeln!(self.w, "{label:<42} {:>10.1} ms", *wall_us as f64 / 1e3)
+            }
+            Event::Counter { name, value } => {
+                writeln!(self.w, "{name:<34} = {value}")
+            }
+            Event::Gauge { name, value } => {
+                writeln!(self.w, "{name:<34} ^ {value}")
+            }
+            Event::Report { .. } => writeln!(self.w, "(metrics report emitted)"),
+        };
+    }
+
+    fn flush(&mut self) {
+        let _ = self.w.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ndjson_lines_are_parseable_json() {
+        let mut sink = NdjsonSink::new(Vec::new());
+        let report = MetricsReport::default();
+        for e in [
+            Event::SpanOpen { id: 1, name: "a.b" },
+            Event::Counter { name: "c\"tricky", value: 3 },
+            Event::Gauge { name: "g", value: 9 },
+            Event::SpanClose { id: 1, name: "a.b", wall_us: 17 },
+            Event::Report { report: &report },
+        ] {
+            sink.event(&e);
+        }
+        let text = String::from_utf8(sink.w).unwrap();
+        for line in text.lines() {
+            crate::json::parse(line).unwrap_or_else(|e| panic!("{line}: {e}"));
+        }
+        assert_eq!(text.lines().count(), 5);
+    }
+
+    #[test]
+    fn pretty_tree_indents_and_dedents() {
+        let mut sink = PrettySink::new(Vec::new());
+        sink.event(&Event::SpanOpen { id: 1, name: "outer" });
+        sink.event(&Event::SpanOpen { id: 2, name: "inner" });
+        sink.event(&Event::SpanClose { id: 2, name: "inner", wall_us: 1000 });
+        sink.event(&Event::SpanClose { id: 1, name: "outer", wall_us: 2000 });
+        let text = String::from_utf8(sink.w).unwrap();
+        assert!(text.contains("▶ outer"));
+        assert!(text.contains("  ▶ inner"));
+        assert!(text.contains("1.0 ms"));
+    }
+}

@@ -38,10 +38,30 @@ echo "==> sbif-fuzz --smoke mutation-kill gate (fixed seed, jobs-determinism)"
 # extends the jobs-determinism discipline to the fuzz subsystem.
 FUZZ_TMP="$(mktemp -d)"
 trap 'rm -rf "$FUZZ_TMP"' EXIT
-./target/release/sbif-fuzz --smoke --jobs 1 --json "$FUZZ_TMP/kill-1.json"
-./target/release/sbif-fuzz --smoke --jobs 4 --json "$FUZZ_TMP/kill-4.json"
+./target/release/sbif-fuzz --smoke --jobs 1 --json "$FUZZ_TMP/kill-1.json" \
+    --metrics-out "$FUZZ_TMP/fuzz-metrics-1.json"
+./target/release/sbif-fuzz --smoke --jobs 4 --json "$FUZZ_TMP/kill-4.json" \
+    --metrics-out "$FUZZ_TMP/fuzz-metrics-4.json"
 cmp "$FUZZ_TMP/kill-1.json" "$FUZZ_TMP/kill-4.json"
+cmp "$FUZZ_TMP/fuzz-metrics-1.json" "$FUZZ_TMP/fuzz-metrics-4.json"
 grep '"totals"' "$FUZZ_TMP/kill-1.json" | grep -q '"escaped": 0,'
 grep '"totals"' "$FUZZ_TMP/kill-1.json" | grep -q '"false_alarms": 0,'
+
+echo "==> trace gate (NDJSON contract + golden metrics byte-compare)"
+# The deterministic metrics report must be byte-identical for any
+# --jobs value and match the checked-in golden snapshot; the NDJSON
+# event stream must satisfy the closed-set/span-balance contract
+# enforced by the independent `sbif-trace check` tool (DESIGN.md §12).
+./target/release/sbif-verify --demo 8 --jobs 1 \
+    --trace json --trace-out "$FUZZ_TMP/trace.ndjson" \
+    --metrics-out "$FUZZ_TMP/metrics-1.json" > /dev/null
+./target/release/sbif-verify --demo 8 --jobs 4 \
+    --metrics-out "$FUZZ_TMP/metrics-4.json" > /dev/null
+./target/release/sbif-trace check "$FUZZ_TMP/trace.ndjson"
+cmp "$FUZZ_TMP/metrics-1.json" "$FUZZ_TMP/metrics-4.json"
+cmp "$FUZZ_TMP/metrics-1.json" tests/golden/metrics_nonrestoring_n8.json
+
+echo "==> bench determinism gate (scripts/bench_check.sh)"
+./scripts/bench_check.sh
 
 echo "verify.sh: all gates passed"

@@ -3,7 +3,7 @@
 //! ```text
 //! sbif-fuzz [--smoke] [--seed N] [--jobs N] [--arch A]... [--n W]...
 //!           [--count K] [--certify] [--no-shrink] [--json FILE]
-//!           [--corpus-dir DIR] [--min-semantic K]
+//!           [--corpus-dir DIR] [--min-semantic K] [--metrics-out FILE]
 //! ```
 //!
 //! Generates dividers, injects gate-level faults (see `sbif-fuzz`'s
@@ -19,7 +19,9 @@
 //!
 //! `--smoke` selects the fixed CI profile (seed, archs, widths, counts)
 //! and enforces `--min-semantic 200` unless overridden; the JSON kill
-//! matrix is byte-identical for every `--jobs` value.
+//! matrix is byte-identical for every `--jobs` value. So is the
+//! deterministic `fuzz.*` metrics report that `--metrics-out FILE`
+//! writes (canonical `sbif-metrics-v1` JSON, DESIGN.md §12).
 //!
 //! Exit code 0 = campaign passed, 1 = escapes/false alarms/crashes (or
 //! too few semantic mutants), 2 = usage error.
@@ -32,6 +34,7 @@ fn usage() -> ExitCode {
         "usage: sbif-fuzz [--smoke] [--seed N] [--jobs N] [--arch A]... [--n W]...\n\
          \x20               [--model M]... [--count K] [--certify] [--no-shrink]\n\
          \x20               [--json FILE] [--corpus-dir DIR] [--min-semantic K]\n\
+         \x20               [--metrics-out FILE]\n\
          archs: nonrestoring restoring array srt\n\
          models: {}",
         FaultModel::all().map(|m| m.name()).join(" ")
@@ -49,6 +52,7 @@ fn main() -> ExitCode {
     let mut json_path: Option<String> = None;
     let mut corpus_dir: Option<String> = None;
     let mut min_semantic: Option<usize> = None;
+    let mut metrics_out: Option<String> = None;
     cfg.jobs = std::thread::available_parallelism().map_or(1, |n| n.get());
 
     let mut i = 0;
@@ -123,6 +127,11 @@ fn main() -> ExitCode {
                 min_semantic = Some(k);
                 i += 2;
             }
+            "--metrics-out" => {
+                let Some(p) = args.get(i + 1) else { return usage() };
+                metrics_out = Some(p.clone());
+                i += 2;
+            }
             _ => return usage(),
         }
     }
@@ -156,6 +165,15 @@ fn main() -> ExitCode {
     let report = run_campaign(&cfg);
     print!("{}", report.human_summary());
 
+    if let Some(path) = &metrics_out {
+        let rec = sbif::trace::Recorder::new();
+        report.record_metrics(&rec);
+        if let Err(e) = std::fs::write(path, rec.finish().to_json()) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+        println!("metrics report written to {path}");
+    }
     if let Some(path) = &json_path {
         if let Err(e) = std::fs::write(path, report.kill_matrix_json()) {
             eprintln!("cannot write {path}: {e}");

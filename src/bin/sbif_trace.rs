@@ -1,0 +1,92 @@
+//! `sbif-trace` — offline tooling for the trace formats (DESIGN.md §12).
+//!
+//! ```text
+//! sbif-trace check <file>   # validate an NDJSON event stream
+//! sbif-trace det <file>     # print the "det" subtree of a bench JSON
+//! ```
+//!
+//! `check` enforces the stream contract of `sbif-verify --trace json`:
+//! every line is a JSON object, the event kinds come from the closed
+//! set, span open/close pairs balance, and the embedded metrics report
+//! holds unsigned integers only. It prints a one-line summary and is
+//! the NDJSON gate of `scripts/verify.sh`.
+//!
+//! `det` parses a `BENCH_*.json` file written by the `sbif-bench`
+//! binaries, extracts its deterministic `"det"` object and prints it
+//! canonically (sorted keys, fixed spacing). `scripts/bench_check.sh`
+//! diffs that rendering against the checked-in baselines, so wall-time
+//! fields elsewhere in the file never enter the comparison.
+//!
+//! Pass `-` as the file to read from stdin. Exit code 0 = well-formed,
+//! 1 = contract violation, 2 = usage or I/O error.
+
+use sbif::trace::check_stream;
+use sbif::trace::json::parse;
+use std::io::Read;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: sbif-trace check <ndjson-file>\n\
+         \x20      sbif-trace det <bench-json-file>\n\
+         ('-' reads from stdin)"
+    );
+    ExitCode::from(2)
+}
+
+fn read_input(path: &str) -> Result<String, ExitCode> {
+    if path == "-" {
+        let mut text = String::new();
+        if let Err(e) = std::io::stdin().read_to_string(&mut text) {
+            eprintln!("cannot read stdin: {e}");
+            return Err(ExitCode::from(2));
+        }
+        return Ok(text);
+    }
+    std::fs::read_to_string(path).map_err(|e| {
+        eprintln!("cannot read {path}: {e}");
+        ExitCode::from(2)
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (Some(cmd), Some(path), None) = (args.first(), args.get(1), args.get(2)) else {
+        return usage();
+    };
+    let text = match read_input(path) {
+        Ok(t) => t,
+        Err(code) => return code,
+    };
+    match cmd.as_str() {
+        "check" => match check_stream(&text) {
+            Ok(s) => {
+                println!(
+                    "{path}: ok — {} events ({} spans, {} counters, {} gauges, {} reports)",
+                    s.events, s.spans, s.counters, s.gauges, s.reports
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        "det" => {
+            let value = match parse(&text) {
+                Ok(v) => v,
+                Err(e) => {
+                    eprintln!("{path}: not valid JSON: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let Some(det) = value.as_object().and_then(|o| o.get("det")) else {
+                eprintln!("{path}: no top-level \"det\" object");
+                return ExitCode::FAILURE;
+            };
+            println!("{}", det.to_canonical());
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

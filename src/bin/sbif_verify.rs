@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! sbif-verify <netlist.bnet> [--vc1-only] [--no-sbif] [--certify] [--max-terms N] [--jobs N]
+//!             [--trace pretty|json] [--trace-out FILE] [--metrics-out FILE]
 //! sbif-verify --demo <n>          # generate and verify an n-bit divider
 //! sbif-verify --emit <n> <file>   # write an n-bit divider as BNET
 //! ```
@@ -12,6 +13,12 @@
 //! With `--certify`, every UNSAT answer of the flow is replayed through
 //! the independent DRAT checker and the certificate statistics are
 //! reported; a rejected certificate means the run is *not* trusted.
+//!
+//! `--trace pretty` prints the live phase tree (spans, wall times) to
+//! stderr; `--trace json` emits the NDJSON event stream instead
+//! (`--trace-out FILE` redirects either to a file). `--metrics-out FILE`
+//! writes the deterministic metrics report — byte-identical for any
+//! `--jobs` value — as canonical JSON (see DESIGN.md §12).
 //!
 //! The netlist must expose the Definition-1 interface: input buses
 //! `r0[0..2n−3]` and `d[0..n−2]` (the sign bits are constant 0 per the
@@ -24,15 +31,25 @@ use sbif::check::lint_bnet;
 use sbif::core::verify::{DividerVerifier, Vc1Outcome, VerifierConfig};
 use sbif::netlist::build::{nonrestoring_divider, Divider};
 use sbif::netlist::io::{read_bnet, write_bnet};
+use sbif::trace::{NdjsonSink, PrettySink, Recorder};
+use std::io::Write;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: sbif-verify <netlist.bnet> [--vc1-only] [--no-sbif] [--certify] [--max-terms N] [--jobs N]\n\
+         \x20                [--trace pretty|json] [--trace-out FILE] [--metrics-out FILE]\n\
          \x20      sbif-verify --demo <n>\n\
          \x20      sbif-verify --emit <n> <file>"
     );
     ExitCode::from(2)
+}
+
+/// How the trace event stream is rendered (`--trace`).
+#[derive(Clone, Copy, PartialEq)]
+enum TraceMode {
+    Pretty,
+    Json,
 }
 
 fn main() -> ExitCode {
@@ -65,6 +82,9 @@ fn main() -> ExitCode {
     let mut config = VerifierConfig::default();
     config.sbif.jobs = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut divider: Option<Divider> = None;
+    let mut trace_mode: Option<TraceMode> = None;
+    let mut trace_out: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -97,6 +117,28 @@ fn main() -> ExitCode {
                     return usage();
                 };
                 config.sbif.jobs = jobs.max(1);
+                i += 2;
+            }
+            "--trace" => {
+                let Some(mode) = args.get(i + 1) else { return usage() };
+                trace_mode = match mode.as_str() {
+                    "pretty" => Some(TraceMode::Pretty),
+                    "json" => Some(TraceMode::Json),
+                    other => {
+                        eprintln!("--trace wants 'pretty' or 'json', got {other:?}");
+                        return ExitCode::from(2);
+                    }
+                };
+                i += 2;
+            }
+            "--trace-out" => {
+                let Some(path) = args.get(i + 1) else { return usage() };
+                trace_out = Some(path.clone());
+                i += 2;
+            }
+            "--metrics-out" => {
+                let Some(path) = args.get(i + 1) else { return usage() };
+                metrics_out = Some(path.clone());
                 i += 2;
             }
             "--max-terms" => {
@@ -149,19 +191,54 @@ fn main() -> ExitCode {
         }
     }
     let Some(divider) = divider else { return usage() };
+    // A file target without an explicit mode means the machine stream.
+    if trace_out.is_some() && trace_mode.is_none() {
+        trace_mode = Some(TraceMode::Json);
+    }
+
+    // One recorder observes the whole run; sinks stream events as the
+    // phases execute, the deterministic payload lands in the report.
+    let recorder = Recorder::new();
+    if let Some(mode) = trace_mode {
+        let w: Box<dyn Write + Send> = match &trace_out {
+            Some(path) => match std::fs::File::create(path) {
+                Ok(f) => Box::new(std::io::BufWriter::new(f)),
+                Err(e) => {
+                    eprintln!("cannot create {path}: {e}");
+                    return ExitCode::from(2);
+                }
+            },
+            None => Box::new(std::io::stderr()),
+        };
+        match mode {
+            TraceMode::Json => recorder.attach(Box::new(NdjsonSink::new(w))),
+            TraceMode::Pretty => recorder.attach(Box::new(PrettySink::new(w))),
+        }
+    }
 
     println!(
         "verifying {}-bit divider ({} signals) against Definition 1 …",
         divider.n,
         divider.netlist.num_signals()
     );
-    let report = match DividerVerifier::new(&divider).with_config(config).verify() {
+    let report = match DividerVerifier::new(&divider)
+        .with_config(config)
+        .with_recorder(recorder.clone())
+        .verify()
+    {
         Ok(r) => r,
         Err(e) => {
             eprintln!("aborted: {e}");
             return ExitCode::from(2);
         }
     };
+    if let Some(path) = &metrics_out {
+        if let Err(e) = std::fs::write(path, report.metrics.to_json()) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+        println!("metrics report written to {path}");
+    }
     match &report.vc1.outcome {
         Vc1Outcome::Proven => println!(
             "vc1 (R0 = Q*D + R): PROVEN   [{} equivalences, peak {} terms, {:?} + {:?}]",

@@ -16,7 +16,9 @@
 //! * [`check`] — independent DRAT proof checking (`--certify`) and the
 //!   `sbif-lint` netlist static analyzer,
 //! * [`fuzz`] — gate-level fault injection and the `sbif-fuzz`
-//!   mutation-kill campaign runner.
+//!   mutation-kill campaign runner,
+//! * [`trace`] — structured events, deterministic counters/gauges and
+//!   the snapshot-tested metrics report (`--trace`, see DESIGN.md §12).
 //!
 //! # Examples
 //!
@@ -42,6 +44,7 @@ pub use sbif_fuzz as fuzz;
 pub use sbif_netlist as netlist;
 pub use sbif_poly as poly;
 pub use sbif_sat as sat;
+pub use sbif_trace as trace;
 
 /// One-stop imports for the common verification flow.
 pub mod prelude {

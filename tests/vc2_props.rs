@@ -1,0 +1,119 @@
+//! Property tests for the vc2 gauges and the metrics-frame algebra.
+//!
+//! The vc2 BDD gauges must relate the way a high-water mark relates to
+//! a final state (peak dominates final, and grows with circuit size),
+//! and the deterministic payload's merge must be a commutative monoid —
+//! that algebra is what lets the parallel SBIF engine commit
+//! worker-local frames in any order and still produce byte-identical
+//! reports (see tests/trace_report.rs for the end-to-end check).
+
+mod common;
+
+use common::prop_check;
+use sbif::core::vc2::{check_vc2, Vc2Config};
+use sbif::netlist::build::nonrestoring_divider;
+use sbif::trace::MetricsFrame;
+use sbif_rng::XorShift64;
+
+#[test]
+fn vc2_peak_nodes_dominate_final_nodes() {
+    for n in [3usize, 4, 5, 6] {
+        let div = nonrestoring_divider(n);
+        let report = check_vc2(&div, Vc2Config::default());
+        assert!(report.holds, "n={n}");
+        assert!(
+            report.peak_nodes >= report.final_nodes,
+            "n={n}: peak {} < final {}",
+            report.peak_nodes,
+            report.final_nodes
+        );
+        // The unique table indexes every live node except the two
+        // unhashed terminals.
+        assert!(
+            report.unique_entries + 2 >= report.final_nodes,
+            "n={n}: unique {} + terminals < live {}",
+            report.unique_entries,
+            report.final_nodes
+        );
+    }
+}
+
+#[test]
+fn vc2_peak_nodes_grow_with_the_divider() {
+    // More gates -> more BDD work. Adjacent widths can swap order when
+    // dynamic reordering finds a luckier variable order (n=6 peaks
+    // slightly below n=5 today), so the growth claim is checked two
+    // widths apart, where it holds with a wide margin.
+    let peaks: Vec<usize> = [3usize, 4, 5, 6]
+        .iter()
+        .map(|&n| check_vc2(&nonrestoring_divider(n), Vc2Config::default()).peak_nodes)
+        .collect();
+    for w in peaks.windows(3) {
+        assert!(w[0] < w[2], "peaks not growing two widths apart: {peaks:?}");
+    }
+}
+
+/// A random frame over a small key pool, so collisions between frames
+/// are common (the interesting case for merge).
+fn random_frame(rng: &mut XorShift64) -> MetricsFrame {
+    const KEYS: [&str; 5] = ["a", "b.c", "d", "e.f.g", "h"];
+    let mut f = MetricsFrame::default();
+    for _ in 0..rng.below(6) {
+        f.add(KEYS[rng.below(KEYS.len() as u64) as usize], rng.below(1000));
+    }
+    for _ in 0..rng.below(6) {
+        f.gauge_max(KEYS[rng.below(KEYS.len() as u64) as usize], rng.below(1000));
+    }
+    f
+}
+
+#[test]
+fn frame_merge_is_commutative() {
+    prop_check!(
+        200,
+        |rng: &mut XorShift64| (random_frame(rng), random_frame(rng)),
+        |(a, b): (MetricsFrame, MetricsFrame)| {
+            let mut ab = a.clone();
+            ab.merge(&b);
+            let mut ba = b.clone();
+            ba.merge(&a);
+            ab == ba
+        }
+    );
+}
+
+#[test]
+fn frame_merge_is_associative() {
+    prop_check!(
+        200,
+        |rng: &mut XorShift64| (random_frame(rng), random_frame(rng), random_frame(rng)),
+        |(a, b, c): (MetricsFrame, MetricsFrame, MetricsFrame)| {
+            // (a ⊕ b) ⊕ c
+            let mut left = a.clone();
+            left.merge(&b);
+            left.merge(&c);
+            // a ⊕ (b ⊕ c)
+            let mut bc = b.clone();
+            bc.merge(&c);
+            let mut right = a.clone();
+            right.merge(&bc);
+            left == right
+        }
+    );
+}
+
+#[test]
+fn frame_merge_identity_is_the_empty_frame() {
+    prop_check!(
+        100,
+        |rng: &mut XorShift64| random_frame(rng),
+        |f: MetricsFrame| {
+            let mut merged = f.clone();
+            merged.merge(&MetricsFrame::default());
+            // Note the empty frame is only a *left-absorbing* identity
+            // up to registered-at-zero counters; merging it in changes
+            // nothing.
+            merged == f
+        }
+    );
+}
