@@ -160,6 +160,10 @@ pub fn weakest_precondition(
         }
     }
     let mut since_gc = 0usize;
+    // Adaptive GC watermark: collect once the live population doubles
+    // past the last post-collection count, so dead intermediate
+    // predicates never dominate the peak-live-nodes gauge.
+    let mut gc_watermark = 1024usize.max(m.live_nodes() * 2);
     for s in nl.signals().rev() {
         if !in_support[s.index()] {
             continue;
@@ -222,9 +226,12 @@ pub fn weakest_precondition(
         if let Some(_r) = m.maybe_reorder(&[f]) {
             stats.reorders += 1;
             // Reordering GCs internally; support flags stay valid.
-        } else if since_gc >= 64 {
+            since_gc = 0;
+            gc_watermark = 1024usize.max(m.live_nodes() * 2);
+        } else if m.live_nodes() >= gc_watermark || since_gc >= 64 {
             m.gc(&[f]);
             since_gc = 0;
+            gc_watermark = 1024usize.max(m.live_nodes() * 2);
         }
         stats.peak_nodes = stats.peak_nodes.max(m.peak_nodes);
     }

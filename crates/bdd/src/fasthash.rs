@@ -58,6 +58,20 @@ impl Hasher for FxHasher {
     }
 }
 
+/// Mixes three words into one hash — the raw primitive behind the
+/// open-addressed unique and computed tables, where going through the
+/// `Hasher` trait (state init + finish per probe) would cost more than
+/// the probe itself.
+#[inline]
+pub fn mix3(a: u64, b: u64, c: u64) -> u64 {
+    let mut h = a.wrapping_mul(SEED);
+    h = (h.rotate_left(5) ^ b).wrapping_mul(SEED);
+    h = (h.rotate_left(5) ^ c).wrapping_mul(SEED);
+    // Finalize: fold the high bits down so power-of-two masking sees
+    // the whole word.
+    h ^ (h >> 32)
+}
+
 /// `HashMap` build-hasher using [`FxHasher`].
 pub type FxBuild = BuildHasherDefault<FxHasher>;
 

@@ -1,10 +1,18 @@
-//! Boolean operations, cofactors, composition, quantification.
+//! Boolean operations, cofactors, composition, quantification — all
+//! complement-edge aware.
+//!
+//! Negation is free (a 1-bit flip on the edge), so every connective is
+//! a single [`ite`](BddManager::ite) with the *standard-triple*
+//! normalization: the cache key always carries a regular `f` (via
+//! `ite(¬f, g, h) = ite(f, h, g)`) and a regular `g` (via
+//! `ite(f, g, h) = ¬ite(f, ¬g, ¬h)`), so the four symmetric variants of
+//! every call hit the same computed-table entry.
 
 use crate::manager::{Bdd, BddManager, VarId};
 
 /// Computed-table operation tags.
-const OP_ITE: u8 = 0;
-const OP_RESTRICT: u8 = 1;
+const OP_ITE: u32 = 0;
+const OP_RESTRICT: u32 = 1;
 
 impl BddManager {
     /// If-then-else: `f ? g : h` — the universal connective.
@@ -20,6 +28,12 @@ impl BddManager {
     /// assert_eq!(m.ite(x, t, e), x);
     /// ```
     pub fn ite(&mut self, f: Bdd, g: Bdd, h: Bdd) -> Bdd {
+        let r = self.ite_rec(f, g, h);
+        self.debug_validate();
+        r
+    }
+
+    fn ite_rec(&mut self, f: Bdd, g: Bdd, h: Bdd) -> Bdd {
         // Terminal cases.
         if f == Self::TRUE {
             return g;
@@ -33,8 +47,42 @@ impl BddManager {
         if g == Self::TRUE && h == Self::FALSE {
             return f;
         }
-        if let Some(&r) = self.cache.get(&(OP_ITE, f, g, h)) {
-            return r;
+        if g == Self::FALSE && h == Self::TRUE {
+            return f.flip();
+        }
+        // Collapse branches equal (or opposite) to the selector: under
+        // the then-branch f is true, under the else-branch false.
+        let (mut f, mut g, mut h) = (f, g, h);
+        if g == f {
+            g = Self::TRUE;
+        } else if g == f.flip() {
+            g = Self::FALSE;
+        }
+        if h == f {
+            h = Self::FALSE;
+        } else if h == f.flip() {
+            h = Self::TRUE;
+        }
+        if g == h {
+            return g;
+        }
+        if g == Self::TRUE && h == Self::FALSE {
+            return f;
+        }
+        if g == Self::FALSE && h == Self::TRUE {
+            return f.flip();
+        }
+        // Standard triple: regular f (swap the branches), then regular g
+        // (complement the result).
+        if f.is_complement() {
+            f = f.flip();
+            std::mem::swap(&mut g, &mut h);
+        }
+        let parity = g.0 & 1;
+        g = g.xor_complement(parity);
+        h = h.xor_complement(parity);
+        if let Some(r) = self.cache_get(OP_ITE, f, g, h) {
+            return r.xor_complement(parity);
         }
         // Split on the top variable (minimal level among the three).
         let lf = self.level_of_node(f);
@@ -45,28 +93,29 @@ impl BddManager {
         let (f0, f1) = self.top_cofactors(f, v);
         let (g0, g1) = self.top_cofactors(g, v);
         let (h0, h1) = self.top_cofactors(h, v);
-        let low = self.ite(f0, g0, h0);
-        let high = self.ite(f1, g1, h1);
+        let low = self.ite_rec(f0, g0, h0);
+        let high = self.ite_rec(f1, g1, h1);
         let r = self.mk(v, low, high);
-        self.cache.insert((OP_ITE, f, g, h), r);
-        r
+        self.cache_put(OP_ITE, f, g, h, r);
+        r.xor_complement(parity)
     }
 
-    /// The cofactors of `f` with respect to `v`, assuming `v` is at or
-    /// above `f`'s top level.
+    /// The cofactors of `f` with respect to `v` (as semantic edges),
+    /// assuming `v` is at or above `f`'s top level.
     #[inline]
     pub(crate) fn top_cofactors(&self, f: Bdd, v: VarId) -> (Bdd, Bdd) {
         if self.is_const(f) || self.nodes[f.index()].var != v {
             (f, f)
         } else {
+            let parity = f.0 & 1;
             let n = &self.nodes[f.index()];
-            (n.low, n.high)
+            (n.low.xor_complement(parity), n.high.xor_complement(parity))
         }
     }
 
-    /// Negation.
+    /// Negation: flips the complement attribute — O(1), allocation-free.
     pub fn not(&mut self, f: Bdd) -> Bdd {
-        self.ite(f, Self::FALSE, Self::TRUE)
+        f.flip()
     }
 
     /// Conjunction.
@@ -81,14 +130,12 @@ impl BddManager {
 
     /// Exclusive or.
     pub fn xor(&mut self, f: Bdd, g: Bdd) -> Bdd {
-        let ng = self.not(g);
-        self.ite(f, ng, g)
+        self.ite(f, g.flip(), g)
     }
 
     /// Equivalence.
     pub fn iff(&mut self, f: Bdd, g: Bdd) -> Bdd {
-        let ng = self.not(g);
-        self.ite(f, g, ng)
+        self.ite(f, g, g.flip())
     }
 
     /// Implication `f → g`.
@@ -106,28 +153,38 @@ impl BddManager {
         if self.is_const(f) || v as usize >= self.var2level.len() {
             return f; // undeclared variables cannot occur in any node
         }
-        let fl = self.level_of_node(f);
         let vl = self.level_of(v);
-        if fl > vl {
-            return f; // v cannot appear below its level
+        if vl == u32::MAX || self.level_of_node(f) > vl {
+            return f; // retired, or v cannot appear below its level
         }
-        let key = (OP_RESTRICT, f, Bdd(v), Bdd(val as u32));
-        if let Some(&r) = self.cache.get(&key) {
-            return r;
+        // Restriction commutes with negation: recurse on the regular
+        // node so `f` and `¬f` share cache entries and result nodes.
+        let parity = f.0 & 1;
+        let r = self.restrict_rec(f.regular(), v, vl, val);
+        self.debug_validate();
+        r.xor_complement(parity)
+    }
+
+    fn restrict_rec(&mut self, f: Bdd, v: VarId, vl: u32, val: bool) -> Bdd {
+        debug_assert!(!f.is_complement());
+        if self.is_const(f) || self.level_of_node(f) > vl {
+            return f;
         }
         let n = self.nodes[f.index()];
-        let r = if n.var == v {
-            if val {
-                n.high
-            } else {
-                n.low
-            }
-        } else {
-            let low = self.restrict(n.low, v, val);
-            let high = self.restrict(n.high, v, val);
-            self.mk(n.var, low, high)
+        if n.var == v {
+            return if val { n.high } else { n.low };
+        }
+        let key = Bdd(v << 1 | val as u32);
+        if let Some(r) = self.cache_get(OP_RESTRICT, f, key, Self::TRUE) {
+            return r;
+        }
+        let lo = {
+            let p = n.low.0 & 1;
+            self.restrict_rec(n.low.regular(), v, vl, val).xor_complement(p)
         };
-        self.cache.insert(key, r);
+        let hi = self.restrict_rec(n.high, v, vl, val);
+        let r = self.mk(n.var, lo, hi);
+        self.cache_put(OP_RESTRICT, f, key, Self::TRUE, r);
         r
     }
 
@@ -146,7 +203,7 @@ impl BddManager {
         if fl > vl {
             return f; // v cannot occur below its own level
         }
-        if fl == vl {
+        if fl == vl && self.nodes[f.index()].var == v {
             // v is f's top variable: both cofactors are immediate.
             let (f0, f1) = self.top_cofactors(f, v);
             return self.ite(g, f1, f0);
@@ -179,13 +236,17 @@ impl BddManager {
         let mut path = Vec::new();
         let mut cur = f;
         while !self.is_const(cur) {
+            let parity = cur.0 & 1;
             let n = &self.nodes[cur.index()];
-            if n.low != Self::FALSE {
+            let lo = n.low.xor_complement(parity);
+            // Both cofactors FALSE would make the node FALSE itself,
+            // impossible by reducedness — so one branch always leads on.
+            if lo != Self::FALSE {
                 path.push((n.var, false));
-                cur = n.low;
+                cur = lo;
             } else {
                 path.push((n.var, true));
-                cur = n.high;
+                cur = n.high.xor_complement(parity);
             }
         }
         debug_assert_eq!(cur, Self::TRUE);
@@ -240,6 +301,27 @@ mod tests {
     }
 
     #[test]
+    fn complement_edges_dedup_negations() {
+        // De Morgan pairs share nodes: ¬(a∧b) and ¬a∨¬b must be the
+        // same edge, and must not allocate beyond the a∧b cone.
+        let mut m = BddManager::new();
+        let a = m.var(0);
+        let b = m.var(1);
+        let ab = m.and(a, b);
+        let live = m.live_nodes();
+        let nab = m.not(ab);
+        let na = m.not(a);
+        let nb = m.not(b);
+        let demorgan = m.or(na, nb);
+        assert_eq!(nab, demorgan);
+        assert_eq!(m.live_nodes(), live, "negations must be allocation-free");
+        // xor / xnor also share all nodes.
+        let x = m.xor(a, b);
+        let nx = m.iff(a, b);
+        assert_eq!(x.flip(), nx);
+    }
+
+    #[test]
     fn restrict_any_level() {
         let mut m = BddManager::new();
         let a = m.var(0);
@@ -255,6 +337,10 @@ mod tests {
         assert_eq!(f_b0, a);
         // restricting an absent variable is the identity
         assert_eq!(m.restrict(f, 7, true), f);
+        // restriction commutes with negation
+        let nf = m.not(f);
+        let nf_b1 = m.restrict(nf, 1, true);
+        assert_eq!(nf_b1, f_b1.flip());
     }
 
     #[test]
@@ -269,6 +355,10 @@ mod tests {
         let got = m.compose(f, 0, g);
         let expect = m.xor(g, b);
         assert_eq!(got, expect);
+        // compose commutes with negation of the target
+        let nf = m.not(f);
+        let ngot = m.compose(nf, 0, g);
+        assert_eq!(ngot, got.flip());
     }
 
     #[test]
@@ -296,6 +386,11 @@ mod tests {
         assert!(m.eval(f, asg));
         assert!(m.one_sat(BddManager::FALSE).is_none());
         assert_eq!(m.one_sat(BddManager::TRUE), Some(vec![]));
+        // complemented roots get satisfying paths too
+        let nf = m.not(f);
+        let sat = m.one_sat(nf).expect("satisfiable");
+        let asg = |v: VarId| sat.iter().find(|&&(x, _)| x == v).map(|&(_, val)| val).unwrap_or(false);
+        assert!(m.eval(nf, asg));
     }
 
     #[test]

@@ -1,14 +1,34 @@
 //! Dynamic variable reordering: adjacent-level swaps, sifting and
-//! symmetric sifting (Panda/Somenzi \[26\], simplified).
+//! symmetric sifting (Panda/Somenzi \[26\], simplified), upgraded with an
+//! interaction matrix and lower-bound pruning.
 //!
 //! Node indices are stable across reordering: a node keeps its identity
-//! (and the pseudo-Boolean function it represents); only its `var` label
-//! and children may be rewritten by the classic in-place swap of two
-//! adjacent levels. Canonicity guarantees the rewritten upper-level nodes
-//! can never collide with retained lower-level nodes — two distinct nodes
+//! (and the Boolean function it represents); only its `var` label and
+//! children may be rewritten by the classic in-place swap of two adjacent
+//! levels. Canonicity guarantees the rewritten upper-level nodes can
+//! never collide with retained lower-level nodes — two distinct nodes
 //! never represent the same function.
+//!
+//! With complement edges the swap stays canonical for free: the rewritten
+//! node's then-edge `g1 = mk(u, f01, f11)` is always regular, because
+//! `f11` — a stored then-child, or the then-edge itself — is regular by
+//! the canonical-form invariant, so `mk` never has to complement it.
+//!
+//! Two classic optimizations prune work that provably cannot pay off:
+//!
+//! * **Interaction matrix** — variables `u`, `w` *interact* when they
+//!   co-occur in the support of some root. Swapping two adjacent
+//!   non-interacting variables can never change the graph (no `u`-node
+//!   has a `w`-child), so those swaps reduce to a permutation update.
+//!   Sifting stops descending (or ascending) once no interacting
+//!   variable remains in that direction.
+//! * **Lower-bound pruning** — once the group has moved past a level,
+//!   the levels behind it are frozen for the rest of that phase (swap
+//!   kills only cascade *downward*), so `frozen + 1` bounds every size
+//!   still reachable; when that bound meets the best size already seen,
+//!   the phase ends early.
 
-use crate::manager::{Bdd, BddManager, VarId};
+use crate::manager::{Bdd, BddManager, Node, VarId, TERMINAL_VAR};
 
 /// Statistics of one reordering pass.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -17,7 +37,7 @@ pub struct ReorderStats {
     pub size_before: usize,
     /// Live nodes after the pass.
     pub size_after: usize,
-    /// Adjacent-level swaps performed.
+    /// Adjacent-level swaps performed (fast-path swaps included).
     pub swaps: u64,
     /// Variables (or symmetry groups) sifted.
     pub sifted: usize,
@@ -25,16 +45,48 @@ pub struct ReorderStats {
     pub groups: usize,
 }
 
+/// Symmetric bit-matrix of variable interaction, indexed by a dense
+/// mapping fixed at pass start (variable *identity*, not level, so the
+/// matrix survives every swap).
+struct Interaction {
+    /// VarId → dense index; `u32::MAX` for retired/undeclared variables.
+    dense: Vec<u32>,
+    bits: Vec<u64>,
+    n: usize,
+}
+
+impl Interaction {
+    fn interacts(&self, u: VarId, w: VarId) -> bool {
+        let (a, b) = (self.dense[u as usize], self.dense[w as usize]);
+        if a == u32::MAX || b == u32::MAX {
+            return false;
+        }
+        let k = a as usize * self.n + b as usize;
+        self.bits[k >> 6] >> (k & 63) & 1 == 1
+    }
+
+    fn mark(&mut self, a: usize, b: usize) {
+        for k in [a * self.n + b, b * self.n + a] {
+            self.bits[k >> 6] |= 1 << (k & 63);
+        }
+    }
+}
+
 /// Transient state of a reordering pass.
 struct ReorderEnv {
-    /// Reference counts (parent edges + external roots).
+    /// Reference counts (parent edges + external roots), by node index.
     rc: Vec<u32>,
-    /// Node lists per level; entries may be stale (dead or relabeled)
-    /// and are filtered lazily.
-    subtables: Vec<Vec<Bdd>>,
-    /// Exact live-node count, maintained across swaps.
+    /// Node-index lists per level; entries may be stale (dead or
+    /// relabeled) and are filtered lazily.
+    subtables: Vec<Vec<u32>>,
+    /// Exact live-node count per level, maintained across swaps.
+    sizes: Vec<usize>,
+    /// Exact total live-node count, maintained across swaps.
     cur_size: usize,
     swaps: u64,
+    /// When present, enables the non-interacting fast path and the
+    /// sift-range clamping.
+    interaction: Option<Interaction>,
 }
 
 impl BddManager {
@@ -44,24 +96,47 @@ impl BddManager {
         let nlevels = self.level2var.len();
         let mut rc = vec![0u32; self.nodes.len()];
         let mut subtables = vec![Vec::new(); nlevels];
+        let mut sizes = vec![0usize; nlevels];
         let mut live = 0usize;
-        for i in 2..self.nodes.len() {
+        for i in 1..self.nodes.len() {
             if self.dead[i] {
                 continue;
             }
             let n = self.nodes[i];
-            if n.var == crate::manager::TERMINAL_VAR {
+            if n.var == TERMINAL_VAR {
                 continue;
             }
             live += 1;
             rc[n.low.index()] += 1;
             rc[n.high.index()] += 1;
-            subtables[self.level_of(n.var) as usize].push(Bdd(i as u32));
+            let lvl = self.level_of(n.var) as usize;
+            subtables[lvl].push(i as u32);
+            sizes[lvl] += 1;
         }
         for r in roots {
             rc[r.index()] += 1;
         }
-        ReorderEnv { rc, subtables, cur_size: live, swaps: 0 }
+        ReorderEnv { rc, subtables, sizes, cur_size: live, swaps: 0, interaction: None }
+    }
+
+    /// Marks every variable pair co-occurring in a root's support.
+    fn interaction_matrix(&self, roots: &[Bdd]) -> Interaction {
+        let n = self.level2var.len();
+        let mut dense = vec![u32::MAX; self.var2level.len()];
+        for (l, &v) in self.level2var.iter().enumerate() {
+            dense[v as usize] = l as u32;
+        }
+        let mut im = Interaction { dense, bits: vec![0u64; (n * n).div_ceil(64)], n };
+        for &r in roots {
+            let sup: Vec<usize> =
+                self.support(r).iter().map(|&v| im.dense[v as usize] as usize).collect();
+            for (i, &a) in sup.iter().enumerate() {
+                for &b in &sup[i + 1..] {
+                    im.mark(a, b);
+                }
+            }
+        }
+        im
     }
 
     fn rc_incr(env: &mut ReorderEnv, f: Bdd) {
@@ -72,24 +147,28 @@ impl BddManager {
     }
 
     /// Decrements a reference and recursively kills nodes whose count
-    /// drops to zero.
+    /// drops to zero. Corpses are removed from the unique table and
+    /// neutralized (var = terminal sentinel, self-loop children) but NOT
+    /// pushed to the free list — recycling indices mid-pass could alias
+    /// stale subtable entries; the final [`gc`](Self::gc) sweeps them.
     fn rc_decr_kill(&mut self, env: &mut ReorderEnv, f: Bdd) {
         let mut stack = vec![f];
-        while let Some(n) = stack.pop() {
-            if self.is_const(n) {
+        while let Some(e) = stack.pop() {
+            if self.is_const(e) {
                 continue;
             }
-            env.rc[n.index()] -= 1;
-            if env.rc[n.index()] == 0 {
-                let node = self.nodes[n.index()];
-                self.unique.remove(&(node.var, node.low, node.high));
-                self.dead[n.index()] = true;
-                // Neutralize the stored key so a later allocation of the
-                // same (var, low, high) cannot be shadowed by this corpse
-                // at the final GC.
-                self.nodes[n.index()] =
-                    crate::manager::Node { var: crate::manager::TERMINAL_VAR, low: n, high: n };
+            let i = e.index();
+            env.rc[i] -= 1;
+            if env.rc[i] == 0 {
+                let node = self.nodes[i];
+                self.unique_remove(node.var, node.low, node.high, i as u32);
+                env.sizes[self.level_of(node.var) as usize] -= 1;
                 env.cur_size -= 1;
+                // The corpse keeps dead == false (that flag means "on
+                // the free list"); its terminal-sentinel var is what
+                // marks it for the final gc's sweep.
+                let this = Bdd::edge(i as u32, false);
+                self.nodes[i] = Node { var: TERMINAL_VAR, low: this, high: this };
                 stack.push(node.low);
                 stack.push(node.high);
             }
@@ -108,80 +187,118 @@ impl BddManager {
         self.var2level[u as usize] = lvl as u32 + 1;
         self.var2level[w as usize] = lvl as u32;
 
+        // Fast path: non-interacting variables share no node cone, so no
+        // u-node has a w-child and the swap is a pure level relabeling.
+        if let Some(im) = &env.interaction {
+            if !im.interacts(u, w) {
+                debug_assert!(
+                    env.subtables[lvl].iter().all(|&i| {
+                        let i = i as usize;
+                        self.dead[i] || self.nodes[i].var != u || {
+                            let n = self.nodes[i];
+                            [n.low, n.high].iter().all(|c| {
+                                self.is_const(*c) || self.nodes[c.index()].var != w
+                            })
+                        }
+                    }),
+                    "non-interacting fast path taken but a {u}-node has a {w}-child"
+                );
+                env.subtables.swap(lvl, lvl + 1);
+                env.sizes.swap(lvl, lvl + 1);
+                return;
+            }
+        }
+
         let old_u = std::mem::take(&mut env.subtables[lvl]);
         let old_w = std::mem::take(&mut env.subtables[lvl + 1]);
-        let mut upper: Vec<Bdd> = old_w; // w-nodes keep identity, move up
-        let mut lower: Vec<Bdd> = Vec::with_capacity(old_u.len());
+        // w-nodes keep their identity and move up a level wholesale; the
+        // per-level counts are rebuilt from the constituents (later kills
+        // of w-nodes decrement sizes[lvl], their new home).
+        let live_w = old_w
+            .iter()
+            .filter(|&&i| !self.dead[i as usize] && self.nodes[i as usize].var == w)
+            .count();
+        env.sizes[lvl] = live_w;
+        env.sizes[lvl + 1] = 0;
+        let mut upper: Vec<u32> = old_w;
+        let mut lower: Vec<u32> = Vec::with_capacity(old_u.len());
 
-        let mut created: Vec<Bdd> = Vec::new();
         self.mk_log = Some(Vec::new());
-        for n in old_u {
-            if self.dead[n.index()] || self.nodes[n.index()].var != u {
+        for i in old_u {
+            if self.dead[i as usize] || self.nodes[i as usize].var != u {
                 continue; // stale entry
             }
-            let node = self.nodes[n.index()];
+            let node = self.nodes[i as usize];
             let (f0, f1) = (node.low, node.high);
             let f0_w = !self.is_const(f0) && self.nodes[f0.index()].var == w;
             let f1_w = !self.is_const(f1) && self.nodes[f1.index()].var == w;
             if !f0_w && !f1_w {
-                lower.push(n);
+                // Keeper: stays labelled u, which now lives at lvl + 1.
+                lower.push(i);
+                env.sizes[lvl + 1] += 1;
                 continue;
             }
+            // Semantic grandchildren. f0 may carry a complement bit that
+            // distributes onto its cofactors; f1 (and hence f11) is
+            // regular by canonical form.
             let (f00, f01) = if f0_w {
-                (self.nodes[f0.index()].low, self.nodes[f0.index()].high)
+                let p = f0.0 & 1;
+                let c = self.nodes[f0.index()];
+                (c.low.xor_complement(p), c.high.xor_complement(p))
             } else {
                 (f0, f0)
             };
             let (f10, f11) = if f1_w {
-                (self.nodes[f1.index()].low, self.nodes[f1.index()].high)
+                let c = self.nodes[f1.index()];
+                (c.low, c.high)
             } else {
                 (f1, f1)
             };
             let g0 = self.mk(u, f00, f10);
             let g1 = self.mk(u, f01, f11);
+            debug_assert!(!g1.is_complement(), "then-edge must stay regular across a swap");
             let fresh = self.mk_log.as_mut().map(std::mem::take).unwrap_or_default();
-            for nn in fresh {
-                if nn.index() >= env.rc.len() {
-                    env.rc.resize(nn.index() + 1, 0);
+            for ni in fresh {
+                if ni as usize >= env.rc.len() {
+                    env.rc.resize(ni as usize + 1, 0);
                 }
-                env.rc[nn.index()] = 0; // slot may be recycled: reset
+                env.rc[ni as usize] = 0; // slot may be recycled: reset
                 env.cur_size += 1;
+                env.sizes[lvl + 1] += 1;
                 // The fresh node's child edges are new references.
-                let child = self.nodes[nn.index()];
+                let child = self.nodes[ni as usize];
                 Self::rc_incr(env, child.low);
                 Self::rc_incr(env, child.high);
-                created.push(nn);
+                lower.push(ni);
             }
             Self::rc_incr(env, g0);
             Self::rc_incr(env, g1);
-            self.unique.remove(&(u, f0, f1));
-            self.nodes[n.index()] = crate::manager::Node { var: w, low: g0, high: g1 };
-            debug_assert!(
-                !self.unique.contains_key(&(w, g0, g1)),
-                "swap collision impossible by canonicity"
-            );
-            self.unique.insert((w, g0, g1), n);
+            self.unique_remove(u, f0, f1, i);
+            self.nodes[i as usize] = Node { var: w, low: g0, high: g1 };
+            self.unique_insert_new(w, g0, g1, i);
             self.rc_decr_kill(env, f0);
             self.rc_decr_kill(env, f1);
-            upper.push(n);
+            upper.push(i);
+            env.sizes[lvl] += 1;
         }
         self.mk_log = None;
-        lower.extend(created);
         env.subtables[lvl] = upper;
         env.subtables[lvl + 1] = lower;
     }
 
-    /// Live nodes currently at `lvl` (filtering stale entries).
+    /// Live nodes currently at `lvl` (filtering stale entries) — the
+    /// slow recount the tests check the incremental counters against.
+    #[cfg(test)]
     fn subtable_size(&self, env: &ReorderEnv, lvl: usize) -> usize {
         let v = self.level2var[lvl];
         env.subtables[lvl]
             .iter()
-            .filter(|n| !self.dead[n.index()] && self.nodes[n.index()].var == v)
+            .filter(|&&i| !self.dead[i as usize] && self.nodes[i as usize].var == v)
             .count()
     }
 
     /// Moves the variable group occupying levels `[top, top+len)` down by
-    /// one level (bubbling the variable below it through the group).
+    /// one level (bubbling the variable below it up through the group).
     fn group_down(&mut self, env: &mut ReorderEnv, top: usize, len: usize) {
         for l in (top..top + len).rev() {
             self.swap_levels(env, l);
@@ -199,14 +316,29 @@ impl BddManager {
     /// `start` to its locally optimal position.
     fn sift_group(&mut self, env: &mut ReorderEnv, start: usize, len: usize, max_swaps: u64) {
         let nlevels = self.level2var.len();
+        let group: Vec<VarId> = (start..start + len).map(|l| self.level2var[l]).collect();
         let mut top = start;
         let mut best_size = env.cur_size;
         let mut best_top = top;
         let max_growth = env.cur_size + env.cur_size / 5 + 16;
-        // Phase 1: down to the bottom.
-        while top + len < nlevels && env.swaps < max_swaps {
+        let interacts_group = |env: &ReorderEnv, v: VarId| match &env.interaction {
+            Some(im) => group.iter().any(|&g| im.interacts(g, v)),
+            None => true,
+        };
+
+        // Phase 1: down toward the bottom — but only while an interacting
+        // variable remains below (past the last one, no swap can change
+        // the size), and only while the frozen prefix leaves room for an
+        // improvement.
+        let mut remaining_below = (top + len..nlevels)
+            .filter(|&l| interacts_group(env, self.level2var[l]))
+            .count();
+        while top + len < nlevels && remaining_below > 0 && env.swaps < max_swaps {
             self.group_down(env, top, len);
             top += 1;
+            if interacts_group(env, self.level2var[top - 1]) {
+                remaining_below -= 1;
+            }
             if env.cur_size < best_size {
                 best_size = env.cur_size;
                 best_top = top;
@@ -214,16 +346,32 @@ impl BddManager {
             if env.cur_size > max_growth {
                 break;
             }
+            // Levels above the group are frozen for the rest of the
+            // descent (kills only cascade downward), so any still
+            // reachable size is at least prefix + 1.
+            let prefix: usize = env.sizes[..top].iter().sum();
+            if prefix + 1 >= best_size {
+                break;
+            }
         }
-        // Phase 2: up to the top.
-        while top > 0 && env.swaps < max_swaps {
+        // Phase 2: up toward the top, with the mirrored clamp and bound.
+        let mut remaining_above =
+            (0..top).filter(|&l| interacts_group(env, self.level2var[l])).count();
+        while top > 0 && remaining_above > 0 && env.swaps < max_swaps {
             self.group_up(env, top, len);
             top -= 1;
+            if interacts_group(env, self.level2var[top + len]) {
+                remaining_above -= 1;
+            }
             if env.cur_size < best_size {
                 best_size = env.cur_size;
                 best_top = top;
             }
             if env.cur_size > max_growth && top < best_top {
+                break;
+            }
+            let suffix: usize = env.sizes[top + len..].iter().sum();
+            if suffix + 1 >= best_size {
                 break;
             }
         }
@@ -243,7 +391,7 @@ impl BddManager {
     /// the position minimizing the live node count.
     ///
     /// `roots` are the BDDs that must stay alive; all other nodes may be
-    /// collected.
+    /// collected. [`pin`](Self::pin)ned nodes are implicit roots.
     pub fn sift(&mut self, roots: &[Bdd]) -> ReorderStats {
         self.reorder_pass(roots, false)
     }
@@ -255,13 +403,11 @@ impl BddManager {
     }
 
     fn reorder_pass(&mut self, roots: &[Bdd], symmetric: bool) -> ReorderStats {
-        self.cache.clear();
+        self.cache_clear();
         self.gc(roots);
         let mut env = self.reorder_env(roots);
-        let mut stats = ReorderStats {
-            size_before: env.cur_size,
-            ..ReorderStats::default()
-        };
+        env.interaction = Some(self.interaction_matrix(roots));
+        let mut stats = ReorderStats { size_before: env.cur_size, ..ReorderStats::default() };
         let nlevels = self.level2var.len();
         if nlevels < 2 {
             stats.size_after = env.cur_size;
@@ -269,10 +415,19 @@ impl BddManager {
         }
         // Variables by decreasing subtable size.
         let mut by_size: Vec<(usize, VarId)> = (0..nlevels)
-            .map(|l| (self.subtable_size(&env, l), self.level2var[l]))
+            .map(|l| (env.sizes[l], self.level2var[l]))
             .filter(|&(s, _)| s >= 2)
             .collect();
         by_size.sort_unstable_by_key(|&(size, _)| std::cmp::Reverse(size));
+        // Sifting the 64 most-populated levels per pass is the measured
+        // sweet spot for the divider traversals: widening the candidate
+        // set (95%-of-mass coverage, or every populated level) leaves
+        // the n = 24 peak unchanged and costs nothing at n = 16, but
+        // *worsens* the n = 32 peak by ~50% — the extra low-mass moves
+        // perturb positions the dominant variables already settled.
+        // Neither setting rescues n ≥ 48, where the late traversal rows
+        // outgrow what pass-at-2×-threshold sifting can recover
+        // (EXPERIMENTS.md, Table II notes).
         let max_vars = 64;
         let max_swaps = 2_000_000u64;
         let mut processed: std::collections::HashSet<VarId> = std::collections::HashSet::new();
@@ -304,14 +459,14 @@ impl BddManager {
         }
         stats.swaps = env.swaps;
         stats.size_after = env.cur_size;
-        self.cache.clear();
+        self.cache_clear();
         self.gc(roots);
         stats
     }
 
     /// Heuristic check that the variables at `lvl` and `lvl + 1` are
     /// (positively) symmetric in every function through them: every
-    /// upper-level node must satisfy `f01 == f10`.
+    /// upper-level node must satisfy `f01 == f10` on semantic edges.
     fn adjacent_symmetric(&self, env: &ReorderEnv, lvl: usize) -> bool {
         if lvl + 1 >= self.level2var.len() {
             return false;
@@ -319,13 +474,13 @@ impl BddManager {
         let u = self.level2var[lvl];
         let w = self.level2var[lvl + 1];
         let mut any = false;
-        for n in &env.subtables[lvl] {
-            if self.dead[n.index()] || self.nodes[n.index()].var != u {
+        for &i in &env.subtables[lvl] {
+            if self.dead[i as usize] || self.nodes[i as usize].var != u {
                 continue;
             }
-            let node = self.nodes[n.index()];
+            let node = self.nodes[i as usize];
             let f01 = if !self.is_const(node.low) && self.nodes[node.low.index()].var == w {
-                self.nodes[node.low.index()].high
+                self.nodes[node.low.index()].high.xor_complement(node.low.0 & 1)
             } else {
                 node.low
             };
@@ -405,6 +560,33 @@ mod tests {
     }
 
     #[test]
+    fn swap_preserves_complemented_roots() {
+        // Negated roots exercise the complement-distribution in the
+        // grandchild extraction: ¬f's cofactors carry the parity.
+        let mut m = BddManager::new();
+        let a = m.var(0);
+        let b = m.var(1);
+        let c = m.var(2);
+        let ab = m.and(a, b);
+        let f0 = m.or(ab, c);
+        let f = m.not(f0);
+        let g0 = m.xor(b, c);
+        let g = m.not(g0);
+        let tf = truth_table(&m, f, 3);
+        let tg = truth_table(&m, g, 3);
+        let roots = vec![f, g];
+        m.gc(&roots);
+        let mut env = m.reorder_env(&roots);
+        for lvl in [0usize, 1, 0, 1, 0, 1, 1, 0] {
+            m.swap_levels(&mut env, lvl);
+            assert_eq!(truth_table(&m, f, 3), tf, "¬f changed after swap at {lvl}");
+            assert_eq!(truth_table(&m, g, 3), tg, "¬g changed after swap at {lvl}");
+        }
+        m.gc(&roots);
+        m.validate().unwrap();
+    }
+
+    #[test]
     fn swap_size_bookkeeping_is_exact() {
         let mut m = BddManager::new();
         let f = equality_bdd(&mut m, 4, false);
@@ -413,10 +595,57 @@ mod tests {
         let mut env = m.reorder_env(&roots);
         for lvl in 0..7 {
             m.swap_levels(&mut env, lvl);
-            // Recount live nodes from scratch and compare.
+            // Recount live nodes from scratch and compare both the total
+            // and the per-level counters.
             let recount: usize = (0..m.level2var.len()).map(|l| m.subtable_size(&env, l)).sum();
             assert_eq!(env.cur_size, recount, "after swap at {lvl}");
+            for l in 0..m.level2var.len() {
+                assert_eq!(env.sizes[l], m.subtable_size(&env, l), "level {l} after swap {lvl}");
+            }
         }
+    }
+
+    #[test]
+    fn non_interacting_swap_takes_fast_path() {
+        // f over {0,1} and g over {2,3}: levels 1 and 2 hold variables
+        // from different cones, so their swap must not touch any node.
+        let mut m = BddManager::new();
+        let a = m.var(0);
+        let b = m.var(1);
+        let c = m.var(2);
+        let d = m.var(3);
+        let f = m.and(a, b);
+        let g = m.xor(c, d);
+        let tf = truth_table(&m, f, 4);
+        let tg = truth_table(&m, g, 4);
+        let roots = vec![f, g];
+        m.gc(&roots);
+        let mut env = m.reorder_env(&roots);
+        env.interaction = Some(m.interaction_matrix(&roots));
+        let nodes_before = m.live_nodes();
+        m.swap_levels(&mut env, 1); // swaps var 1 with var 2
+        assert_eq!(m.live_nodes(), nodes_before, "fast path must allocate nothing");
+        assert_eq!(truth_table(&m, f, 4), tf);
+        assert_eq!(truth_table(&m, g, 4), tg);
+        assert_eq!(m.order(), &[0, 2, 1, 3]);
+        m.gc(&roots);
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn interaction_matrix_from_supports() {
+        let mut m = BddManager::new();
+        let a = m.var(0);
+        let b = m.var(1);
+        let c = m.var(2);
+        let _d = m.var(3);
+        let f = m.and(a, b);
+        let g = m.or(b, c);
+        let im = m.interaction_matrix(&[f, g]);
+        assert!(im.interacts(0, 1));
+        assert!(im.interacts(1, 2));
+        assert!(!im.interacts(0, 2), "0 and 2 never share a root");
+        assert!(!im.interacts(0, 3), "3 is in no support at all");
     }
 
     #[test]
@@ -429,7 +658,7 @@ mod tests {
         let stats = m.sift(&[f]);
         let after = m.size(f);
         assert_eq!(truth_table(&m, f, 2 * k), tt, "sifting must preserve the function");
-        // Separated order needs ~3·2^k nodes; interleaved needs 3k+2.
+        // Separated order needs ~2^k nodes; interleaved needs O(k).
         assert!(after < before / 4, "sift: {before} -> {after} ({stats:?})");
         assert!(after <= 3 * (k as usize) + 2 + 2, "near-optimal expected, got {after}");
     }
@@ -476,5 +705,27 @@ mod tests {
         let x = m.var(20);
         let g = m.and(f, x);
         assert!(m.eval(g, |_| true));
+    }
+
+    #[test]
+    fn sift_independent_cones_stays_clamped() {
+        // Many pairwise-independent functions: the interaction matrix is
+        // block-diagonal, so sifting must finish with few real swaps and
+        // preserve every cone.
+        let mut m = BddManager::new();
+        let mut roots = Vec::new();
+        for i in 0..5u32 {
+            let x = m.var(3 * i);
+            let y = m.var(3 * i + 1);
+            let z = m.var(3 * i + 2);
+            let xy = m.and(x, y);
+            roots.push(m.xor(xy, z));
+        }
+        let tts: Vec<Vec<bool>> = roots.iter().map(|&r| truth_table(&m, r, 15)).collect();
+        m.sift(&roots.clone());
+        for (r, tt) in roots.iter().zip(&tts) {
+            assert_eq!(&truth_table(&m, *r, 15), tt);
+        }
+        m.validate().unwrap();
     }
 }

@@ -1,0 +1,224 @@
+//! Property tests for the manager's structural invariants.
+//!
+//! Each test drives random operation sequences and calls
+//! [`BddManager::validate`] — the full canonical-form walker (regular
+//! then-edges, reducedness, unique-table ownership, free-list/dead-flag
+//! agreement, pin consistency) — after every mutation, so an invariant
+//! broken by any apply/compose/GC/sift combination is caught at the op
+//! that broke it, not at some later use.
+
+use sbif_bdd::{Bdd, BddManager, VarId};
+use sbif_rng::XorShift64;
+
+/// Runs `body` once per seed and reports the failing seed on panic.
+fn for_seeds(cases: u64, body: impl Fn(&mut XorShift64)) {
+    for seed in 0..cases {
+        let mut rng = XorShift64::seed_from_u64(seed);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut rng)));
+        if let Err(e) = result {
+            panic!("property failed for seed {seed}: {e:?}");
+        }
+    }
+}
+
+fn truth_table(m: &BddManager, f: Bdd, vars: u32) -> Vec<bool> {
+    (0..(1u64 << vars)).map(|bits| m.eval(f, |v| (bits >> v) & 1 == 1)).collect()
+}
+
+/// Applies one random operation to the pool and returns the result.
+fn random_op(m: &mut BddManager, rng: &mut XorShift64, pool: &[Bdd], nvars: u32) -> Bdd {
+    let pick = |rng: &mut XorShift64| pool[rng.below(pool.len() as u64) as usize];
+    let f = pick(rng);
+    match rng.below(8) {
+        0 => m.not(f),
+        1 => {
+            let g = pick(rng);
+            m.and(f, g)
+        }
+        2 => {
+            let g = pick(rng);
+            m.or(f, g)
+        }
+        3 => {
+            let g = pick(rng);
+            m.xor(f, g)
+        }
+        4 => {
+            let (g, h) = (pick(rng), pick(rng));
+            m.ite(f, g, h)
+        }
+        5 => {
+            let v = rng.below(nvars as u64) as VarId;
+            let val = rng.next_bool();
+            m.restrict(f, v, val)
+        }
+        6 => {
+            let v = rng.below(nvars as u64) as VarId;
+            let g = pick(rng);
+            m.compose(f, v, g)
+        }
+        _ => {
+            let v = rng.below(nvars as u64) as VarId;
+            m.exists(f, v)
+        }
+    }
+}
+
+#[test]
+fn invariants_hold_after_every_operation() {
+    for_seeds(25, |rng| {
+        let nvars = 3 + rng.below(6) as u32; // 3..=8
+        let mut m = BddManager::new();
+        let mut pool: Vec<Bdd> = vec![BddManager::TRUE, BddManager::FALSE];
+        for v in 0..nvars {
+            pool.push(m.var(v));
+        }
+        for _ in 0..60 {
+            let r = random_op(&mut m, rng, &pool, nvars);
+            m.validate().unwrap_or_else(|e| panic!("invariant broken after op: {e}"));
+            pool.push(r);
+        }
+    });
+}
+
+#[test]
+fn sift_round_trip_preserves_pinned_roots() {
+    for_seeds(25, |rng| {
+        let nvars = 4 + rng.below(5) as u32; // 4..=8
+        let mut m = BddManager::new();
+        let mut pool: Vec<Bdd> = (0..nvars).map(|v| m.var(v)).collect();
+        for _ in 0..40 {
+            let r = random_op(&mut m, rng, &pool, nvars);
+            pool.push(r);
+        }
+        // Pin a handful of roots; everything else is garbage the sift's
+        // internal GC is free to reclaim.
+        let roots: Vec<Bdd> = (0..4)
+            .map(|_| pool[rng.below(pool.len() as u64) as usize])
+            .collect();
+        for &r in &roots {
+            m.pin(r);
+        }
+        let before: Vec<Vec<bool>> =
+            roots.iter().map(|&r| truth_table(&m, r, nvars)).collect();
+
+        let stats = if rng.next_bool() {
+            m.sift(&roots)
+        } else {
+            m.sift_symmetric(&roots)
+        };
+        m.validate().unwrap_or_else(|e| panic!("invariant broken after sift: {e}"));
+        assert!(
+            stats.size_after <= stats.size_before,
+            "sifting grew the graph: {} -> {}",
+            stats.size_before,
+            stats.size_after
+        );
+        for (i, &r) in roots.iter().enumerate() {
+            assert_eq!(
+                truth_table(&m, r, nvars),
+                before[i],
+                "root {i} changed function across sift"
+            );
+        }
+        // And back: a second sift from the new order must also be safe.
+        m.sift(&roots);
+        m.validate().unwrap_or_else(|e| panic!("invariant broken after re-sift: {e}"));
+        for (i, &r) in roots.iter().enumerate() {
+            assert_eq!(truth_table(&m, r, nvars), before[i]);
+        }
+        for &r in &roots {
+            m.unpin(r);
+        }
+        m.gc(&[]);
+        m.validate().unwrap();
+    });
+}
+
+#[test]
+fn gc_stress_tiny_tables() {
+    // Undersized tables force constant rehashing and recycling: every
+    // free-list slot gets reused many times over, so a stale cache entry
+    // or a missed unique-table removal surfaces as a validate failure or
+    // a corrupted pinned function.
+    for_seeds(20, |rng| {
+        let nvars = 4 + rng.below(4) as u32;
+        let mut m = BddManager::with_table_capacity(16);
+        let mut pool: Vec<Bdd> = (0..nvars).map(|v| m.var(v)).collect();
+        let mut pinned: Vec<(Bdd, Vec<bool>)> = Vec::new();
+        for burst in 0..12 {
+            for _ in 0..15 {
+                let r = random_op(&mut m, rng, &pool, nvars);
+                pool.push(r);
+            }
+            // Rotate the pinned set: pin one fresh result, unpin an old one.
+            let fresh = pool[pool.len() - 1 - rng.below(5) as usize];
+            m.pin(fresh);
+            pinned.push((fresh, truth_table(&m, fresh, nvars)));
+            if pinned.len() > 3 {
+                let (old, _) = pinned.remove(0);
+                m.unpin(old);
+            }
+            // Drop every handle, then force a collection with no
+            // external roots: only pins may keep nodes alive.
+            pool.clear();
+            let live_before = m.live_nodes();
+            let freed = m.gc(&[]);
+            m.validate()
+                .unwrap_or_else(|e| panic!("invariant broken after gc (burst {burst}): {e}"));
+            assert_eq!(
+                m.live_nodes(),
+                live_before - freed,
+                "gc return value disagrees with live count"
+            );
+            for (f, tt) in &pinned {
+                assert_eq!(&truth_table(&m, *f, nvars), tt, "pinned root corrupted by gc");
+            }
+            // Rebuild the working pool from fresh vars plus the pinned
+            // survivors, so the next burst reuses reclaimed slots.
+            for v in 0..nvars {
+                pool.push(m.var(v));
+            }
+            for (f, _) in &pinned {
+                pool.push(*f);
+            }
+        }
+        // Dropping every pin must let the graph collapse to nothing.
+        for (f, _) in pinned.drain(..) {
+            m.unpin(f);
+        }
+        pool.clear();
+        m.gc(&[]);
+        m.validate().unwrap();
+        // Only the terminal survives.
+        assert_eq!(m.live_nodes(), 1, "dead nodes not reclaimed once unpinned");
+    });
+}
+
+#[test]
+fn gc_reclaims_dead_nodes_and_keeps_roots() {
+    for_seeds(15, |rng| {
+        let nvars = 5;
+        let mut m = BddManager::new();
+        let pool: Vec<Bdd> = (0..nvars).map(|v| m.var(v)).collect();
+        // Build one keeper and a pile of garbage.
+        let mut keeper = pool[0];
+        for _ in 0..30 {
+            let other = pool[rng.below(5) as usize];
+            keeper = random_op(&mut m, rng, &[keeper, other], nvars);
+        }
+        let tt = truth_table(&m, keeper, nvars);
+        let mut garbage = pool[1];
+        for _ in 0..30 {
+            let other = pool[rng.below(5) as usize];
+            garbage = random_op(&mut m, rng, &[garbage, other], nvars);
+        }
+        let live = m.live_nodes();
+        let freed = m.gc(&[keeper]);
+        assert!(freed > 0, "expected garbage to be reclaimed (live was {live})");
+        m.validate().unwrap();
+        assert_eq!(truth_table(&m, keeper, nvars), tt);
+        // A second collection finds nothing new.
+        assert_eq!(m.gc(&[keeper]), 0, "gc is not idempotent");
+    });
+}

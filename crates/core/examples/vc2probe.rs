@@ -3,9 +3,10 @@ use sbif_core::vc2::{check_vc2, Vc2Config};
 use sbif_netlist::build::nonrestoring_divider;
 fn main() {
     let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(8);
-    let thr: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(20_000);
+    let thr: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(4096);
     let div = nonrestoring_divider(n);
     let t = std::time::Instant::now();
-    let r = check_vc2(&div, Vc2Config { reorder_threshold: thr });
+    let cap: usize = std::env::args().nth(3).and_then(|s| s.parse().ok()).unwrap_or(1 << 14);
+    let r = check_vc2(&div, Vc2Config { reorder_threshold: thr, table_capacity: cap });
     println!("n={n} holds={} peak_nodes={} reorders={} time={:.2}s", r.holds, r.peak_nodes, r.wpc_stats.reorders, t.elapsed().as_secs_f64());
 }

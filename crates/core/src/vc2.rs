@@ -21,11 +21,23 @@ pub struct Vc2Config {
     /// Initial live-node threshold that triggers dynamic (symmetric)
     /// sifting; doubles after every pass.
     pub reorder_threshold: usize,
+    /// Expected live-node population the manager's unique and computed
+    /// tables are pre-sized for, so the hot phase of the backward
+    /// traversal never pays for incremental rehashing. Feed this from
+    /// the `vc2.peak_live_nodes` trace gauge of a previous run of the
+    /// same divider family (DESIGN.md §13); the default covers the
+    /// small widths used in tests.
+    pub table_capacity: usize,
 }
 
 impl Default for Vc2Config {
     fn default() -> Self {
-        Vc2Config { reorder_threshold: 20_000 }
+        // The threshold is tuned against *live* node counts: the engine's
+        // adaptive GC keeps garbage out of the population that triggers
+        // sifting, so it sits far below the old garbage-inflated default
+        // (at n = 32 this is the difference between a 122k and a 396k
+        // node peak — see EXPERIMENTS.md Table II).
+        Vc2Config { reorder_threshold: 4096, table_capacity: 1 << 14 }
     }
 }
 
@@ -34,7 +46,11 @@ impl Default for Vc2Config {
 pub struct Vc2Report {
     /// Whether `C → WPC(0 ≤ R < D)` is a tautology.
     pub holds: bool,
-    /// Peak number of allocated BDD nodes (Table II, col. 8).
+    /// Peak number of live BDD nodes (Table II, col. 8), counted
+    /// post-complement-edges: a function and its negation share every
+    /// node, so this runs roughly half the node count of an engine
+    /// without complement edges. Emitted as the `vc2.peak_live_nodes`
+    /// gauge.
     pub peak_nodes: usize,
     /// Live BDD nodes when the check finished (≤ `peak_nodes`).
     pub final_nodes: usize,
@@ -65,7 +81,7 @@ pub struct Vc2Report {
 /// ```
 pub fn check_vc2(div: &Divider, cfg: Vc2Config) -> Vc2Report {
     let nl = &div.netlist;
-    let mut m = BddManager::new();
+    let mut m = BddManager::with_table_capacity(cfg.table_capacity);
     m.reorder_threshold = cfg.reorder_threshold;
     m.set_order(&interleaved_fanin_order(nl, &div.remainder, &div.divisor));
 
@@ -173,7 +189,7 @@ mod tests {
         // A tiny threshold forces many sifting passes; the result must
         // not change.
         let div = nonrestoring_divider(4);
-        let report = check_vc2(&div, Vc2Config { reorder_threshold: 256 });
+        let report = check_vc2(&div, Vc2Config { reorder_threshold: 256, ..Vc2Config::default() });
         assert!(report.holds);
         assert!(report.wpc_stats.reorders > 0, "expected reordering to trigger");
     }

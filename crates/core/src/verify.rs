@@ -370,7 +370,7 @@ impl<'a> DividerVerifier<'a> {
         let r = &self.recorder;
         r.add("vc2.composed", report.wpc_stats.composed as u64);
         r.add("vc2.reorders", report.wpc_stats.reorders as u64);
-        r.gauge_max("vc2.peak_nodes", report.peak_nodes as u64);
+        r.gauge_max("vc2.peak_live_nodes", report.peak_nodes as u64);
         r.gauge_max("vc2.final_nodes", report.final_nodes as u64);
         r.gauge_max("vc2.unique_entries", report.unique_entries as u64);
         r.gauge_max("vc2.cache_entries", report.cache_entries as u64);

@@ -61,6 +61,16 @@ echo "==> trace gate (NDJSON contract + golden metrics byte-compare)"
 cmp "$FUZZ_TMP/metrics-1.json" "$FUZZ_TMP/metrics-4.json"
 cmp "$FUZZ_TMP/metrics-1.json" tests/golden/metrics_nonrestoring_n8.json
 
+echo "==> bdd gate (differential + property harness)"
+# The BDD engine's own acceptance harness: every root of random
+# netlists differentially checked against exhaustive truth-table
+# simulation (tests/bdd_differential.rs), and the manager's structural
+# walker — canonical complement-edge form, unique-table ownership,
+# free-list consistency, pin survival — run after every random
+# apply/compose/GC/sift (crates/bdd/tests/properties.rs).
+cargo test -q --offline --test bdd_differential
+cargo test -q --offline -p sbif-bdd --test properties
+
 echo "==> bench determinism gate (scripts/bench_check.sh)"
 ./scripts/bench_check.sh
 

@@ -110,7 +110,7 @@ fn report_embeds_the_headline_columns() {
     assert_eq!(m.counter("sbif.proven"), report.vc1.sbif.proven as u64);
     assert_eq!(m.gauge("rewrite.peak_terms"), Some(report.vc1.rewrite.peak_terms as u64));
     let vc2 = report.vc2.as_ref().expect("vc2 ran");
-    assert_eq!(m.gauge("vc2.peak_nodes"), Some(vc2.peak_nodes as u64));
+    assert_eq!(m.gauge("vc2.peak_live_nodes"), Some(vc2.peak_nodes as u64));
     assert_eq!(m.counter("span.verify"), 1);
     assert_eq!(m.counter("span.sbif"), 1);
     // Wall time never enters the deterministic payload.
