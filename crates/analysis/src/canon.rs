@@ -1,0 +1,206 @@
+//! Canonical two-level gate forms over abstract leaves.
+//!
+//! Every gate of the [`Netlist`](sbif_netlist::Netlist) vocabulary is a
+//! function of at most two fanins, so it normalizes into one of four
+//! shapes: a (possibly inverted) alias of a leaf, a constant, an
+//! AND of two polarized leaves with an output inversion (covering
+//! AND/NAND/OR/NOR/ANDN through De Morgan), or an XOR of two leaf
+//! cores with an overall phase (covering XOR/XNOR). The leaf type is
+//! abstract: the structural-hashing pass instantiates it with Merkle
+//! digest cores, and the SBIF prefilter with equivalence-class
+//! representatives.
+//!
+//! Two forms that compare related under [`relate`] denote the same (or
+//! the complemented) Boolean function of their leaves *by construction*
+//! — no semantic reasoning, only commutativity, De Morgan and the
+//! trivial same-leaf reductions, all of which hold clause-by-clause in
+//! any Tseitin encoding of the two gates. That syntactic guarantee is
+//! what lets the prefilter return UNSAT verdicts without running a
+//! solver (see `sbif::check_window_pair`).
+
+use sbif_netlist::Gate;
+use sbif_netlist::UnaryOp;
+
+/// The canonical form of one gate over leaves of type `L`.
+///
+/// A leaf is a pair `(L, bool)`: the second component is the leaf's
+/// polarity (`true` = inverted).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CanonForm<L> {
+    /// A (possibly inverted) alias of a single leaf.
+    Lit(L, bool),
+    /// A constant.
+    Const(bool),
+    /// AND of two polarized leaves, sorted, with an output inversion.
+    And([(L, bool); 2], bool),
+    /// XOR of two distinct leaf cores (sorted) with an overall phase.
+    Xor(L, L, bool),
+}
+
+impl<L: Copy> CanonForm<L> {
+    /// The form of the complemented function.
+    pub fn negated(self) -> Self {
+        match self {
+            CanonForm::Lit(l, p) => CanonForm::Lit(l, !p),
+            CanonForm::Const(v) => CanonForm::Const(!v),
+            CanonForm::And(leaves, n) => CanonForm::And(leaves, !n),
+            CanonForm::Xor(a, b, p) => CanonForm::Xor(a, b, !p),
+        }
+    }
+}
+
+/// Canonicalizes `gate` over the leaves returned by `leaf` for its
+/// fanins. Returns `None` for primary inputs (an input is a free
+/// variable, not a function of leaves).
+pub fn canon_of<L: Copy + Ord>(
+    gate: &Gate,
+    mut leaf: impl FnMut(sbif_netlist::Sig) -> (L, bool),
+) -> Option<CanonForm<L>> {
+    use sbif_netlist::BinOp::*;
+    Some(match *gate {
+        Gate::Input => return None,
+        Gate::Const(v) => CanonForm::Const(v),
+        Gate::Unary(op, a) => {
+            let (l, p) = leaf(a);
+            CanonForm::Lit(l, p ^ (op == UnaryOp::Not))
+        }
+        Gate::Binary(op, a, b) => {
+            let (la, pa) = leaf(a);
+            let (lb, pb) = leaf(b);
+            match op {
+                And => and_form(la, pa, lb, pb, false),
+                Nand => and_form(la, pa, lb, pb, true),
+                Or => and_form(la, !pa, lb, !pb, true),
+                Nor => and_form(la, !pa, lb, !pb, false),
+                AndNot => and_form(la, pa, lb, !pb, false),
+                Xor => xor_form(la, pa, lb, pb, false),
+                Xnor => xor_form(la, pa, lb, pb, true),
+            }
+        }
+    })
+}
+
+/// `(l1^p1) ∧ (l2^p2)`, inverted iff `neg`, with same-leaf reduction.
+fn and_form<L: Copy + Ord>(l1: L, p1: bool, l2: L, p2: bool, neg: bool) -> CanonForm<L> {
+    if l1 == l2 {
+        return if p1 == p2 {
+            // x ∧ x = x
+            CanonForm::Lit(l1, p1 ^ neg)
+        } else {
+            // x ∧ ¬x = 0
+            CanonForm::Const(neg)
+        };
+    }
+    let (e1, e2) = if (l2, p2) < (l1, p1) { ((l2, p2), (l1, p1)) } else { ((l1, p1), (l2, p2)) };
+    CanonForm::And([e1, e2], neg)
+}
+
+/// `(l1^p1) ⊕ (l2^p2) ⊕ neg`: polarities fold into the phase.
+fn xor_form<L: Copy + Ord>(l1: L, p1: bool, l2: L, p2: bool, neg: bool) -> CanonForm<L> {
+    let phase = p1 ^ p2 ^ neg;
+    if l1 == l2 {
+        // x ⊕ x = 0
+        return CanonForm::Const(phase);
+    }
+    let (a, b) = if l2 < l1 { (l2, l1) } else { (l1, l2) };
+    CanonForm::Xor(a, b, phase)
+}
+
+/// Compares two canonical forms over the *same* leaf universe.
+///
+/// Returns `Some(false)` if they denote the same function of their
+/// leaves, `Some(true)` if they denote complementary functions, and
+/// `None` when the forms do not force a relation (different leaves or
+/// different shapes — the functions may still be related semantically,
+/// but not syntactically).
+pub fn relate<L: Copy + Eq>(a: &CanonForm<L>, b: &CanonForm<L>) -> Option<bool> {
+    match (a, b) {
+        (CanonForm::Lit(l, p), CanonForm::Lit(m, q)) if l == m => Some(p ^ q),
+        (CanonForm::Const(v), CanonForm::Const(w)) => Some(v ^ w),
+        (CanonForm::And(x, n), CanonForm::And(y, m)) if x == y => Some(n ^ m),
+        (CanonForm::Xor(a1, b1, p), CanonForm::Xor(a2, b2, q)) if a1 == a2 && b1 == b2 => {
+            Some(p ^ q)
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbif_netlist::{BinOp, Sig};
+
+    fn leaf_id(s: Sig) -> (u32, bool) {
+        (s.0, false)
+    }
+
+    #[test]
+    fn commuted_and_family_relates() {
+        let g1 = Gate::Binary(BinOp::And, Sig(1), Sig(2));
+        let g2 = Gate::Binary(BinOp::And, Sig(2), Sig(1));
+        let f1 = canon_of(&g1, leaf_id).unwrap();
+        let f2 = canon_of(&g2, leaf_id).unwrap();
+        assert_eq!(relate(&f1, &f2), Some(false));
+        // NAND of the same pair is the complement.
+        let g3 = Gate::Binary(BinOp::Nand, Sig(2), Sig(1));
+        let f3 = canon_of(&g3, leaf_id).unwrap();
+        assert_eq!(relate(&f1, &f3), Some(true));
+    }
+
+    #[test]
+    fn de_morgan_or_equals_nand_of_inverted_leaves() {
+        // OR(a, b) with plain leaves == NAND over inverted leaves; NOR
+        // relates to OR as the complement.
+        let or = canon_of(&Gate::Binary(BinOp::Or, Sig(1), Sig(2)), leaf_id).unwrap();
+        let nor = canon_of(&Gate::Binary(BinOp::Nor, Sig(1), Sig(2)), leaf_id).unwrap();
+        assert_eq!(relate(&or, &nor), Some(true));
+        assert_eq!(or.negated(), nor);
+    }
+
+    #[test]
+    fn xor_phase_tracks_leaf_polarity() {
+        // XOR(a, b) vs XNOR(b, a): complements.
+        let x = canon_of(&Gate::Binary(BinOp::Xor, Sig(1), Sig(2)), leaf_id).unwrap();
+        let xn = canon_of(&Gate::Binary(BinOp::Xnor, Sig(2), Sig(1)), leaf_id).unwrap();
+        assert_eq!(relate(&x, &xn), Some(true));
+        // Inverting one leaf of an XOR flips the phase.
+        let xi =
+            canon_of(&Gate::Binary(BinOp::Xor, Sig(1), Sig(2)), |s| (s.0, s == Sig(1))).unwrap();
+        assert_eq!(relate(&x, &xi), Some(true));
+    }
+
+    #[test]
+    fn same_leaf_reductions() {
+        let a_and_a = canon_of(&Gate::Binary(BinOp::And, Sig(3), Sig(3)), leaf_id).unwrap();
+        assert_eq!(a_and_a, CanonForm::Lit(3, false));
+        // a ∧ ¬a over polarized leaves → constant 0.
+        let contradiction =
+            canon_of(&Gate::Binary(BinOp::AndNot, Sig(3), Sig(3)), leaf_id).unwrap();
+        assert_eq!(contradiction, CanonForm::Const(false));
+        let x_self = canon_of(&Gate::Binary(BinOp::Xnor, Sig(3), Sig(3)), leaf_id).unwrap();
+        assert_eq!(x_self, CanonForm::Const(true));
+    }
+
+    #[test]
+    fn inputs_have_no_form() {
+        assert_eq!(canon_of(&Gate::Input, leaf_id), None);
+    }
+
+    #[test]
+    fn unary_aliases() {
+        let not = canon_of(&Gate::Unary(UnaryOp::Not, Sig(5)), leaf_id).unwrap();
+        assert_eq!(not, CanonForm::Lit(5, true));
+        let buf = canon_of(&Gate::Unary(UnaryOp::Buf, Sig(5)), leaf_id).unwrap();
+        assert_eq!(buf, CanonForm::Lit(5, false));
+        assert_eq!(relate(&not, &buf), Some(true));
+    }
+
+    #[test]
+    fn unrelated_forms_return_none() {
+        let f1 = canon_of(&Gate::Binary(BinOp::And, Sig(1), Sig(2)), leaf_id).unwrap();
+        let f2 = canon_of(&Gate::Binary(BinOp::And, Sig(1), Sig(3)), leaf_id).unwrap();
+        assert_eq!(relate(&f1, &f2), None);
+        let x = canon_of(&Gate::Binary(BinOp::Xor, Sig(1), Sig(2)), leaf_id).unwrap();
+        assert_eq!(relate(&f1, &x), None);
+    }
+}

@@ -1,0 +1,190 @@
+//! Lint findings derived from the analysis database.
+//!
+//! The text-level linter in `sbif-check` catches what a *malformed file*
+//! can express (syntax, cycles, undriven signals — states a parsed
+//! [`Netlist`] cannot even represent). This module covers the
+//! *well-formed* netlist: findings read straight out of an
+//! [`AnalysisDb`], so `sbif-lint` is a thin driver over the framework
+//! rather than a second implementation of cone/duplicate analysis.
+//! Compared to the old ad-hoc checks, the structural-hash classes are
+//! canonical and **transitive**: `AND(a,b)` vs `AND(b,a)` vs
+//! `¬NAND(a,b)` vs any gate over already-merged duplicates all land in
+//! one class.
+
+use crate::db::AnalysisDb;
+use sbif_netlist::{Netlist, Sig};
+
+/// One framework lint finding. All framework findings are warnings —
+/// errors remain the text linter's job (a parsed netlist is
+/// structurally sound by construction).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Stable kebab-case rule name (`unreachable`, `duplicate-gate`,
+    /// `stuck-at`).
+    pub rule: &'static str,
+    /// Human-readable description naming the signals involved.
+    pub message: String,
+}
+
+fn label(nl: &Netlist, s: Sig) -> String {
+    match nl.name(s) {
+        Some(n) => n.to_string(),
+        None => format!("n{}", s.0),
+    }
+}
+
+/// Derives lint findings from `db`. Deterministic: findings appear in
+/// rule order (unreachable, stuck-at, duplicate-gate) and in dense
+/// signal order within a rule.
+pub fn findings(nl: &Netlist, db: &AnalysisDb) -> Vec<Finding> {
+    let mut out = Vec::new();
+
+    // Unreachable logic, aggregated like the text linter: one finding
+    // for the dead gates, one per dead input.
+    if !db.live.is_empty() {
+        let dead: Vec<Sig> = nl
+            .signals()
+            .filter(|&s| !db.live[s.index()] && !nl.gate(s).is_input())
+            .collect();
+        if !dead.is_empty() {
+            let names: Vec<String> = dead.iter().take(5).map(|&s| label(nl, s)).collect();
+            let suffix = if dead.len() > names.len() { ", ..." } else { "" };
+            out.push(Finding {
+                rule: "unreachable",
+                message: format!(
+                    "{} gate(s) outside every output cone: {}{suffix}",
+                    dead.len(),
+                    names.join(", ")
+                ),
+            });
+        }
+        for &s in nl.inputs() {
+            if !db.live[s.index()] {
+                out.push(Finding {
+                    rule: "unreachable",
+                    message: format!("input {:?} feeds no output", label(nl, s)),
+                });
+            }
+        }
+    }
+
+    // Stuck-at signals: known ternary value without being a constant
+    // driver (under the configured constraint, if any).
+    for &(s, v) in &db.stuck {
+        out.push(Finding {
+            rule: "stuck-at",
+            message: format!("signal {:?} is stuck at {}", label(nl, s), v as u8),
+        });
+    }
+
+    // Structural duplicates: same digest core, same phase. Confirmed
+    // against shadow signatures when available, so a 64-bit hash
+    // collision cannot produce a false positive.
+    for class in &db.classes {
+        for (k, &(s, phase)) in class.iter().enumerate().skip(1) {
+            let Some(&(first, _)) = class[..k].iter().find(|&&(_, p)| p == phase) else {
+                continue;
+            };
+            if !db.shadow.is_empty() && db.shadow[s.index()] != db.shadow[first.index()] {
+                continue;
+            }
+            out.push(Finding {
+                rule: "duplicate-gate",
+                message: format!(
+                    "gate {:?} structurally duplicates {:?}",
+                    label(nl, s),
+                    label(nl, first)
+                ),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{analyze, AnalysisConfig};
+    use sbif_netlist::{BinOp, Gate, UnaryOp};
+    use sbif_trace::Recorder;
+
+    fn run(nl: &Netlist) -> Vec<Finding> {
+        let db = analyze(nl, &AnalysisConfig::default(), &Recorder::new());
+        findings(nl, &db)
+    }
+
+    #[test]
+    fn transitive_duplicates_beyond_single_gate_matching() {
+        // y duplicates x (commuted); g2 duplicates g1 *through* the
+        // first merge — exact-shape matching (the old sbif-lint check)
+        // cannot see that, the canonical class does.
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let c = nl.input("c");
+        let x = nl.push_gate(Gate::Binary(BinOp::And, a, b));
+        let y = nl.push_gate(Gate::Binary(BinOp::And, b, a));
+        let g1 = nl.push_gate(Gate::Binary(BinOp::Or, x, c));
+        let g2 = nl.push_gate(Gate::Binary(BinOp::Or, y, c));
+        for (s, n) in [(x, "x"), (y, "y"), (g1, "g1"), (g2, "g2")] {
+            nl.set_name(s, n);
+        }
+        nl.add_output("o1", g1);
+        nl.add_output("o2", g2);
+        let dups: Vec<Finding> =
+            run(&nl).into_iter().filter(|f| f.rule == "duplicate-gate").collect();
+        assert_eq!(dups.len(), 2, "{dups:?}");
+        assert!(dups[0].message.contains("\"y\"") && dups[0].message.contains("\"x\""));
+        assert!(dups[1].message.contains("\"g2\"") && dups[1].message.contains("\"g1\""));
+    }
+
+    #[test]
+    fn inverted_forms_are_not_reported_as_duplicates() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let x = nl.push_gate(Gate::Binary(BinOp::And, a, b));
+        let y = nl.push_gate(Gate::Binary(BinOp::Nand, a, b));
+        nl.add_output("o1", x);
+        nl.add_output("o2", y);
+        assert!(run(&nl).iter().all(|f| f.rule != "duplicate-gate"));
+    }
+
+    #[test]
+    fn stuck_and_unreachable_findings() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let unused = nl.input("unused");
+        let zero = nl.push_gate(Gate::Const(false));
+        let g = nl.push_gate(Gate::Binary(BinOp::And, a, zero));
+        let dead = nl.push_gate(Gate::Unary(UnaryOp::Not, a));
+        nl.set_name(g, "g");
+        nl.set_name(dead, "dead");
+        nl.add_output("o", g);
+        let fs = run(&nl);
+        assert!(
+            fs.iter().any(|f| f.rule == "stuck-at" && f.message.contains("\"g\"")),
+            "{fs:?}"
+        );
+        assert!(
+            fs.iter().any(|f| f.rule == "unreachable" && f.message.contains("dead")),
+            "{fs:?}"
+        );
+        assert!(
+            fs.iter()
+                .any(|f| f.rule == "unreachable" && f.message.contains("\"unused\"")),
+            "{fs:?}"
+        );
+        let _ = unused;
+    }
+
+    #[test]
+    fn clean_netlist_has_no_findings() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let g = nl.push_gate(Gate::Binary(BinOp::Xor, a, b));
+        nl.add_output("o", g);
+        assert_eq!(run(&nl), Vec::new());
+    }
+}

@@ -585,6 +585,33 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_gate_is_exact_shape_only() {
+        // Regression: the text-level check is commutativity-normalized
+        // but deliberately *not* canonical — inverted forms and
+        // duplicates-through-merges are the analysis framework's job
+        // (`sbif_analysis::findings`, which `sbif-lint` now drives for
+        // parseable files). Pin the old behavior here.
+        let r = lint(
+            ".inputs a b c\n\
+             x = AND a b\n\
+             y = AND b a\n\
+             n = NAND a b\n\
+             g1 = OR x c\n\
+             g2 = OR y c\n\
+             o = XOR g1 g2\n\
+             o2 = XOR o n\n\
+             .output s o2\n\
+             .end\n",
+        );
+        let dups: Vec<_> =
+            r.issues.iter().filter(|i| i.rule == LintRule::DuplicateGate).collect();
+        // y ≡ x (commuted) is seen; g2 ≡ g1 holds only *through* that
+        // merge, and n is an inverted form of x — both invisible here.
+        assert_eq!(dups.len(), 1, "{:?}", r.issues);
+        assert!(dups[0].message.contains("\"y\""), "{}", dups[0].message);
+    }
+
+    #[test]
     fn detects_arity_and_unknown_op() {
         let r = lint(".inputs a\nx = AND a\ny = FROB a\n.output o x\n.end\n");
         assert!(r.has(LintRule::ArityMismatch));

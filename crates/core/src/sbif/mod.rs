@@ -25,6 +25,7 @@ mod sim;
 pub use classes::EquivClasses;
 pub use sim::{divider_sim_words, try_divider_sim_words};
 
+use sbif_analysis::{canon_of, relate, CanonForm};
 use sbif_check::{certify_unsat, CertOutcome, CertStats, DratStep};
 use sbif_netlist::{Gate, Netlist, Sig};
 use sbif_sat::{Budget, Lit, NetlistEncoder, SolveResult, Solver, SolverStats};
@@ -108,6 +109,142 @@ pub struct SbifStats {
     /// [`sat_micros`](Self::sat_micros), these belong in the
     /// deterministic metrics report.
     pub solver: SolverStats,
+    /// Candidate decisions that actually built a window solver. Without
+    /// a [`SbifPrefilter`] this equals [`sat_checks`](Self::sat_checks);
+    /// the gap is the SAT work the static analysis saved.
+    pub windows_solved: usize,
+    /// Candidate pairs merged on a structural proof (canonical-form
+    /// equality over class representatives) with no solver built.
+    pub prefilter_proven: usize,
+    /// Candidate pairs refuted by the shadow simulation signatures with
+    /// no solver built.
+    pub prefilter_refuted: usize,
+}
+
+/// How the prefilter decided a candidate pair without a solver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(super) enum Prefiltered {
+    /// Structurally proven: the two gates are the same canonical
+    /// function of the same class representatives.
+    Structural,
+    /// Refuted by a shadow-signature mismatch; the counterexample comes
+    /// from the shadow input planes.
+    Signature,
+}
+
+/// Static facts that let Alg. 1 decide candidate pairs without building
+/// a window solver — the bridge from `sbif-analysis` into the scan
+/// (constructed in `verify.rs` from an `AnalysisDb`).
+///
+/// Both shortcut directions return exactly the verdict the solver would
+/// have returned, so the resulting classes are the ones Alg. 1 computes:
+///
+/// * **structural proofs** compare the two gates' canonical forms over
+///   their current class representatives and only accept relations that
+///   hold clause-by-clause in the window CNF (commutativity, De Morgan,
+///   same-leaf reductions, or one root aliasing the other) — cases the
+///   solver refutes by a handful of unit propagations;
+/// * **signature refutations** require `shadow`/`planes` to come from
+///   constraint-satisfying stimulus: a mismatching plane then extends to
+///   a satisfying assignment of the window CNF (class representatives
+///   agree with their members on every C-satisfying input), i.e. the
+///   solver would answer SAT. Unconstrained planes would still be sound
+///   for the classes (refuting only skips merges) but would diverge from
+///   the solver's verdicts.
+#[derive(Debug, Clone, Default)]
+pub struct SbifPrefilter {
+    /// Shadow signatures `[signal][word]` from an independent
+    /// constraint-satisfying stimulus set (disjoint from the candidate
+    /// detection planes).
+    pub shadow: Vec<Vec<u64>>,
+    /// The input planes `[input][word]` behind `shadow`; mismatches are
+    /// turned into counterexamples by reading one bit column.
+    pub planes: Vec<Vec<u64>>,
+    /// Scan mask from cone-of-influence slicing: `false` marks signals
+    /// outside every output/constraint cone, which the scan skips
+    /// entirely. An empty mask disables the skipping.
+    pub live: Vec<bool>,
+}
+
+impl SbifPrefilter {
+    /// `false` iff cone slicing marked `s` dead.
+    pub(super) fn is_live(&self, s: Sig) -> bool {
+        self.live.get(s.index()).copied().unwrap_or(true)
+    }
+
+    /// Tries to decide the candidate `(a, b, ε)` without a solver;
+    /// `None` falls through to [`check_window_pair`]'s CNF encoding.
+    ///
+    /// Structural proofs are skipped under `certify` — a prefiltered
+    /// merge carries no DRAT certificate, and a certified run promises
+    /// one per merge. Signature refutations never certify (SAT answers
+    /// have witnesses, not proofs) and stay active.
+    fn try_decide(
+        &self,
+        nl: &Netlist,
+        classes: &EquivClasses,
+        a: Sig,
+        b: Sig,
+        same_polarity: bool,
+        certify: bool,
+    ) -> Option<WindowOutcome> {
+        if !certify {
+            let mut touched: Vec<RepTouch> = Vec::new();
+            let ca = canon_of(nl.gate(a), |s| rep_logged(classes, &mut touched, s));
+            let cb = canon_of(nl.gate(b), |s| rep_logged(classes, &mut touched, s));
+            // Forced relation a = b ^ anti, when the forms expose one.
+            // Besides identical shapes, `a` may alias `b` directly: the
+            // window maps `a`'s fanin to its representative, and when
+            // that representative *is* `b` the CNF ties the roots
+            // together (`b` is a candidate, hence earlier than `a`; the
+            // reverse aliasing cannot occur).
+            let anti = match (&ca, &cb) {
+                (Some(x), Some(y)) => relate(x, y),
+                _ => None,
+            }
+            .or(match ca {
+                Some(CanonForm::Lit(l, p)) if l == b => Some(p),
+                _ => None,
+            });
+            if let Some(anti) = anti {
+                // ε claims equivalence, ¬ε antivalence; a mismatching
+                // forced relation would mean the candidate signatures
+                // contradict a fact that holds under C — impossible with
+                // C-satisfying stimulus — so fall through defensively.
+                if anti != same_polarity {
+                    touched.sort_unstable_by_key(|&(s, r, p)| (s.0, r.0, p));
+                    touched.dedup();
+                    return Some(WindowOutcome {
+                        result: SolveResult::Unsat,
+                        touched,
+                        cex: None,
+                        cert: None,
+                        solver: SolverStats::default(),
+                        prefiltered: Some(Prefiltered::Structural),
+                    });
+                }
+            }
+        }
+        // Shadow-signature refutation: a pure function of `(a, b, ε)` —
+        // the empty touch log makes cached outcomes always reusable.
+        let (sa, sb) = (self.shadow.get(a.index())?, self.shadow.get(b.index())?);
+        for (w, (&wa, &wb)) in sa.iter().zip(sb).enumerate() {
+            let mismatch = if same_polarity { wa ^ wb } else { !(wa ^ wb) };
+            if mismatch != 0 {
+                let k = mismatch.trailing_zeros();
+                let cex = self.planes.iter().map(|p| (p[w] >> k) & 1 == 1).collect();
+                return Some(WindowOutcome {
+                    result: SolveResult::Sat,
+                    touched: Vec::new(),
+                    cex: Some(cex),
+                    cert: None,
+                    solver: SolverStats::default(),
+                    prefiltered: Some(Prefiltered::Signature),
+                });
+            }
+        }
+        None
+    }
 }
 
 /// Runs Alg. 1: partitions the signals of `nl` into equivalence classes
@@ -145,6 +282,22 @@ pub fn forward_information(
     sim_words: &[Vec<u64>],
     cfg: SbifConfig,
 ) -> (EquivClasses, SbifStats) {
+    forward_information_with(nl, constraint, sim_words, cfg, None)
+}
+
+/// [`forward_information`] with a static-analysis prefilter: candidate
+/// pairs the [`SbifPrefilter`] decides never build a window solver, and
+/// — when a cone mask is supplied — dead signals are skipped entirely
+/// (this changes how the scan spends its candidate slots, so only the
+/// maskless prefilter guarantees classes identical to the plain run).
+/// Passing `None` is exactly the plain entry point.
+pub fn forward_information_with(
+    nl: &Netlist,
+    constraint: Option<Sig>,
+    sim_words: &[Vec<u64>],
+    cfg: SbifConfig,
+    prefilter: Option<&SbifPrefilter>,
+) -> (EquivClasses, SbifStats) {
     let num_words = sim_words.first().map_or(0, |v| v.len());
 
     // Line 2 of Alg. 1: simulate; build per-signal signatures.
@@ -159,7 +312,7 @@ pub fn forward_information(
 
     // Lines 5–11: candidate detection and window checking, fanned out
     // over `cfg.jobs` workers with a deterministic sequential commit.
-    parallel::run(nl, constraint, signatures, &cfg)
+    parallel::run(nl, constraint, signatures, &cfg, prefilter)
 }
 
 /// A `rep()` answer an encoding depended on: `(queried, representative,
@@ -193,6 +346,7 @@ fn rep_logged(classes: &EquivClasses, touched: &mut Vec<RepTouch>, s: Sig) -> (S
 /// The same argument covers the solver counters: the CDCL run is
 /// deterministic (conflict budget, no wall-clock cutoffs), so the
 /// returned [`SolverStats`] are reproducible per touch log.
+#[allow(clippy::too_many_arguments)]
 pub(super) fn check_window_pair(
     nl: &Netlist,
     classes: &EquivClasses,
@@ -201,7 +355,13 @@ pub(super) fn check_window_pair(
     b: Sig,
     same_polarity: bool,
     cfg: &SbifConfig,
+    prefilter: Option<&SbifPrefilter>,
 ) -> WindowOutcome {
+    if let Some(p) = prefilter {
+        if let Some(outcome) = p.try_decide(nl, classes, a, b, same_polarity, cfg.certify) {
+            return outcome;
+        }
+    }
     let mut solver = Solver::new();
     if cfg.certify {
         solver.enable_proof_log();
@@ -250,7 +410,7 @@ pub(super) fn check_window_pair(
     touched.dedup();
     let cert =
         (cfg.certify && result == SolveResult::Unsat).then(|| certify_solver_unsat(&solver));
-    WindowOutcome { result, touched, cex, cert, solver: solver.stats() }
+    WindowOutcome { result, touched, cex, cert, solver: solver.stats(), prefiltered: None }
 }
 
 /// Everything one windowed SAT check produced — all of it a pure
@@ -268,6 +428,8 @@ pub(super) struct WindowOutcome {
     pub(super) cert: Option<CertOutcome>,
     /// The solver's counters for this one check.
     pub(super) solver: SolverStats,
+    /// `Some` when the prefilter answered and no solver was built.
+    pub(super) prefiltered: Option<Prefiltered>,
 }
 
 /// Replays the UNSAT answer of a proof-logging solver through the

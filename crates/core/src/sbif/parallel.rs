@@ -30,7 +30,10 @@
 //!   buffered), splitting candidate buckets so spurious pairs are never
 //!   SAT-checked again.
 
-use super::{check_window_pair, EquivClasses, RepTouch, SbifConfig, SbifStats, WindowOutcome};
+use super::{
+    check_window_pair, EquivClasses, Prefiltered, RepTouch, SbifConfig, SbifPrefilter, SbifStats,
+    WindowOutcome,
+};
 use sbif_check::CertOutcome;
 use sbif_netlist::{Netlist, Sig};
 use sbif_sat::{SolveResult, SolverStats};
@@ -110,11 +113,22 @@ struct Attempt {
     /// same numbers (deterministic solver over a touch-set-determined
     /// encoding).
     solver: SolverStats,
+    /// Prefilter verdict marker; like every other field a pure function
+    /// of the touch set (structural) or of `(a, b, ε)` alone
+    /// (signature), so cache hits report it faithfully.
+    prefiltered: Option<Prefiltered>,
 }
 
 impl From<WindowOutcome> for Attempt {
     fn from(o: WindowOutcome) -> Self {
-        Attempt { result: o.result, touched: o.touched, cex: o.cex, cert: o.cert, solver: o.solver }
+        Attempt {
+            result: o.result,
+            touched: o.touched,
+            cex: o.cex,
+            cert: o.cert,
+            solver: o.solver,
+            prefiltered: o.prefiltered,
+        }
     }
 }
 
@@ -138,6 +152,7 @@ fn worker(
     nl: &Netlist,
     constraint: Option<Sig>,
     cfg: &SbifConfig,
+    prefilter: Option<&SbifPrefilter>,
     rx: &Mutex<Receiver<WorkItem>>,
     tx: &Sender<ChunkResult>,
 ) {
@@ -151,10 +166,16 @@ fn worker(
         let mut stats = SbifStats::default();
         for i in item.range.clone() {
             let a = Sig(i as u32);
+            if prefilter.is_some_and(|p| !p.is_live(a)) {
+                continue;
+            }
             let mut tried: Vec<Sig> = Vec::new();
             for b in item.epoch.candidates(a) {
                 if tried.len() >= cfg.max_candidates {
                     break;
+                }
+                if prefilter.is_some_and(|p| !p.is_live(b)) {
+                    continue;
                 }
                 let (ra, _) = local.rep(a);
                 let (rb, _) = local.rep(b);
@@ -164,7 +185,7 @@ fn worker(
                 tried.push(rb);
                 let eps = item.epoch.flip[i] == item.epoch.flip[b.index()];
                 let t0 = Instant::now();
-                let outcome = check_window_pair(nl, &local, constraint, a, b, eps, cfg);
+                let outcome = check_window_pair(nl, &local, constraint, a, b, eps, cfg, prefilter);
                 stats.sat_micros += t0.elapsed().as_micros();
                 stats.sat_checks += 1;
                 // Mirror the commit's gating: a rejected certificate
@@ -222,6 +243,7 @@ fn commit_signal(
     nl: &Netlist,
     constraint: Option<Sig>,
     cfg: &SbifConfig,
+    prefilter: Option<&SbifPrefilter>,
     idx: usize,
     classes: &mut EquivClasses,
     stats: &mut SbifStats,
@@ -235,12 +257,18 @@ fn commit_signal(
         flush_refinement(nl, signatures, epoch, pending_cex, stats);
     }
     let a = Sig(idx as u32);
+    if prefilter.is_some_and(|p| !p.is_live(a)) {
+        return 0;
+    }
     let ep = Arc::clone(epoch);
     let mut hits = 0;
     let mut tried: Vec<Sig> = Vec::new();
     for b in ep.candidates(a) {
         if tried.len() >= cfg.max_candidates {
             break;
+        }
+        if prefilter.is_some_and(|p| !p.is_live(b)) {
+            continue;
         }
         let (ra, _) = classes.rep(a);
         let (rb, _) = classes.rep(b);
@@ -253,19 +281,26 @@ fn commit_signal(
         let cached = spec.and_then(|m| m.get(&(a.0, b.0, eps))).filter(|att| {
             att.touched.iter().all(|&(s, r, p)| classes.rep(s) == (r, p))
         });
-        let (result, cex, cert, solver) = match cached {
+        let (result, cex, cert, solver, prefiltered) = match cached {
             Some(att) => {
                 hits += 1;
-                (att.result, att.cex.clone(), att.cert.clone(), att.solver)
+                (att.result, att.cex.clone(), att.cert.clone(), att.solver, att.prefiltered)
             }
             None => {
                 let t0 = Instant::now();
-                let o = check_window_pair(nl, classes, constraint, a, b, eps, cfg);
+                let o = check_window_pair(nl, classes, constraint, a, b, eps, cfg, prefilter);
                 stats.sat_micros += t0.elapsed().as_micros();
-                (o.result, o.cex, o.cert, o.solver)
+                (o.result, o.cex, o.cert, o.solver, o.prefiltered)
             }
         };
         stats.sat_checks += 1;
+        // Prefilter accounting, commit side only (jobs-invariant like
+        // every other logical statistic).
+        match prefiltered {
+            None => stats.windows_solved += 1,
+            Some(Prefiltered::Structural) => stats.prefilter_proven += 1,
+            Some(Prefiltered::Signature) => stats.prefilter_refuted += 1,
+        }
         // Solver effort is totalled here (commit side only), so the
         // aggregate is the sequential one for every `jobs` value.
         stats.solver.absorb(solver);
@@ -306,6 +341,7 @@ pub(super) fn run(
     constraint: Option<Sig>,
     mut signatures: Vec<Vec<u64>>,
     cfg: &SbifConfig,
+    prefilter: Option<&SbifPrefilter>,
 ) -> (EquivClasses, SbifStats) {
     let n = nl.num_signals();
     let jobs = cfg.jobs.max(1);
@@ -320,6 +356,7 @@ pub(super) fn run(
                 nl,
                 constraint,
                 cfg,
+                prefilter,
                 idx,
                 &mut classes,
                 &mut stats,
@@ -350,7 +387,7 @@ pub(super) fn run(
         for _ in 0..jobs {
             let rx = Arc::clone(&work_rx);
             let tx = res_tx.clone();
-            scope.spawn(move || worker(nl, constraint, cfg, &rx, &tx));
+            scope.spawn(move || worker(nl, constraint, cfg, prefilter, &rx, &tx));
         }
         drop(res_tx);
 
@@ -390,6 +427,7 @@ pub(super) fn run(
                         nl,
                         constraint,
                         cfg,
+                        prefilter,
                         idx,
                         &mut classes,
                         &mut stats,
@@ -415,6 +453,7 @@ pub(super) fn run(
                             nl,
                             constraint,
                             cfg,
+                            prefilter,
                             idx,
                             &mut classes,
                             &mut stats,

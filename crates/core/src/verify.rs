@@ -4,11 +4,12 @@
 use crate::error::VerifyError;
 use crate::rewrite::{BackwardRewriter, RewriteConfig, RewriteStats};
 use crate::sbif::{
-    certify_solver_unsat, forward_information, try_divider_sim_words, EquivClasses, SbifConfig,
-    SbifStats,
+    certify_solver_unsat, forward_information_with, try_divider_sim_words, EquivClasses,
+    SbifConfig, SbifPrefilter, SbifStats,
 };
 use crate::spec::divider_spec;
 use crate::vc2::{check_vc2, Vc2Config, Vc2Report};
+use sbif_analysis::{analyze, AnalysisConfig, AnalysisDb};
 use sbif_apint::Int;
 use sbif_check::CertStats;
 use sbif_netlist::build::Divider;
@@ -31,6 +32,13 @@ pub struct VerifierConfig {
     /// Skip SBIF entirely (plain backward rewriting — the failing
     /// baseline of Sect. III; expect blow-ups beyond tiny widths).
     pub use_sbif: bool,
+    /// Run the static-analysis passes (`sbif-analysis`) before SBIF and
+    /// let their facts prefilter the window checks: structurally-decided
+    /// pairs merge without a solver and shadow-signature mismatches
+    /// refute without one. Disable to force every candidate through a
+    /// window solver (the pre-framework behaviour; the resulting classes
+    /// are identical either way, only `sbif.windows_solved` moves).
+    pub analysis: bool,
     /// Run the cheap simulation smoke check before the symbolic flow
     /// (refutes grossly broken netlists immediately). Disable to force
     /// every refutation through backward rewriting.
@@ -53,6 +61,7 @@ impl Default for VerifierConfig {
             sim_words: 2,
             seed: 0xD1_71DE5,
             use_sbif: true,
+            analysis: true,
             smoke_check: true,
             check_vc2: true,
             certify: false,
@@ -268,11 +277,37 @@ impl<'a> DividerVerifier<'a> {
         let mut sbif_cfg = self.config.sbif;
         sbif_cfg.certify |= self.config.certify;
         let (classes, sbif_stats) = if self.config.use_sbif {
+            // Static analysis first: its facts (cone mask, shadow
+            // signatures, structural forms) prefilter the window checks.
+            let prefilter = if self.config.analysis {
+                let span = self.recorder.span("analysis");
+                let db = analyze(&div.netlist, &self.analysis_config()?, &self.recorder);
+                span.close();
+                // The cone mask stays out of the default flow: skipping
+                // dead signals changes which candidate slots the scan
+                // spends (generated dividers carry some dead gates that
+                // pre-framework runs merged), and the verifier promises
+                // classes identical to the prefilter-free run. Callers
+                // that want the mask opt in through
+                // [`forward_information_with`] + `AnalysisDb::sbif_live_mask`.
+                Some(SbifPrefilter {
+                    shadow: db.shadow,
+                    planes: db.shadow_planes,
+                    live: Vec::new(),
+                })
+            } else {
+                None
+            };
             let span = self.recorder.span("sbif");
             let sim = try_divider_sim_words(div, self.config.seed, self.config.sim_words)
                 .map_err(VerifyError::MalformedInterface)?;
-            let (c, s) =
-                forward_information(&div.netlist, Some(div.constraint), &sim, sbif_cfg);
+            let (c, s) = forward_information_with(
+                &div.netlist,
+                Some(div.constraint),
+                &sim,
+                sbif_cfg,
+                prefilter.as_ref(),
+            );
             span.close();
             (Some(c), s)
         } else {
@@ -316,6 +351,38 @@ impl<'a> DividerVerifier<'a> {
         Ok(report)
     }
 
+    /// The analysis configuration of this run: the divider's constraint
+    /// plus shadow stimulus planes from a seed disjoint from the
+    /// candidate-detection planes, so prefilter refutations rest on
+    /// independent evidence.
+    fn analysis_config(&self) -> Result<AnalysisConfig, VerifyError> {
+        let shadow = try_divider_sim_words(
+            self.divider,
+            self.config.seed ^ 0x511A_D0E5,
+            self.config.sim_words,
+        )
+        .map_err(VerifyError::MalformedInterface)?;
+        Ok(AnalysisConfig {
+            constraint: Some(self.divider.constraint),
+            shadow_planes: Some(shadow),
+            ..AnalysisConfig::default()
+        })
+    }
+
+    /// Runs the static-analysis pipeline this verifier's flow would use
+    /// and returns the fact database — `sbif-verify --analysis-out`
+    /// serializes it via [`AnalysisDb::to_json`]. Deterministic and
+    /// independent of [`verify`](Self::verify) (counters go to a
+    /// throwaway recorder, so a later verification is not perturbed).
+    ///
+    /// # Errors
+    ///
+    /// [`VerifyError::MalformedInterface`] when the divider's input
+    /// naming prevents constrained stimulus generation.
+    pub fn analysis_db(&self) -> Result<AnalysisDb, VerifyError> {
+        Ok(analyze(&self.divider.netlist, &self.analysis_config()?, &Recorder::new()))
+    }
+
     /// Records the deterministic vc1 metrics. Wall-clock numbers and the
     /// speculation accounting (`wasted_checks`, `sat_micros`) are
     /// intentionally absent — they vary with the machine and the worker
@@ -325,6 +392,9 @@ impl<'a> DividerVerifier<'a> {
         let s = &report.sbif;
         r.add("sbif.candidates", s.candidates as u64);
         r.add("sbif.sat_checks", s.sat_checks as u64);
+        r.add("sbif.windows_solved", s.windows_solved as u64);
+        r.add("analysis.prefilter_proven", s.prefilter_proven as u64);
+        r.add("analysis.prefilter_refuted", s.prefilter_refuted as u64);
         r.add("sbif.proven", s.proven as u64);
         r.add("sbif.refuted", s.refuted as u64);
         r.add("sbif.unknown", s.unknown as u64);

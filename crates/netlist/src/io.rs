@@ -95,7 +95,10 @@ fn err(line: usize, message: impl Into<String>) -> ParseBnetError {
 /// Parses BNET text into a netlist.
 ///
 /// Gates are reconstructed verbatim (no folding or structural hashing),
-/// so `read_bnet(&write_bnet(nl))` reproduces `nl` gate for gate.
+/// so `read_bnet(&write_bnet(nl))` reproduces `nl` gate for gate. The
+/// file's signal names are retained on every signal (not just inputs),
+/// so downstream diagnostics — lint findings, analysis dumps — can
+/// refer to signals by their source names.
 ///
 /// # Errors
 ///
@@ -175,6 +178,7 @@ pub fn read_bnet(text: &str) -> Result<Netlist, ParseBnetError> {
                 return Err(err(lineno, "trailing operands"));
             }
             let s = nl.push_gate(gate);
+            nl.set_name(s, name);
             by_name.insert(name.to_string(), s);
         }
     }
@@ -246,6 +250,9 @@ g = AND a b
         assert_eq!(nl.num_signals(), 3);
         assert_eq!(nl.eval_u64(&[("a", 1), ("b", 1)])["o"], 1);
         assert_eq!(nl.eval_u64(&[("a", 1), ("b", 0)])["o"], 0);
+        // Gate names from the file survive the parse.
+        let g = nl.output("o").expect("declared");
+        assert_eq!(nl.name(g), Some("g"));
     }
 
     #[test]

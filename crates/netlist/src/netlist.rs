@@ -394,6 +394,60 @@ impl Netlist {
             .collect()
     }
 
+    /// Rebuilds the transitive fanin cone of `roots` as a standalone
+    /// netlist, returning it together with the old→new signal map
+    /// (`None` for signals that were sliced away).
+    ///
+    /// The slice is **interface preserving**: every primary input is
+    /// kept in declaration order whether or not it feeds a root, so the
+    /// slice simulates on the same stimulus vectors as `self`; only
+    /// gates outside every root cone are dropped. Gates are copied
+    /// verbatim (no re-folding or re-hashing), names survive, and
+    /// primary outputs whose signal lies inside the cone are
+    /// re-declared.
+    pub fn slice(&self, roots: &[Sig]) -> (Netlist, Vec<Option<Sig>>) {
+        let mut live = vec![false; self.gates.len()];
+        for s in self.cone(roots) {
+            live[s.index()] = true;
+        }
+        let mut map: Vec<Option<Sig>> = vec![None; self.gates.len()];
+        let mut out = Netlist::new();
+        for s in self.signals() {
+            let g = &self.gates[s.index()];
+            if !live[s.index()] && !g.is_input() {
+                continue;
+            }
+            let ns = match *g {
+                Gate::Input => match self.name(s) {
+                    Some(name) => out.input(name),
+                    None => out.push_gate(Gate::Input),
+                },
+                Gate::Const(v) => out.push_gate(Gate::Const(v)),
+                Gate::Unary(op, a) => {
+                    let a = map[a.index()].expect("fanin precedes gate in topo order");
+                    out.push_gate(Gate::Unary(op, a))
+                }
+                Gate::Binary(op, a, b) => {
+                    let a = map[a.index()].expect("fanin precedes gate in topo order");
+                    let b = map[b.index()].expect("fanin precedes gate in topo order");
+                    out.push_gate(Gate::Binary(op, a, b))
+                }
+            };
+            if !g.is_input() {
+                if let Some(name) = self.name(s) {
+                    out.set_name(ns, name);
+                }
+            }
+            map[s.index()] = Some(ns);
+        }
+        for (name, s) in &self.outputs {
+            if let Some(ns) = map[s.index()] {
+                out.add_output(name, ns);
+            }
+        }
+        (out, map)
+    }
+
     /// Summary statistics.
     pub fn stats(&self) -> NetlistStats {
         let mut st = NetlistStats {
@@ -525,6 +579,34 @@ mod tests {
         let _unused = nl.or(b, c);
         let cone = nl.cone(&[ab]);
         assert_eq!(cone, vec![a, b, ab]);
+    }
+
+    #[test]
+    fn slice_keeps_interface_and_drops_dead_logic() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let c = nl.input("c");
+        let ab = nl.and(a, b);
+        let dead = nl.or(b, c);
+        let _deader = nl.not(dead);
+        nl.set_name(ab, "ab");
+        nl.add_output("o", ab);
+        let (sl, map) = nl.slice(&[ab]);
+        // Same input interface, dead gates gone, names and outputs kept.
+        assert_eq!(sl.inputs().len(), 3);
+        assert_eq!(sl.num_signals(), 4);
+        assert!(map[dead.index()].is_none());
+        let nab = map[ab.index()].expect("live");
+        assert_eq!(sl.name(nab), Some("ab"));
+        assert_eq!(sl.output("o"), Some(nab));
+        // Identical simulation on identical stimulus.
+        for bits in 0u64..8 {
+            let w = [bits & 1, (bits >> 1) & 1, (bits >> 2) & 1];
+            let full = nl.simulate64(&w);
+            let cut = sl.simulate64(&w);
+            assert_eq!(full[ab.index()] & 1, cut[nab.index()] & 1);
+        }
     }
 
     #[test]

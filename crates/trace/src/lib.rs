@@ -58,5 +58,5 @@ pub mod sink;
 
 pub use metrics::{MetricsFrame, MetricsReport};
 pub use ndjson::{check_stream, StreamSummary};
-pub use recorder::{Recorder, Span};
+pub use recorder::{Recorder, ScopedRecorder, Span};
 pub use sink::{Event, NdjsonSink, PrettySink, TraceSink};

@@ -115,6 +115,18 @@ impl Recorder {
         self.inner.lock().expect("recorder poisoned").open_spans
     }
 
+    /// A view of this recorder that prepends `prefix.` to every
+    /// counter, gauge and span name. Subsystems that own a metric
+    /// namespace (the static-analysis pass manager records everything
+    /// under `analysis.*`) take a scoped recorder instead of
+    /// re-spelling the prefix at each call site.
+    pub fn scoped(&self, prefix: &str) -> ScopedRecorder {
+        ScopedRecorder {
+            rec: self.clone(),
+            prefix: prefix.to_string(),
+        }
+    }
+
     /// Finalizes the session: emits every counter and gauge as an
     /// event (sorted by name — deterministic order), then the full
     /// report, flushes the sinks, and returns the report.
@@ -140,6 +152,45 @@ impl Recorder {
             s.flush();
         }
         report
+    }
+}
+
+/// A prefixing view of a [`Recorder`]; see [`Recorder::scoped`].
+///
+/// Every metric name passed to this handle is recorded under
+/// `<prefix>.<name>`. The view shares the underlying session, so the
+/// deterministic-payload guarantees are unchanged.
+#[derive(Clone)]
+pub struct ScopedRecorder {
+    rec: Recorder,
+    prefix: String,
+}
+
+impl std::fmt::Debug for ScopedRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScopedRecorder").field("prefix", &self.prefix).finish()
+    }
+}
+
+impl ScopedRecorder {
+    /// Adds `delta` to the counter `<prefix>.<name>`.
+    pub fn add(&self, name: &str, delta: u64) {
+        self.rec.add(&format!("{}.{name}", self.prefix), delta);
+    }
+
+    /// Raises the gauge `<prefix>.<name>` to at least `value`.
+    pub fn gauge_max(&self, name: &str, value: u64) {
+        self.rec.gauge_max(&format!("{}.{name}", self.prefix), value);
+    }
+
+    /// Opens the span `<prefix>.<name>`.
+    pub fn span(&self, name: &str) -> Span {
+        self.rec.span(&format!("{}.{name}", self.prefix))
+    }
+
+    /// The underlying unprefixed recorder.
+    pub fn recorder(&self) -> &Recorder {
+        &self.rec
     }
 }
 
@@ -220,6 +271,19 @@ mod tests {
             kinds,
             ["open", "open", "close", "close", "counter", "counter", "report"]
         );
+    }
+
+    #[test]
+    fn scoped_recorder_prefixes_every_name() {
+        let rec = Recorder::new();
+        let scoped = rec.scoped("analysis");
+        scoped.add("ternary_const", 3);
+        scoped.gauge_max("peak", 9);
+        scoped.span("ternary").close();
+        let report = rec.finish();
+        assert_eq!(report.counter("analysis.ternary_const"), 3);
+        assert_eq!(report.gauge("analysis.peak"), Some(9));
+        assert_eq!(report.counter("span.analysis.ternary"), 1);
     }
 
     #[test]

@@ -27,8 +27,17 @@ cargo test -q --offline
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets --offline -- -D warnings
 
-echo "==> sbif-lint over the shipped example netlists"
-./target/release/sbif-lint examples/netlists/*.bnet
+echo "==> static-analysis gate (property suite + sbif-lint --strict)"
+# The framework's own acceptance (DESIGN.md §14): ternary propagation
+# against exhaustive simulation, cone slicing against random stimulus
+# and the SBIF prefilter contract (strictly fewer windows, identical
+# classes) — then the framework-driven sbif-lint in --strict mode over
+# every shipped netlist. Generated dividers legitimately carry dead
+# cones and structural duplicates, so those two rules are allow-listed;
+# anything else (stuck-at, width gaps, …) fails the gate.
+cargo test -q --offline --test analysis
+./target/release/sbif-lint --strict --allow unreachable --allow duplicate-gate \
+    examples/netlists/*.bnet tests/corpus/*.bnet
 
 echo "==> sbif-fuzz --smoke mutation-kill gate (fixed seed, jobs-determinism)"
 # The smoke profile pins the seed and mutant population; the binary

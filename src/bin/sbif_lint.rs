@@ -1,41 +1,66 @@
 //! `sbif-lint` — static analysis of BNET netlists.
 //!
 //! ```text
-//! sbif-lint [--strict] <netlist.bnet>...
+//! sbif-lint [--strict] [--allow RULE]... <netlist.bnet>...
 //! ```
 //!
-//! Runs the structural rule catalog of [`sbif::check::lint`] over each
-//! file: combinational cycles, undriven/floating signals, unknown
-//! operators, fan-in arity mismatches, multiply-driven signals (errors);
-//! dead cones, duplicate gates, bus index gaps, missing outputs
-//! (warnings). `--strict` promotes warnings to failures.
+//! Two layers run over each file. The lenient text linter of
+//! [`sbif::check::lint`] catches what only a *malformed file* can
+//! express: combinational cycles, undriven/floating signals, unknown
+//! operators, fan-in arity mismatches, multiply-driven signals (all
+//! errors), plus bus index gaps and missing outputs (warnings). Files
+//! with errors stop there.
+//!
+//! Well-formed files are then parsed and handed to the
+//! [`sbif::analysis`] framework (DESIGN.md §14), whose passes supply the
+//! structural warnings: `unreachable` (cone slicing), `stuck-at`
+//! (ternary constant propagation) and `duplicate-gate` (canonical
+//! structural hashing — transitive, so `AND(a,b)` vs `¬NAND(b,a)` vs
+//! gates over already-merged duplicates all count, unlike the old
+//! exact-shape check).
+//!
+//! `--strict` promotes warnings to failures; `--allow RULE` (repeatable)
+//! suppresses a warning rule by its kebab-case name, e.g.
+//! `--allow stuck-at`. Errors cannot be allowed.
 //!
 //! Exit code 0 = all files pass, 1 = findings failed a file,
 //! 2 = usage or I/O error.
 
-use sbif::check::lint_bnet;
+use sbif::analysis::{analyze, findings, AnalysisConfig};
+use sbif::check::{lint_bnet, LintLevel};
+use sbif::netlist::io::read_bnet;
+use sbif::trace::Recorder;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: sbif-lint [--strict] <netlist.bnet>...");
+    eprintln!("usage: sbif-lint [--strict] [--allow RULE]... <netlist.bnet>...");
     ExitCode::from(2)
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut strict = false;
+    let mut allow: Vec<String> = Vec::new();
     let mut files: Vec<&str> = Vec::new();
-    for a in &args {
-        match a.as_str() {
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
             "--strict" => strict = true,
+            "--allow" => {
+                let Some(rule) = args.get(i + 1) else { return usage() };
+                allow.push(rule.clone());
+                i += 1;
+            }
             "-h" | "--help" => return usage(),
             f if !f.starts_with('-') => files.push(f),
             _ => return usage(),
         }
+        i += 1;
     }
     if files.is_empty() {
         return usage();
     }
+    let allowed = |rule: &str| allow.iter().any(|a| a == rule);
     let mut failed = false;
     for path in files {
         let text = match std::fs::read_to_string(path) {
@@ -46,20 +71,38 @@ fn main() -> ExitCode {
             }
         };
         let report = lint_bnet(&text);
+        let errors = report.num_errors();
+        let mut warnings = 0usize;
+        // The framework replaces the text linter's unreachable/duplicate
+        // warnings on parseable files; text errors and the remaining
+        // file-level warnings (width-gap, no-outputs) always print.
+        let framework = if errors == 0 { read_bnet(&text).ok() } else { None };
         for issue in &report.issues {
+            if issue.rule.level() == LintLevel::Warning {
+                if allowed(issue.rule.name())
+                    || (framework.is_some()
+                        && matches!(issue.rule.name(), "unreachable" | "duplicate-gate"))
+                {
+                    continue;
+                }
+                warnings += 1;
+            }
             println!("{path}: {issue}");
         }
-        if report.passes(strict) {
-            println!(
-                "{path}: ok ({} warning(s))",
-                report.num_warnings()
-            );
+        if let Some(nl) = &framework {
+            let db = analyze(nl, &AnalysisConfig::default(), &Recorder::new());
+            for f in findings(nl, &db) {
+                if allowed(f.rule) {
+                    continue;
+                }
+                warnings += 1;
+                println!("{path}: warning[{}]: {}", f.rule, f.message);
+            }
+        }
+        if errors == 0 && (!strict || warnings == 0) {
+            println!("{path}: ok ({warnings} warning(s))");
         } else {
-            println!(
-                "{path}: FAILED ({} error(s), {} warning(s))",
-                report.num_errors(),
-                report.num_warnings()
-            );
+            println!("{path}: FAILED ({errors} error(s), {warnings} warning(s))");
             failed = true;
         }
     }

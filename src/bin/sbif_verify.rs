@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! sbif-verify <netlist.bnet> [--vc1-only] [--no-sbif] [--certify] [--max-terms N] [--jobs N]
-//!             [--trace pretty|json] [--trace-out FILE] [--metrics-out FILE]
+//!             [--trace pretty|json] [--trace-out FILE] [--metrics-out FILE] [--analysis-out FILE]
 //! sbif-verify --demo <n>          # generate and verify an n-bit divider
 //! sbif-verify --emit <n> <file>   # write an n-bit divider as BNET
 //! ```
@@ -19,6 +19,9 @@
 //! (`--trace-out FILE` redirects either to a file). `--metrics-out FILE`
 //! writes the deterministic metrics report — byte-identical for any
 //! `--jobs` value — as canonical JSON (see DESIGN.md §12).
+//! `--analysis-out FILE` dumps the static-analysis database (ternary
+//! facts, structural-hash classes, cone mask, shadow signatures; see
+//! DESIGN.md §14) as canonical JSON.
 //!
 //! The netlist must expose the Definition-1 interface: input buses
 //! `r0[0..2n−3]` and `d[0..n−2]` (the sign bits are constant 0 per the
@@ -39,6 +42,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: sbif-verify <netlist.bnet> [--vc1-only] [--no-sbif] [--certify] [--max-terms N] [--jobs N]\n\
          \x20                [--trace pretty|json] [--trace-out FILE] [--metrics-out FILE]\n\
+         \x20                [--analysis-out FILE]\n\
          \x20      sbif-verify --demo <n>\n\
          \x20      sbif-verify --emit <n> <file>"
     );
@@ -85,6 +89,7 @@ fn main() -> ExitCode {
     let mut trace_mode: Option<TraceMode> = None;
     let mut trace_out: Option<String> = None;
     let mut metrics_out: Option<String> = None;
+    let mut analysis_out: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -139,6 +144,11 @@ fn main() -> ExitCode {
             "--metrics-out" => {
                 let Some(path) = args.get(i + 1) else { return usage() };
                 metrics_out = Some(path.clone());
+                i += 2;
+            }
+            "--analysis-out" => {
+                let Some(path) = args.get(i + 1) else { return usage() };
+                analysis_out = Some(path.clone());
                 i += 2;
             }
             "--max-terms" => {
@@ -221,11 +231,9 @@ fn main() -> ExitCode {
         divider.n,
         divider.netlist.num_signals()
     );
-    let report = match DividerVerifier::new(&divider)
-        .with_config(config)
-        .with_recorder(recorder.clone())
-        .verify()
-    {
+    let verifier =
+        DividerVerifier::new(&divider).with_config(config).with_recorder(recorder.clone());
+    let report = match verifier.verify() {
         Ok(r) => r,
         Err(e) => {
             eprintln!("aborted: {e}");
@@ -238,6 +246,20 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
         println!("metrics report written to {path}");
+    }
+    if let Some(path) = &analysis_out {
+        let db = match verifier.analysis_db() {
+            Ok(db) => db,
+            Err(e) => {
+                eprintln!("cannot analyze: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        if let Err(e) = std::fs::write(path, db.to_json(&divider.netlist)) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+        println!("analysis database written to {path}");
     }
     match &report.vc1.outcome {
         Vc1Outcome::Proven => println!(

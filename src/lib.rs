@@ -6,6 +6,9 @@
 //!
 //! See the individual crates for the subsystems:
 //!
+//! * [`analysis`] — the deterministic static-analysis framework
+//!   (ternary propagation, structural hashing, cone slicing, shadow
+//!   signatures) that prefilters SBIF's SAT work, see DESIGN.md §14,
 //! * [`apint`] — arbitrary-precision signed integers,
 //! * [`poly`] — pseudo-Boolean polynomials,
 //! * [`netlist`] — gate-level circuits and divider generators,
@@ -35,6 +38,7 @@
 //! # }
 //! ```
 
+pub use sbif_analysis as analysis;
 pub use sbif_apint as apint;
 pub use sbif_bdd as bdd;
 pub use sbif_cec as cec;
