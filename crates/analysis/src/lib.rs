@@ -46,6 +46,7 @@
 //! assert_eq!(db.core.len(), nl.num_signals());
 //! ```
 
+pub mod cachekey;
 pub mod canon;
 pub mod db;
 pub mod lint;
@@ -54,6 +55,7 @@ pub mod signature;
 pub mod strash;
 pub mod ternary;
 
+pub use cachekey::{design_digest, ConeDigest, DesignDigest};
 pub use canon::{canon_of, relate, CanonForm};
 pub use db::AnalysisDb;
 pub use lint::{findings, Finding};

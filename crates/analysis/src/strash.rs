@@ -90,8 +90,10 @@ pub fn digests(nl: &Netlist) -> StrashResult {
     StrashResult { core, phase, classes }
 }
 
-/// SplitMix64-style combine of two words.
-fn mix2(a: u64, b: u64) -> u64 {
+/// SplitMix64-style combine of two words. Shared with the cache-key
+/// derivation in [`crate::cachekey`], which must agree with the digest
+/// mixing bit for bit.
+pub(crate) fn mix2(a: u64, b: u64) -> u64 {
     let mut z = a ^ b.rotate_left(31) ^ 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(b | 1);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);

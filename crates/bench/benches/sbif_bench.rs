@@ -3,7 +3,12 @@
 //! Besides the timing lines, a run writes `BENCH_sbif.json` to the
 //! working directory (`SBIF_BENCH_SBIF_JSON` overrides the path):
 //! deterministic Alg. 1 counters (candidates, SAT checks, proven
-//! equivalences, solver conflicts/propagations) for the benched widths.
+//! equivalences, solver conflicts/propagations) for the benched widths,
+//! plus `cache.*` counters pinning the content-addressed cache keys —
+//! the canonical design digest and per-cone digest count of each width,
+//! and the warm-lookup cone accounting (DESIGN.md §15). A drift in a
+//! digest means structurally identical designs stopped sharing cache
+//! entries, which is a silent regression timings never show.
 //! Its `"det"` object is machine-independent and is diffed against a
 //! checked-in baseline by `scripts/bench_check.sh`.
 
@@ -61,6 +66,32 @@ fn write_det_artifact() {
             key("propagations"),
             Value::Int(stats.solver.propagations as i64),
         );
+    }
+    // The cache-key contract: canonical digests are deterministic
+    // across machines and runs, so they can be pinned like any other
+    // logical counter. The 128-bit key lands as two i64 halves (the
+    // canonical JSON integer space).
+    for n in [8usize, 16] {
+        let div = nonrestoring_divider(n);
+        let dd = sbif_analysis::design_digest(
+            &div.netlist,
+            Some(div.constraint),
+            "sbif-bench-cache-v1",
+        );
+        let key = |metric: &str| format!("cache.n{n}.{metric}");
+        det.insert(key("key_hi"), Value::Int((dd.key >> 64) as u64 as i64));
+        det.insert(key("key_lo"), Value::Int(dd.key as u64 as i64));
+        det.insert(key("cones"), Value::Int(dd.cones.len() as i64));
+
+        let cache = sbif_cache::ResultCache::in_memory();
+        let cones: Vec<(u64, bool)> = dd.cones.iter().map(|c| (c.core, c.phase)).collect();
+        cache
+            .store(dd.key, &cones, &sbif_cache::Entry::new("correct", ""))
+            .expect("in-memory store");
+        let warm = cache.lookup(dd.key, &cones);
+        assert!(warm.entry.is_some());
+        det.insert(key("warm_cone_hits"), Value::Int(warm.cone_hits as i64));
+        det.insert(key("warm_cone_misses"), Value::Int(warm.cone_misses as i64));
     }
     let json = bench_json("sbif-bench-sbif-v1", det, []);
     let path = std::env::var("SBIF_BENCH_SBIF_JSON")

@@ -1,0 +1,311 @@
+//! Content-addressed verification result cache (ROADMAP item 3).
+//!
+//! A verdict is a pure function of the design key derived by
+//! `sbif-analysis::cachekey` — the canonical digests of the output
+//! cones, the named interface, the side condition C, and the flow
+//! configuration fingerprint. This crate stores `(verdict, payload)`
+//! entries under such 128-bit keys, with two backings behind one API:
+//!
+//! * **in-memory** — a process-local map, shared across the jobs of a
+//!   `sbif-serve` daemon or the mutants of a fuzz campaign;
+//! * **on-disk** (`--cache-dir`) — one file per entry, written
+//!   atomically (temp + rename) so concurrent writers and crashed runs
+//!   can never corrupt a hit; a corrupt or truncated entry simply
+//!   degrades to a miss.
+//!
+//! Alongside whole-design entries the cache tracks which per-cone
+//! digests have ever been judged. [`ResultCache::lookup`] reports,
+//! cone by cone, which of the probe's cones are already known
+//! ([`Lookup::cone_hits`] / [`Lookup::cone_misses`]): re-verifying a
+//! design with one mutated gate misses the design key but shows
+//! exactly the dirty cones as cold, which is what the differential
+//! tests assert and what incremental re-proof builds on.
+//!
+//! The crate has **zero dependencies** (std only) and does no hashing
+//! of its own — keys and cone digests are opaque values supplied by
+//! the caller, so there is no dependency cycle with the analysis
+//! layer.
+//!
+//! # Examples
+//!
+//! ```
+//! use sbif_cache::{Entry, ResultCache};
+//!
+//! let cache = ResultCache::in_memory();
+//! let cones = [(0xfeed_u64, false), (0xbeef_u64, true)];
+//! assert!(cache.lookup(42, &cones).entry.is_none());
+//! cache.store(42, &cones, &Entry::new("correct", "{}")).unwrap();
+//! let hit = cache.lookup(42, &cones);
+//! assert_eq!(hit.entry.unwrap().verdict, "correct");
+//! assert_eq!(hit.cone_hits, 2);
+//! ```
+
+use std::collections::{HashMap, HashSet};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// A stored verification result: the verdict plus an opaque payload
+/// (by convention the canonical sbif-metrics-v1 JSON of the run that
+/// produced it, replayed verbatim on a hit).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    /// Short verdict token, e.g. `correct` / `not-correct`. Must not
+    /// contain newlines.
+    pub verdict: String,
+    /// Arbitrary payload text (metrics stub, kill-matrix row, …).
+    pub payload: String,
+}
+
+impl Entry {
+    /// Convenience constructor.
+    pub fn new(verdict: impl Into<String>, payload: impl Into<String>) -> Entry {
+        Entry { verdict: verdict.into(), payload: payload.into() }
+    }
+}
+
+/// The outcome of a [`ResultCache::lookup`].
+#[derive(Debug, Clone, Default)]
+pub struct Lookup {
+    /// The stored entry, if the full design key is known.
+    pub entry: Option<Entry>,
+    /// How many of the probe's cone digests were already judged.
+    pub cone_hits: usize,
+    /// How many were never seen — the *dirty* cones of an edit.
+    pub cone_misses: usize,
+}
+
+/// A content-addressed result store; see the crate docs.
+///
+/// All methods take `&self`; the cache is `Sync` and meant to be
+/// shared (`Arc<ResultCache>`) across worker threads.
+#[derive(Debug)]
+pub struct ResultCache {
+    dir: Option<PathBuf>,
+    entries: Mutex<HashMap<u128, Entry>>,
+    cones: Mutex<HashSet<(u64, bool)>>,
+}
+
+const MAGIC: &str = "sbif-cache-v1";
+
+impl ResultCache {
+    /// A purely process-local cache.
+    pub fn in_memory() -> ResultCache {
+        ResultCache { dir: None, entries: Mutex::new(HashMap::new()), cones: Mutex::new(HashSet::new()) }
+    }
+
+    /// A cache persisted under `dir` (created if absent). Entries live
+    /// in `dir/entries/`, cone markers in `dir/cones/`. The in-memory
+    /// layer fronts the disk, so repeated lookups don't re-read files.
+    pub fn on_disk(dir: impl AsRef<Path>) -> io::Result<ResultCache> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(dir.join("entries"))?;
+        std::fs::create_dir_all(dir.join("cones"))?;
+        Ok(ResultCache {
+            dir: Some(dir),
+            entries: Mutex::new(HashMap::new()),
+            cones: Mutex::new(HashSet::new()),
+        })
+    }
+
+    /// Whether this cache persists to disk.
+    pub fn is_persistent(&self) -> bool {
+        self.dir.is_some()
+    }
+
+    fn entry_path(dir: &Path, key: u128) -> PathBuf {
+        dir.join("entries").join(format!("{key:032x}.entry"))
+    }
+
+    fn cone_path(dir: &Path, cone: (u64, bool)) -> PathBuf {
+        dir.join("cones").join(format!("{:016x}.{}", cone.0, cone.1 as u8))
+    }
+
+    /// Looks up a design key and accounts the probe's cones.
+    pub fn lookup(&self, key: u128, cones: &[(u64, bool)]) -> Lookup {
+        let mut entry = self.entries.lock().unwrap().get(&key).cloned();
+        if entry.is_none() {
+            if let Some(dir) = &self.dir {
+                if let Some(e) = read_entry(&Self::entry_path(dir, key)) {
+                    self.entries.lock().unwrap().insert(key, e.clone());
+                    entry = Some(e);
+                }
+            }
+        }
+        let (mut cone_hits, mut cone_misses) = (0, 0);
+        {
+            let known = self.cones.lock().unwrap();
+            for &c in cones {
+                let hit = known.contains(&c)
+                    || self
+                        .dir
+                        .as_ref()
+                        .is_some_and(|dir| Self::cone_path(dir, c).exists());
+                if hit {
+                    cone_hits += 1;
+                } else {
+                    cone_misses += 1;
+                }
+            }
+        }
+        Lookup { entry, cone_hits, cone_misses }
+    }
+
+    /// Stores an entry and marks every cone as judged. Disk writes are
+    /// atomic (unique temp file + rename), so a concurrent reader sees
+    /// either the old state or the complete new entry, never a torn
+    /// one.
+    pub fn store(&self, key: u128, cones: &[(u64, bool)], entry: &Entry) -> io::Result<()> {
+        debug_assert!(!entry.verdict.contains('\n'), "verdicts are single-line");
+        self.entries.lock().unwrap().insert(key, entry.clone());
+        {
+            let mut known = self.cones.lock().unwrap();
+            for &c in cones {
+                known.insert(c);
+            }
+        }
+        if let Some(dir) = &self.dir {
+            let path = Self::entry_path(dir, key);
+            let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+            std::fs::write(&tmp, format_entry(entry))?;
+            std::fs::rename(&tmp, &path)?;
+            for &c in cones {
+                // Marker files carry no content; existence is the fact.
+                let p = Self::cone_path(dir, c);
+                if !p.exists() {
+                    let _ = std::fs::write(p, b"");
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of entries reachable without touching the disk (loaded +
+    /// freshly stored). Diagnostic only.
+    pub fn loaded_entries(&self) -> usize {
+        self.entries.lock().unwrap().len()
+    }
+}
+
+fn format_entry(entry: &Entry) -> String {
+    format!(
+        "{MAGIC}\nverdict {}\npayload-len {}\n{}",
+        entry.verdict,
+        entry.payload.len(),
+        entry.payload
+    )
+}
+
+/// Parses an entry file; any deviation from the format reads as `None`
+/// (a miss), never an error — a cache must degrade, not abort.
+fn read_entry(path: &Path) -> Option<Entry> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let rest = text.strip_prefix(MAGIC)?.strip_prefix('\n')?;
+    let (vline, rest) = rest.split_once('\n')?;
+    let verdict = vline.strip_prefix("verdict ")?;
+    let (lline, payload) = rest.split_once('\n')?;
+    let len: usize = lline.strip_prefix("payload-len ")?.parse().ok()?;
+    if payload.len() != len {
+        return None; // truncated or padded — treat as corrupt
+    }
+    Some(Entry::new(verdict, payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("sbif_cache_{}_{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn memory_roundtrip_and_cone_accounting() {
+        let cache = ResultCache::in_memory();
+        let cones = [(1u64, false), (2u64, true), (3u64, false)];
+        let miss = cache.lookup(7, &cones);
+        assert!(miss.entry.is_none());
+        assert_eq!((miss.cone_hits, miss.cone_misses), (0, 3));
+
+        cache.store(7, &cones, &Entry::new("correct", "{\"m\":1}")).unwrap();
+        let hit = cache.lookup(7, &cones);
+        assert_eq!(hit.entry.unwrap(), Entry::new("correct", "{\"m\":1}"));
+        assert_eq!((hit.cone_hits, hit.cone_misses), (3, 0));
+
+        // A mutated design: new key, one dirty cone.
+        let mutated = [(1u64, false), (2u64, true), (99u64, false)];
+        let part = cache.lookup(8, &mutated);
+        assert!(part.entry.is_none());
+        assert_eq!((part.cone_hits, part.cone_misses), (2, 1));
+    }
+
+    #[test]
+    fn disk_roundtrip_across_instances() {
+        let dir = tmpdir("disk");
+        let cones = [(0xabcdu64, true)];
+        {
+            let cache = ResultCache::on_disk(&dir).unwrap();
+            cache.store(42, &cones, &Entry::new("not-correct", "payload\nwith\nnewlines")).unwrap();
+        }
+        // A fresh instance (fresh process, in spirit) sees the entry.
+        let cache = ResultCache::on_disk(&dir).unwrap();
+        assert!(cache.is_persistent());
+        let hit = cache.lookup(42, &cones);
+        assert_eq!(hit.entry.unwrap(), Entry::new("not-correct", "payload\nwith\nnewlines"));
+        assert_eq!((hit.cone_hits, hit.cone_misses), (1, 0));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_entries_degrade_to_misses() {
+        let dir = tmpdir("corrupt");
+        let cache = ResultCache::on_disk(&dir).unwrap();
+        cache.store(1, &[], &Entry::new("correct", "abc")).unwrap();
+        drop(cache);
+
+        let path = dir.join("entries").join(format!("{:032x}.entry", 1u128));
+        for bad in ["", "garbage", "sbif-cache-v1\nverdict x\npayload-len 999\nabc"] {
+            std::fs::write(&path, bad).unwrap();
+            let fresh = ResultCache::on_disk(&dir).unwrap();
+            assert!(fresh.lookup(1, &[]).entry.is_none(), "{bad:?}");
+        }
+        // And an intact file still reads back.
+        std::fs::write(&path, format_entry(&Entry::new("correct", "abc"))).unwrap();
+        let fresh = ResultCache::on_disk(&dir).unwrap();
+        assert_eq!(fresh.lookup(1, &[]).entry.unwrap().verdict, "correct");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_payload_roundtrips() {
+        let dir = tmpdir("empty");
+        let cache = ResultCache::on_disk(&dir).unwrap();
+        cache.store(5, &[], &Entry::new("correct", "")).unwrap();
+        let fresh = ResultCache::on_disk(&dir).unwrap();
+        assert_eq!(fresh.lookup(5, &[]).entry.unwrap().payload, "");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let cache = std::sync::Arc::new(ResultCache::in_memory());
+        let handles: Vec<_> = (0..4u64)
+            .map(|t| {
+                let cache = cache.clone();
+                std::thread::spawn(move || {
+                    for i in 0..50 {
+                        let key = (t * 50 + i) as u128;
+                        cache.store(key, &[(key as u64, false)], &Entry::new("correct", "p")).unwrap();
+                        assert!(cache.lookup(key, &[(key as u64, false)]).entry.is_some());
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(cache.loaded_entries(), 200);
+    }
+}

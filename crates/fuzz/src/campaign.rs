@@ -35,15 +35,37 @@
 //!
 //! Escapes and crashes are handed to the [`crate::shrink`] module and
 //! returned with minimized witnesses attached.
+//!
+//! # Deduplication and the outcome cache
+//!
+//! Distinct mutations frequently produce *structurally identical*
+//! circuits (a stuck-at on either input of the same AND, say). Before
+//! anything runs, a serial pre-pass computes each mutant's canonical
+//! design digest ([`sbif_analysis::design_digest`]) and plans the
+//! campaign: the first task with a given digest is the
+//! **representative** and really executes; later digest-equal tasks
+//! copy its outcome during in-order aggregation
+//! ([`CampaignReport::deduped`]). With a [`ResultCache`] attached
+//! (`--cache-dir`) the pre-pass additionally resolves tasks whose
+//! outcome a previous campaign already judged — the key binds the seed
+//! digest, the mutant digest, the cell mode and the campaign
+//! fingerprint (classifier budgets, term limit, certification, sim
+//! seed), so a hit is sound. Both mechanisms are deterministic and
+//! outcome-preserving: the kill matrix stays byte-identical to a cold,
+//! dedupe-free run at every `--jobs` value; only the amount of SAT and
+//! rewriting work moves, which the `cache.*` counters account.
 
 use crate::classify::{classify, MutantClass};
 use crate::mutate::{apply, pick, FaultModel, Mutation};
 use crate::shrink::{shrink_escape, ShrunkWitness};
 use crate::Arch;
+use sbif_analysis::design_digest;
+use sbif_cache::{Entry, ResultCache};
 use sbif_core::sbif::divider_sim_words;
 use sbif_core::verify::{DividerVerifier, VerifierConfig};
 use sbif_netlist::build::Divider;
 use sbif_rng::XorShift64;
+use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
@@ -247,6 +269,17 @@ pub struct CampaignReport {
     pub cells: Vec<CellStats>,
     /// Escapes and crashes, in task order.
     pub escapes: Vec<EscapeRecord>,
+    /// Tasks whose mutant was digest-equal to an earlier one and copied
+    /// its outcome instead of re-running classifier + pipeline.
+    pub deduped: usize,
+    /// Seed checks and representative tasks resolved from the attached
+    /// [`ResultCache`] (always 0 without one).
+    pub cache_hits: usize,
+    /// Seed checks and representative tasks the cache did not know
+    /// (always 0 without one).
+    pub cache_misses: usize,
+    /// Outcomes newly written to the cache.
+    pub cache_stores: usize,
 }
 
 struct CellSetup {
@@ -293,12 +326,29 @@ pub fn default_pipeline(
     certify: bool,
     max_terms: Option<usize>,
 ) -> impl Fn(&Divider) -> PipelineVerdict + Sync {
+    default_pipeline_recorded(certify, max_terms, sbif_trace::Recorder::new())
+}
+
+/// [`default_pipeline`], with every verifier run recording into the
+/// shared `recorder`. Counters and gauges are merge-commutative, so the
+/// accumulated `sbif.*`/`rewrite.*`/`vc2.*` totals measure the
+/// campaign's *actual* symbolic work — deterministically for any
+/// `--jobs` value, and visibly lower on a warm cache.
+pub fn default_pipeline_recorded(
+    certify: bool,
+    max_terms: Option<usize>,
+    recorder: sbif_trace::Recorder,
+) -> impl Fn(&Divider) -> PipelineVerdict + Sync {
     move |div| {
         let mut cfg = VerifierConfig { certify, ..VerifierConfig::default() };
         if let Some(mt) = max_terms {
             cfg.rewrite.max_terms = Some(mt);
         }
-        match DividerVerifier::new(div).with_config(cfg).verify() {
+        match DividerVerifier::new(div)
+            .with_config(cfg)
+            .with_recorder(recorder.clone())
+            .verify()
+        {
             Ok(report) => {
                 let certified = !certify || report.certificates().all_accepted();
                 if report.is_correct() && certified {
@@ -317,11 +367,103 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
     run_campaign_with(cfg, &default_pipeline(cfg.certify, cfg.max_terms))
 }
 
+/// The part of the configuration an outcome depends on. Anything that
+/// can change a verdict — classifier budgets, the sim plane seed, the
+/// verifier's term limit and certification mode — must be bound into
+/// the cache key; campaign-shape knobs (`jobs`, `per_model`, `shrink`,
+/// which cells run) must NOT be, so different campaigns can share
+/// judged mutants.
+fn campaign_fingerprint(cfg: &CampaignConfig) -> String {
+    format!(
+        "sbif-fuzz-outcome-v1 seed={:#x} sim_words={} classify_conflicts={} \
+         max_terms={:?} certify={}",
+        cfg.seed, cfg.sim_words, cfg.classify_conflicts, cfg.max_terms, cfg.certify
+    )
+}
+
+/// Binds a (seed digest, mutant digest, cell mode) triple into one
+/// cache key. The fingerprint is already folded into both digests.
+fn outcome_key(seed: u128, mutant: u128, kill_only: bool) -> u128 {
+    let parts = [
+        seed as u64,
+        (seed >> 64) as u64,
+        mutant as u64,
+        (mutant >> 64) as u64,
+        kill_only as u64,
+    ];
+    let lo = mix(0x5b1f_f022_0c1e_a55e, &parts);
+    let hi = mix(lo ^ 0x94D0_49BB_1331_11EB, &parts);
+    ((hi as u128) << 64) | lo as u128
+}
+
+/// Sentinel "mutant" digest for the unmutated-seed verification entry.
+const SEED_PROBE: u128 = 0x5eed_5eed_5eed_5eed_5eed_5eed_5eed_5eed;
+
+fn encode_outcome(o: &MutantOutcome) -> Entry {
+    let (verdict, payload) = match o {
+        MutantOutcome::Killed => ("killed", ""),
+        MutantOutcome::KilledByAbort(e) => ("killed-by-abort", e.as_str()),
+        MutantOutcome::Escaped => ("escaped", ""),
+        MutantOutcome::BenignAccepted => ("benign-accepted", ""),
+        MutantOutcome::FalseAlarm(e) => ("false-alarm", e.as_str()),
+        MutantOutcome::UnderCAccepted => ("under-c-accepted", ""),
+        MutantOutcome::UnderCRejected(e) => ("under-c-rejected", e.as_str()),
+        MutantOutcome::BenignSkipped { under_c: false } => ("benign-skipped", ""),
+        MutantOutcome::BenignSkipped { under_c: true } => ("benign-skipped-under-c", ""),
+        MutantOutcome::Unclassified => ("unclassified", ""),
+        MutantOutcome::Crashed(e) => ("crashed", e.as_str()),
+    };
+    Entry::new(verdict, payload)
+}
+
+/// Inverse of [`encode_outcome`]; an unknown verdict token (a future
+/// format, a corrupted entry) degrades to `None` — a miss.
+fn decode_outcome(e: &Entry) -> Option<MutantOutcome> {
+    Some(match e.verdict.as_str() {
+        "killed" => MutantOutcome::Killed,
+        "killed-by-abort" => MutantOutcome::KilledByAbort(e.payload.clone()),
+        "escaped" => MutantOutcome::Escaped,
+        "benign-accepted" => MutantOutcome::BenignAccepted,
+        "false-alarm" => MutantOutcome::FalseAlarm(e.payload.clone()),
+        "under-c-accepted" => MutantOutcome::UnderCAccepted,
+        "under-c-rejected" => MutantOutcome::UnderCRejected(e.payload.clone()),
+        "benign-skipped" => MutantOutcome::BenignSkipped { under_c: false },
+        "benign-skipped-under-c" => MutantOutcome::BenignSkipped { under_c: true },
+        "unclassified" => MutantOutcome::Unclassified,
+        "crashed" => MutantOutcome::Crashed(e.payload.clone()),
+        _ => return None,
+    })
+}
+
+/// How the pre-pass decided to obtain one task's outcome.
+enum Plan {
+    /// Execute classifier + pipeline; store under the key afterwards
+    /// (`None` when no cache is attached or the digest pre-pass
+    /// panicked).
+    Run(Option<(u128, Vec<(u64, bool)>)>),
+    /// Digest-equal to the earlier task at this index: copy its
+    /// outcome.
+    Dup(usize),
+    /// Already judged by a previous campaign — the cached outcome.
+    Hit(MutantOutcome),
+}
+
 /// Runs the campaign against an arbitrary pipeline oracle — the
 /// determinism and shrinker tests inject synthetic ones.
 pub fn run_campaign_with(
     cfg: &CampaignConfig,
     pipeline: &(dyn Fn(&Divider) -> PipelineVerdict + Sync),
+) -> CampaignReport {
+    run_campaign_with_cache(cfg, pipeline, None)
+}
+
+/// [`run_campaign_with`], resolving already-judged seeds and mutants
+/// from `cache` (and storing fresh outcomes into it). See the module
+/// docs for the key derivation and the soundness argument.
+pub fn run_campaign_with_cache(
+    cfg: &CampaignConfig,
+    pipeline: &(dyn Fn(&Divider) -> PipelineVerdict + Sync),
+    cache: Option<&ResultCache>,
 ) -> CampaignReport {
     // --- deterministic task generation -------------------------------
     let mut setups: Vec<CellSetup> = Vec::new();
@@ -374,26 +516,104 @@ pub fn run_campaign_with(
         }
     }
 
-    // --- unmutated seeds must still verify (full cells only) ---------
-    let seeds: Vec<SeedResult> = setups
+    // --- canonical digests for dedupe + cache keys -------------------
+    let fingerprint = campaign_fingerprint(cfg);
+    let seed_digests: Vec<_> = setups
         .iter()
-        .map(|s| {
-            let t0 = Instant::now();
-            let correct = if s.kill_only {
-                None
-            } else {
-                // A panic on the *unmutated* seed is itself a finding;
-                // count it as a failed seed instead of tearing the
-                // campaign down.
-                Some(
-                    catch_unwind(AssertUnwindSafe(|| pipeline(&s.div)))
-                        .map(|v| v == PipelineVerdict::Correct)
-                        .unwrap_or(false),
-                )
-            };
-            SeedResult { arch: s.arch, n: s.n, correct, wall: t0.elapsed() }
-        })
+        .map(|s| design_digest(&s.div.netlist, Some(s.div.constraint), &fingerprint))
         .collect();
+    let mut deduped = 0usize;
+    let mut cache_hits = 0usize;
+    let mut cache_misses = 0usize;
+    let mut cache_stores = 0usize;
+
+    // --- unmutated seeds must still verify (full cells only) ---------
+    let mut seeds: Vec<SeedResult> = Vec::with_capacity(setups.len());
+    for (si, s) in setups.iter().enumerate() {
+        let t0 = Instant::now();
+        let correct = if s.kill_only {
+            None
+        } else {
+            let key = outcome_key(seed_digests[si].key, SEED_PROBE, s.kill_only);
+            let cached = cache.and_then(|c| c.lookup(key, &[]).entry);
+            let v = match cached {
+                Some(e) => {
+                    cache_hits += 1;
+                    e.verdict == "correct"
+                }
+                None => {
+                    if cache.is_some() {
+                        cache_misses += 1;
+                    }
+                    // A panic on the *unmutated* seed is itself a
+                    // finding; count it as a failed seed instead of
+                    // tearing the campaign down.
+                    let v = catch_unwind(AssertUnwindSafe(|| pipeline(&s.div)))
+                        .map(|v| v == PipelineVerdict::Correct)
+                        .unwrap_or(false);
+                    if let Some(c) = cache {
+                        let cones: Vec<(u64, bool)> = seed_digests[si]
+                            .cones
+                            .iter()
+                            .map(|c| (c.core, c.phase))
+                            .collect();
+                        let entry =
+                            Entry::new(if v { "correct" } else { "not-correct" }, "");
+                        if c.store(key, &cones, &entry).is_ok() {
+                            cache_stores += 1;
+                        }
+                    }
+                    v
+                }
+            };
+            Some(v)
+        };
+        seeds.push(SeedResult { arch: s.arch, n: s.n, correct, wall: t0.elapsed() });
+    }
+
+    // --- plan pass: dedupe by mutant digest, resolve cache hits ------
+    // Serial and in task order, so representative selection (and with
+    // it the whole campaign) is scheduling-independent.
+    let mut plans: Vec<Plan> = Vec::with_capacity(tasks.len());
+    let mut first_seen: HashMap<(usize, u128), usize> = HashMap::new();
+    for (i, t) in tasks.iter().enumerate() {
+        let setup = &setups[t.setup];
+        // A panicking mutation builder is handled (and reported) by
+        // run_task; the pre-pass just declines to dedupe or cache it.
+        let digest = catch_unwind(AssertUnwindSafe(|| {
+            let mutant = apply(&setup.div, &t.mutation);
+            design_digest(&mutant.netlist, Some(mutant.constraint), &fingerprint)
+        }))
+        .ok();
+        let Some(digest) = digest else {
+            plans.push(Plan::Run(None));
+            continue;
+        };
+        if let Some(&rep) = first_seen.get(&(t.setup, digest.key)) {
+            deduped += 1;
+            plans.push(Plan::Dup(rep));
+            continue;
+        }
+        first_seen.insert((t.setup, digest.key), i);
+        let key = outcome_key(seed_digests[t.setup].key, digest.key, setup.kill_only);
+        let cones: Vec<(u64, bool)> =
+            digest.cones.iter().map(|c| (c.core, c.phase)).collect();
+        match cache {
+            None => plans.push(Plan::Run(None)),
+            Some(c) => {
+                match c.lookup(key, &cones).entry.as_ref().and_then(decode_outcome) {
+                    Some(outcome) => {
+                        cache_hits += 1;
+                        plans.push(Plan::Hit(outcome));
+                    }
+                    None => {
+                        cache_misses += 1;
+                        plans.push(Plan::Run(Some((key, cones))));
+                    }
+                }
+            }
+        }
+    }
 
     // --- parallel mutant processing, in-order commit -----------------
     let run_task = |t: &Task| -> (MutantOutcome, Duration) {
@@ -434,11 +654,19 @@ pub fn run_campaign_with(
         (outcome, t0.elapsed())
     };
 
+    // Only representatives that neither a duplicate nor the cache
+    // resolves actually execute.
+    let run_idx: Vec<usize> = plans
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| matches!(p, Plan::Run(_)))
+        .map(|(i, _)| i)
+        .collect();
     let mut slots: Vec<Option<(MutantOutcome, Duration)>> =
         (0..tasks.len()).map(|_| None).collect();
     if cfg.jobs <= 1 {
-        for (slot, task) in slots.iter_mut().zip(&tasks) {
-            *slot = Some(run_task(task));
+        for &i in &run_idx {
+            slots[i] = Some(run_task(&tasks[i]));
         }
     } else {
         let cursor = AtomicUsize::new(0);
@@ -447,13 +675,15 @@ pub fn run_campaign_with(
             for _ in 0..cfg.jobs {
                 let tx = tx.clone();
                 let cursor = &cursor;
+                let run_idx = &run_idx;
                 let tasks = &tasks;
                 let run_task = &run_task;
                 scope.spawn(move || loop {
-                    let i = cursor.fetch_add(1, Ordering::SeqCst);
-                    if i >= tasks.len() {
+                    let k = cursor.fetch_add(1, Ordering::SeqCst);
+                    if k >= run_idx.len() {
                         break;
                     }
+                    let i = run_idx[k];
                     if tx.send((i, run_task(&tasks[i]))).is_err() {
                         break;
                     }
@@ -466,10 +696,31 @@ pub fn run_campaign_with(
         });
     }
 
+    // --- resolve every task (in order), storing fresh outcomes -------
+    let mut resolved: Vec<(MutantOutcome, Duration)> = Vec::with_capacity(tasks.len());
+    for (i, plan) in plans.iter().enumerate() {
+        let entry = match plan {
+            Plan::Run(store_at) => {
+                let (outcome, wall) =
+                    slots[i].take().expect("every planned task produced an outcome");
+                if let (Some(c), Some((key, cones))) = (cache, store_at) {
+                    if c.store(*key, cones, &encode_outcome(&outcome)).is_ok() {
+                        cache_stores += 1;
+                    }
+                }
+                (outcome, wall)
+            }
+            // Representatives precede their duplicates in task order,
+            // so the copied slot is already resolved.
+            Plan::Dup(rep) => (resolved[*rep].0.clone(), Duration::ZERO),
+            Plan::Hit(outcome) => (outcome.clone(), Duration::ZERO),
+        };
+        resolved.push(entry);
+    }
+
     // --- in-order aggregation ----------------------------------------
     let mut escapes: Vec<EscapeRecord> = Vec::new();
-    for (task, slot) in tasks.iter().zip(slots) {
-        let (outcome, wall) = slot.expect("every task produced an outcome");
+    for (task, (outcome, wall)) in tasks.iter().zip(resolved) {
         let cell = &mut stats[task.stat];
         cell.generated += 1;
         cell.wall += wall;
@@ -554,7 +805,16 @@ pub fn run_campaign_with(
         });
     }
 
-    CampaignReport { config: cfg.clone(), seeds, cells: stats, escapes }
+    CampaignReport {
+        config: cfg.clone(),
+        seeds,
+        cells: stats,
+        escapes,
+        deduped,
+        cache_hits,
+        cache_misses,
+        cache_stores,
+    }
 }
 
 impl CampaignReport {
@@ -643,6 +903,10 @@ impl CampaignReport {
         rec.add("fuzz.crashed", self.total_crashed() as u64);
         rec.add("fuzz.unclassified", self.total_unclassified() as u64);
         rec.add("fuzz.escapes_recorded", self.escapes.len() as u64);
+        rec.add("fuzz.deduped", self.deduped as u64);
+        rec.add("cache.hits", self.cache_hits as u64);
+        rec.add("cache.misses", self.cache_misses as u64);
+        rec.add("cache.stores", self.cache_stores as u64);
     }
 
     /// The kill matrix as deterministic JSON: pure counts and witness
@@ -808,6 +1072,10 @@ impl CampaignReport {
             self.total_skipped(),
             if self.success() { "PASS" } else { "FAIL" }
         ));
+        s.push_str(&format!(
+            "work sharing: {} duplicate mutants deduped, cache {} hits / {} misses / {} stored\n",
+            self.deduped, self.cache_hits, self.cache_misses, self.cache_stores
+        ));
         for e in &self.escapes {
             s.push_str(&format!(
                 "  {}: {} n={} {} ordinal {}{}\n",
@@ -907,6 +1175,73 @@ mod tests {
                 assert_eq!(w.n, 2, "crash-on-everything must shrink to n=2");
             }
         }
+    }
+
+    #[test]
+    fn dedupe_and_cache_pin_saved_pipeline_runs() {
+        // tiny_config is fully deterministic: 8 mutants are generated,
+        // 3 of which are structurally identical (digest-equal) to an
+        // earlier one, so a cold campaign runs the pipeline exactly
+        // 6 times — 1 unmutated seed + 5 representative mutants — and
+        // a warm re-run over the shared cache runs it 0 times. These
+        // counts are part of the work-sharing contract; a change here
+        // means dedupe or the outcome cache regressed.
+        let calls = AtomicUsize::new(0);
+        let pipeline = |_: &Divider| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            PipelineVerdict::NotCorrect
+        };
+        let cache = ResultCache::in_memory();
+        let cfg = tiny_config();
+
+        let cold = run_campaign_with_cache(&cfg, &pipeline, Some(&cache));
+        let cold_calls = calls.swap(0, Ordering::SeqCst);
+        let warm = run_campaign_with_cache(&cfg, &pipeline, Some(&cache));
+        let warm_calls = calls.load(Ordering::SeqCst);
+
+        // Work accounting, pinned.
+        assert_eq!(cold_calls, 6, "cold pipeline runs");
+        assert_eq!(warm_calls, 0, "warm run must re-prove nothing");
+        assert_eq!((cold.deduped, cold.cache_hits, cold.cache_misses, cold.cache_stores), (3, 0, 6, 6));
+        assert_eq!((warm.deduped, warm.cache_hits, warm.cache_misses, warm.cache_stores), (3, 6, 0, 0));
+
+        // Outcome preservation: the kill matrix is byte-identical cold
+        // vs warm (and therefore to a cache-free run — the cold run hit
+        // nothing).
+        assert_eq!(cold.kill_matrix_json(), warm.kill_matrix_json());
+        let no_cache = run_campaign_with(&cfg, &pipeline);
+        assert_eq!(no_cache.kill_matrix_json(), cold.kill_matrix_json());
+        assert_eq!((no_cache.cache_hits, no_cache.cache_misses), (0, 0));
+        assert_eq!(no_cache.deduped, 3, "dedupe is on even without a cache");
+
+        // The counters surface in the deterministic metrics report.
+        let rec = sbif_trace::Recorder::new();
+        warm.record_metrics(&rec);
+        let report = rec.finish();
+        assert_eq!(report.counter("fuzz.deduped"), 3);
+        assert_eq!(report.counter("cache.hits"), 6);
+        assert_eq!(report.counter("cache.misses"), 0);
+    }
+
+    #[test]
+    fn disk_cache_survives_a_fresh_instance() {
+        let dir = std::env::temp_dir()
+            .join(format!("sbif_fuzz_cache_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let reject_all = |_: &Divider| PipelineVerdict::NotCorrect;
+        let cfg = tiny_config();
+        let cold = {
+            let cache = ResultCache::on_disk(&dir).unwrap();
+            run_campaign_with_cache(&cfg, &reject_all, Some(&cache))
+        };
+        // A brand-new cache instance over the same directory — the
+        // cross-process warm-start scenario of `--cache-dir`.
+        let cache = ResultCache::on_disk(&dir).unwrap();
+        let warm = run_campaign_with_cache(&cfg, &reject_all, Some(&cache));
+        assert_eq!(warm.cache_hits, cold.cache_misses);
+        assert_eq!(warm.cache_misses, 0);
+        assert_eq!(cold.kill_matrix_json(), warm.kill_matrix_json());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

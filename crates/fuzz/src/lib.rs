@@ -28,8 +28,9 @@ pub mod mutate;
 pub mod shrink;
 
 pub use campaign::{
-    run_campaign, run_campaign_with, CampaignConfig, CampaignReport, CellStats, EscapeRecord,
-    PipelineVerdict,
+    default_pipeline, default_pipeline_recorded, run_campaign, run_campaign_with,
+    run_campaign_with_cache, CampaignConfig, CampaignReport, CellStats, EscapeRecord,
+    MutantOutcome, PipelineVerdict,
 };
 pub use classify::{classify, strict_miter, subset_miter, MutantClass};
 pub use mutate::{apply, enumerate_sites, instantiate, pick, FaultModel, Mutation};

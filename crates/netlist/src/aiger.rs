@@ -1,0 +1,489 @@
+//! The AIGER ASCII (`.aag`) netlist format.
+//!
+//! AIGER is the lingua franca of hardware model checking and
+//! equivalence checking: an And-Inverter Graph with a numeric header
+//! `aag M I L O A`, one line per input/output/AND, and an optional
+//! symbol table. This reader covers the combinational subset (no
+//! latches — a sequential file is rejected with a located error) and
+//! feeds the same [`Netlist`] every other frontend produces, so an
+//! externally synthesized divider can enter the SBIF flow unchanged.
+//!
+//! ```text
+//! aag 5 2 0 2 3
+//! 2            # input  literal 2  (variable 1)
+//! 4            # input  literal 4  (variable 2)
+//! 10           # output: AND gate 10
+//! 11           # output: ¬10
+//! 6 2 4        # 6 = 2 ∧ 4
+//! 8 3 5        # 8 = ¬2 ∧ ¬4
+//! 10 7 9       # 10 = ¬6 ∧ ¬8
+//! i0 a
+//! i1 b
+//! o0 and_ab
+//! o1 nand_ab
+//! ```
+//!
+//! Literals are `2·var` (positive) or `2·var + 1` (negated); literal 0
+//! is constant false, literal 1 constant true. The reader reconstructs
+//! inversions as explicit NOT gates (deduplicated by the builder), so
+//! the imported netlist stays within the workspace's two-input gate
+//! model. [`write_aag`] performs the inverse AIG decomposition: every
+//! gate family is lowered onto ANDs and negated literals.
+//!
+//! Parse errors carry the 1-based line *and column* of the offending
+//! token ([`ParseError`]), mirroring the hardened DIMACS parser.
+
+use crate::io::ParseError;
+use crate::{BinOp, Gate, Netlist, Sig, UnaryOp};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+fn err(line: usize, col: usize, message: impl Into<String>) -> ParseError {
+    ParseError { line, col, message: message.into() }
+}
+
+/// Whitespace-separated tokens of a line with their 1-based columns.
+fn tokens(line: &str) -> impl Iterator<Item = (usize, &str)> + '_ {
+    line.split_whitespace().map(move |tok| {
+        // Offset of this token slice within the line.
+        let col = tok.as_ptr() as usize - line.as_ptr() as usize + 1;
+        (col, tok)
+    })
+}
+
+/// Parses AIGER ASCII text into a netlist.
+///
+/// Inputs and outputs are named from the symbol table when present
+/// (`i<k> name` / `o<k> name`); unnamed inputs fall back to `x[<k>]`
+/// and unnamed outputs to `y[<k>]`, so the result always satisfies the
+/// workspace invariant that primary inputs are named.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with line/column on: malformed header,
+/// latches (`L > 0`), literals out of range, odd input literals,
+/// AND gates whose left-hand side is not the next variable in ascending
+/// order (the AIGER ordering requirement this reader enforces to
+/// guarantee topological order), duplicate symbol entries, or trailing
+/// garbage.
+pub fn read_aag(text: &str) -> Result<Netlist, ParseError> {
+    let mut lines = text.lines().enumerate();
+    let (hline, header) = match lines.next() {
+        Some((idx, l)) if l.trim().is_empty() => {
+            return Err(err(idx + 1, 1, "blank line before header"))
+        }
+        Some((idx, l)) => (idx + 1, l),
+        None => return Err(err(1, 1, "empty file — missing `aag` header")),
+    };
+    let mut toks = tokens(header);
+    match toks.next() {
+        Some((_, "aag")) => {}
+        Some((col, "aig")) => {
+            return Err(err(hline, col, "binary AIGER (`aig`) is not supported — use ASCII `aag`"))
+        }
+        Some((col, other)) => {
+            return Err(err(hline, col, format!("expected `aag` header, got {other:?}")))
+        }
+        None => return Err(err(hline, 1, "expected `aag` header")),
+    }
+    let mut field = |name: &str| -> Result<(usize, u64), ParseError> {
+        let (col, tok) = toks
+            .next()
+            .ok_or_else(|| err(hline, header.len() + 1, format!("header is missing {name}")))?;
+        let v = tok
+            .parse::<u64>()
+            .map_err(|_| err(hline, col, format!("header field {name} is not a number: {tok:?}")))?;
+        Ok((col, v))
+    };
+    let (_, max_var) = field("M")?;
+    let (_, num_inputs) = field("I")?;
+    let (lcol, num_latches) = field("L")?;
+    let (_, num_outputs) = field("O")?;
+    let (_, num_ands) = field("A")?;
+    if let Some((col, tok)) = toks.next() {
+        return Err(err(hline, col, format!("trailing header field {tok:?}")));
+    }
+    if num_latches > 0 {
+        return Err(err(
+            hline,
+            lcol,
+            format!("{num_latches} latches — only combinational AIGs are supported"),
+        ));
+    }
+    if num_inputs + num_ands > max_var {
+        return Err(err(
+            hline,
+            1,
+            format!("header claims M = {max_var} but I + A = {}", num_inputs + num_ands),
+        ));
+    }
+
+    let mut nl = Netlist::new();
+    // var → signal of the *positive* literal. Variable 0 is the constant.
+    let mut var_sig: Vec<Option<Sig>> = vec![None; max_var as usize + 1];
+    let mut input_vars: Vec<u64> = Vec::with_capacity(num_inputs as usize);
+    let last_line = text.lines().count().max(1);
+
+    let mut expect_line = |what: &str| -> Result<(usize, &str), ParseError> {
+        match lines.next() {
+            Some((idx, l)) => Ok((idx + 1, l)),
+            None => Err(err(last_line, 1, format!("file ends before {what}"))),
+        }
+    };
+
+    // Input definitions: one even literal per line.
+    for k in 0..num_inputs {
+        let (lineno, line) = expect_line("the input definitions")?;
+        let mut toks = tokens(line);
+        let (col, tok) =
+            toks.next().ok_or_else(|| err(lineno, 1, "expected an input literal"))?;
+        let lit = tok
+            .parse::<u64>()
+            .map_err(|_| err(lineno, col, format!("input literal is not a number: {tok:?}")))?;
+        if lit % 2 != 0 || lit == 0 {
+            return Err(err(lineno, col, format!("input literal {lit} must be even and non-zero")));
+        }
+        let var = lit / 2;
+        if var > max_var {
+            return Err(err(lineno, col, format!("literal {lit} exceeds maximum variable {max_var}")));
+        }
+        if var_sig[var as usize].is_some() {
+            return Err(err(lineno, col, format!("variable {var} defined twice")));
+        }
+        if let Some((col, tok)) = toks.next() {
+            return Err(err(lineno, col, format!("trailing token {tok:?} on input line")));
+        }
+        // Placeholder name; the symbol table may rename it below.
+        let s = nl.input(&format!("x[{k}]"));
+        var_sig[var as usize] = Some(s);
+        input_vars.push(var);
+    }
+
+    // Output literals (possibly negated); resolved after the ANDs.
+    let mut output_lits: Vec<(usize, usize, u64)> = Vec::with_capacity(num_outputs as usize);
+    for _ in 0..num_outputs {
+        let (lineno, line) = expect_line("the output definitions")?;
+        let mut toks = tokens(line);
+        let (col, tok) =
+            toks.next().ok_or_else(|| err(lineno, 1, "expected an output literal"))?;
+        let lit = tok
+            .parse::<u64>()
+            .map_err(|_| err(lineno, col, format!("output literal is not a number: {tok:?}")))?;
+        if lit / 2 > max_var {
+            return Err(err(lineno, col, format!("literal {lit} exceeds maximum variable {max_var}")));
+        }
+        if let Some((col, tok)) = toks.next() {
+            return Err(err(lineno, col, format!("trailing token {tok:?} on output line")));
+        }
+        output_lits.push((lineno, col, lit));
+    }
+
+    // AND gates: `lhs rhs0 rhs1` with lhs even; fanin literals must
+    // precede the definition (ascending variable order ⇒ topological
+    // order, so the netlist invariant holds by construction).
+    for and_idx in 0..num_ands {
+        let next_and_var = num_inputs + 1 + and_idx;
+        let (lineno, line) = expect_line("the AND definitions")?;
+        let mut toks = tokens(line);
+        let mut lit_field = |name: &str| -> Result<(usize, u64), ParseError> {
+            let (col, tok) = toks
+                .next()
+                .ok_or_else(|| err(lineno, line.len().max(1), format!("AND line is missing {name}")))?;
+            let v = tok
+                .parse::<u64>()
+                .map_err(|_| err(lineno, col, format!("{name} is not a number: {tok:?}")))?;
+            Ok((col, v))
+        };
+        let (lcol, lhs) = lit_field("the lhs literal")?;
+        let (c0, rhs0) = lit_field("the first fanin")?;
+        let (c1, rhs1) = lit_field("the second fanin")?;
+        if let Some((col, tok)) = toks.next() {
+            return Err(err(lineno, col, format!("trailing token {tok:?} on AND line")));
+        }
+        if lhs % 2 != 0 {
+            return Err(err(lineno, lcol, format!("AND lhs {lhs} must be even")));
+        }
+        let var = lhs / 2;
+        if var != next_and_var {
+            return Err(err(
+                lineno,
+                lcol,
+                format!("AND lhs variable {var}, expected {next_and_var} (ascending order)"),
+            ));
+        }
+        if var > max_var {
+            return Err(err(lineno, lcol, format!("literal {lhs} exceeds maximum variable {max_var}")));
+        }
+        for (col, rhs) in [(c0, rhs0), (c1, rhs1)] {
+            if rhs / 2 >= var {
+                return Err(err(
+                    lineno,
+                    col,
+                    format!("fanin literal {rhs} does not precede AND variable {var}"),
+                ));
+            }
+        }
+        let a = lit_to_sig(&mut nl, &var_sig, rhs0);
+        let b = lit_to_sig(&mut nl, &var_sig, rhs1);
+        var_sig[var as usize] = Some(nl.push_gate(Gate::Binary(BinOp::And, a, b)));
+    }
+
+    // Symbol table + comment section.
+    let mut named_inputs: HashMap<usize, String> = HashMap::new();
+    let mut named_outputs: HashMap<usize, String> = HashMap::new();
+    for (idx, line) in lines {
+        let lineno = idx + 1;
+        let line = line.trim_end();
+        if line == "c" {
+            break; // everything after is a free-form comment
+        }
+        if line.is_empty() {
+            return Err(err(lineno, 1, "blank line in the symbol table"));
+        }
+        let first = line.chars().next().expect("non-empty");
+        let (kind, rest) = line.split_at(first.len_utf8());
+        let (pos, name) = rest
+            .split_once(' ')
+            .ok_or_else(|| err(lineno, 2, "symbol entry wants `<i|o><pos> <name>`"))?;
+        let pos: usize = pos
+            .parse()
+            .map_err(|_| err(lineno, 2, format!("symbol position is not a number: {pos:?}")))?;
+        let table = match kind {
+            "i" => &mut named_inputs,
+            "o" => &mut named_outputs,
+            "l" => return Err(err(lineno, 1, "latch symbol in a combinational file")),
+            other => return Err(err(lineno, 1, format!("unknown symbol kind {other:?}"))),
+        };
+        let limit = if kind == "i" { num_inputs } else { num_outputs } as usize;
+        if pos >= limit {
+            return Err(err(lineno, 2, format!("symbol {kind}{pos} out of range (< {limit})")));
+        }
+        if table.insert(pos, name.to_string()).is_some() {
+            return Err(err(lineno, 1, format!("duplicate symbol {kind}{pos}")));
+        }
+    }
+
+    // Apply input names now that the table is in.
+    for (k, &var) in input_vars.iter().enumerate() {
+        if let Some(name) = named_inputs.get(&k) {
+            let s = var_sig[var as usize].expect("input defined");
+            nl.set_name(s, name);
+        }
+    }
+    for (k, (lineno, col, lit)) in output_lits.into_iter().enumerate() {
+        if lit > 1 && var_sig[(lit / 2) as usize].is_none() {
+            return Err(err(lineno, col, format!("output literal {lit} was never defined")));
+        }
+        let s = lit_to_sig(&mut nl, &var_sig, lit);
+        let name = named_outputs
+            .get(&k)
+            .cloned()
+            .unwrap_or_else(|| format!("y[{k}]"));
+        nl.add_output(&name, s);
+    }
+    Ok(nl)
+}
+
+/// The signal of an AIGER literal, materializing constants and NOT
+/// gates on demand through the builder (which folds `¬¬a` and dedupes
+/// structurally, so each literal's inverter exists at most once).
+fn lit_to_sig(nl: &mut Netlist, var_sig: &[Option<Sig>], lit: u64) -> Sig {
+    match lit {
+        0 => nl.const0(),
+        1 => nl.const1(),
+        _ => {
+            let s = var_sig[(lit / 2) as usize].expect("fanin precedes use");
+            if lit.is_multiple_of(2) {
+                s
+            } else {
+                nl.unary(UnaryOp::Not, s)
+            }
+        }
+    }
+}
+
+/// Emits an AND over two AIGER literals, folding the trivial cases so
+/// the written file carries no dead structure.
+fn mk_and(num_inputs: u64, ands: &mut Vec<(u64, u64, u64)>, a: u64, b: u64) -> u64 {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    if a == 1 {
+        return b;
+    }
+    if b == 1 {
+        return a;
+    }
+    if a == b {
+        return a;
+    }
+    if a ^ b == 1 {
+        return 0; // x ∧ ¬x
+    }
+    let lhs = 2 * (num_inputs + 1 + ands.len() as u64);
+    ands.push((lhs, a.max(b), a.min(b)));
+    lhs
+}
+
+/// Serializes a netlist as AIGER ASCII, lowering every gate family onto
+/// the AND-inverter form (`a ⊕ b = ¬(¬(a∧¬b) ∧ ¬(¬a∧b))`, etc.). The
+/// original input/output names survive in the symbol table, so
+/// `read_aag(&write_aag(nl))` reproduces the netlist's *behaviour* on
+/// the same interface (not its gate list — AIG decomposition is lossy
+/// by design).
+///
+/// # Panics
+///
+/// Panics if a primary input is unnamed (inputs created through
+/// [`Netlist::input`] always are).
+pub fn write_aag(nl: &Netlist) -> String {
+    // AIGER literal of every signal.
+    let mut lit: Vec<u64> = vec![u64::MAX; nl.num_signals()];
+    let mut next_var: u64 = 1;
+    for s in nl.signals() {
+        if nl.gate(s).is_input() {
+            lit[s.index()] = 2 * next_var;
+            next_var += 1;
+        }
+    }
+    let num_inputs = next_var - 1;
+    let mut ands: Vec<(u64, u64, u64)> = Vec::new();
+    for s in nl.signals() {
+        let l = match *nl.gate(s) {
+            Gate::Input => continue,
+            Gate::Const(v) => v as u64,
+            Gate::Unary(op, a) => {
+                let la = lit[a.index()];
+                match op {
+                    UnaryOp::Buf => la,
+                    UnaryOp::Not => la ^ 1,
+                }
+            }
+            Gate::Binary(op, a, b) => {
+                let (la, lb) = (lit[a.index()], lit[b.index()]);
+                match op {
+                    BinOp::And => mk_and(num_inputs, &mut ands, la, lb),
+                    BinOp::Nand => mk_and(num_inputs, &mut ands, la, lb) ^ 1,
+                    BinOp::Or => mk_and(num_inputs, &mut ands, la ^ 1, lb ^ 1) ^ 1,
+                    BinOp::Nor => mk_and(num_inputs, &mut ands, la ^ 1, lb ^ 1),
+                    BinOp::AndNot => mk_and(num_inputs, &mut ands, la, lb ^ 1),
+                    BinOp::Xor | BinOp::Xnor => {
+                        let p = mk_and(num_inputs, &mut ands, la, lb ^ 1);
+                        let q = mk_and(num_inputs, &mut ands, la ^ 1, lb);
+                        let x = mk_and(num_inputs, &mut ands, p ^ 1, q ^ 1) ^ 1;
+                        if op == BinOp::Xor {
+                            x
+                        } else {
+                            x ^ 1
+                        }
+                    }
+                }
+            }
+        };
+        lit[s.index()] = l;
+    }
+    let max_var = num_inputs + ands.len() as u64;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "aag {} {} 0 {} {}",
+        max_var,
+        num_inputs,
+        nl.outputs().len(),
+        ands.len()
+    );
+    for v in 1..=num_inputs {
+        let _ = writeln!(out, "{}", 2 * v);
+    }
+    for (_, s) in nl.outputs() {
+        let _ = writeln!(out, "{}", lit[s.index()]);
+    }
+    for (lhs, a, b) in &ands {
+        let _ = writeln!(out, "{lhs} {a} {b}");
+    }
+    for (k, &s) in nl.inputs().iter().enumerate() {
+        let name = nl.name(s).expect("primary inputs must be named");
+        let _ = writeln!(out, "i{k} {name}");
+    }
+    for (k, (name, _)) in nl.outputs().iter().enumerate() {
+        let _ = writeln!(out, "o{k} {name}");
+    }
+    out.push_str("c\nwritten by sbif-netlist\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::nonrestoring_divider;
+
+    #[test]
+    fn parse_minimal_and() {
+        let text = "aag 3 2 0 1 1\n2\n4\n6\n6 2 4\ni0 a\ni1 b\no0 o\n";
+        let nl = read_aag(text).expect("parses");
+        assert_eq!(nl.inputs().len(), 2);
+        assert_eq!(nl.outputs().len(), 1);
+        assert_eq!(nl.eval_u64(&[("a", 1), ("b", 1)])["o"], 1);
+        assert_eq!(nl.eval_u64(&[("a", 1), ("b", 0)])["o"], 0);
+    }
+
+    #[test]
+    fn negated_outputs_and_constants() {
+        // o0 = ¬(a ∧ b), o1 = const 1, o2 = const 0
+        let text = "aag 3 2 0 3 1\n2\n4\n7\n1\n0\n6 2 4\ni0 a\ni1 b\n";
+        let nl = read_aag(text).expect("parses");
+        // Unnamed outputs default to y[k], which eval groups as bus `y`.
+        assert_eq!(nl.eval_u64(&[("a", 1), ("b", 1)])["y"], 0b010);
+        assert_eq!(nl.eval_u64(&[("a", 0), ("b", 1)])["y"], 0b011);
+    }
+
+    #[test]
+    fn divider_roundtrips_behaviourally() {
+        let div = nonrestoring_divider(4);
+        let text = write_aag(&div.netlist);
+        let back = read_aag(&text).expect("parses");
+        assert_eq!(back.inputs().len(), div.netlist.inputs().len());
+        assert_eq!(back.outputs().len(), div.netlist.outputs().len());
+        for (r0, d) in [(0u64, 1u64), (62, 7), (50, 7), (39, 5), (17, 3)] {
+            let x = div.netlist.eval_u64(&[("r0", r0), ("d", d)]);
+            let y = back.eval_u64(&[("r0", r0), ("d", d)]);
+            assert_eq!(x["q"], y["q"], "q at {r0}/{d}");
+            assert_eq!(x["r"], y["r"], "r at {r0}/{d}");
+        }
+    }
+
+    #[test]
+    fn rejects_are_located() {
+        let cases: &[(&str, usize, usize, &str)] = &[
+            ("", 1, 1, "empty file"),
+            ("aig 1 1 0 0 0\n2\n", 1, 1, "binary AIGER"),
+            ("aag 1 1 9 0 0\n2\n", 1, 9, "latches"),
+            ("aag x 1 0 0 0\n", 1, 5, "not a number"),
+            ("aag 1 1 0 0 0\n3\n", 2, 1, "must be even"),
+            ("aag 2 1 0 0 1\n2\n5 2 2\n", 3, 1, "must be even"),
+            ("aag 3 1 0 0 1\n2\n6 2 2\n", 3, 1, "expected 2"),
+            ("aag 2 1 0 0 1\n2\n4 6 2\n", 3, 3, "does not precede"),
+            ("aag 2 1 0 1 1\n2\n4\n4 2 2\nq0 bad\n", 5, 1, "unknown symbol kind"),
+            ("aag 2 1 0 1 1\n2\n4\n4 2 2\ni7 bad\n", 5, 2, "out of range"),
+            ("aag 2 1 0 1 1\n2\n4\n4 2 2\ni0 a\ni0 b\n", 6, 1, "duplicate symbol"),
+            ("aag 2 1 0 1 1\n2\n9\n4 2 2\n", 3, 1, "exceeds maximum"),
+            ("aag 1 1 0 0 0 7\n2\n", 1, 15, "trailing header"),
+            ("aag 2 2 0 0 0\n2\n2\n", 3, 1, "defined twice"),
+            ("aag 2 1 0 1 0\n2\n", 2, 1, "file ends"),
+        ];
+        for &(text, line, col, needle) in cases {
+            let e = read_aag(text).expect_err(text);
+            assert_eq!((e.line, e.col), (line, col), "{text:?}: {e}");
+            assert!(e.message.contains(needle), "{text:?}: {e} !~ {needle}");
+        }
+    }
+
+    #[test]
+    fn symbol_table_names_survive() {
+        let text = "aag 3 2 0 1 1\n2\n4\n6\n6 2 4\ni0 lhs\ni1 rhs\no0 conj\nc\nanything goes here\n";
+        let nl = read_aag(text).expect("parses");
+        let names: Vec<_> = nl.inputs().iter().map(|&s| nl.name(s).unwrap()).collect();
+        assert_eq!(names, ["lhs", "rhs"]);
+        assert_eq!(nl.outputs()[0].0, "conj");
+    }
+}

@@ -1,0 +1,451 @@
+//! The ISCAS-85/89 BENCH netlist format.
+//!
+//! BENCH is the exchange format of the classic ISCAS benchmark suites
+//! (`c432.bench`, `s27.bench`, …): one `INPUT(...)`/`OUTPUT(...)`
+//! declaration or gate assignment per line, `#` comments, and named
+//! multi-input gates:
+//!
+//! ```text
+//! # a 2-bit comparator
+//! INPUT(a)
+//! INPUT(b)
+//! OUTPUT(eq)
+//! na = NOT(a)
+//! nb = NOT(b)
+//! t0 = AND(na, nb)
+//! t1 = AND(a, b)
+//! eq = OR(t0, t1)
+//! ```
+//!
+//! Operators: `AND OR NAND NOR XOR XNOR NOT BUF BUFF CONST0 CONST1`
+//! (flip-flops — `DFF` — are rejected: the SBIF flow is purely
+//! combinational). Gates with more than two fanins are legal BENCH and
+//! are expanded into left-leaning two-input trees
+//! (`AND(a,b,c)` → `AND(AND(a,b),c)`; for NAND/NOR/XNOR the negation
+//! is applied once, at the root). Unlike BNET, BENCH files may define
+//! gates in any order — the reader topologically sorts definitions and
+//! rejects combinational cycles with a located error.
+//!
+//! Parse errors carry the 1-based line and column of the offending
+//! token ([`ParseError`]).
+
+use crate::io::ParseError;
+use crate::{BinOp, Gate, Netlist, Sig, UnaryOp};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+fn err(line: usize, col: usize, message: impl Into<String>) -> ParseError {
+    ParseError { line, col, message: message.into() }
+}
+
+/// 1-based column of a subslice within its line.
+fn col_of(line: &str, tok: &str) -> usize {
+    tok.as_ptr() as usize - line.as_ptr() as usize + 1
+}
+
+/// One parsed `name = OP(args…)` definition, pre-netlist.
+struct Def {
+    lineno: usize,
+    name: String,
+    op: String,
+    op_col: usize,
+    args: Vec<(usize, String)>,
+}
+
+/// Parses BENCH text into a netlist.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with line/column on: malformed lines,
+/// unknown operators (including `DFF` — sequential circuits are not
+/// supported), wrong arity, duplicate or undefined signals, duplicate
+/// outputs, and combinational cycles.
+pub fn read_bench(text: &str) -> Result<Netlist, ParseError> {
+    let mut inputs: Vec<(usize, usize, String)> = Vec::new();
+    let mut outputs: Vec<(usize, usize, String)> = Vec::new();
+    let mut defs: Vec<Def> = Vec::new();
+    let mut def_index: HashMap<String, usize> = HashMap::new();
+    let mut input_set: HashMap<String, usize> = HashMap::new();
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = match raw.split_once('#') {
+            Some((code, _)) => code,
+            None => raw,
+        };
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let tcol = col_of(line, trimmed);
+        if let Some(rest) = strip_decl(trimmed, "INPUT") {
+            let name = rest.map_err(|c| err(lineno, tcol + c, "expected `INPUT(<name>)`"))?;
+            let col = tcol + col_of(trimmed, name) - 1;
+            if input_set.contains_key(name) || def_index.contains_key(name) {
+                return Err(err(lineno, col, format!("duplicate signal {name:?}")));
+            }
+            input_set.insert(name.to_string(), inputs.len());
+            inputs.push((lineno, col, name.to_string()));
+        } else if let Some(rest) = strip_decl(trimmed, "OUTPUT") {
+            let name = rest.map_err(|c| err(lineno, tcol + c, "expected `OUTPUT(<name>)`"))?;
+            let col = tcol + col_of(trimmed, name) - 1;
+            if outputs.iter().any(|(_, _, n)| n == name) {
+                return Err(err(lineno, col, format!("duplicate output {name:?}")));
+            }
+            outputs.push((lineno, col, name.to_string()));
+        } else {
+            // `<name> = <OP>(<args...>)`
+            let (lhs, rhs) = trimmed
+                .split_once('=')
+                .ok_or_else(|| err(lineno, tcol, "expected `<name> = <OP>(...)`"))?;
+            let name = lhs.trim();
+            if name.is_empty() {
+                return Err(err(lineno, tcol, "empty signal name"));
+            }
+            let ncol = tcol + col_of(trimmed, name) - 1;
+            if input_set.contains_key(name) || def_index.contains_key(name) {
+                return Err(err(lineno, ncol, format!("duplicate signal {name:?}")));
+            }
+            let rhs_trim = rhs.trim();
+            let rcol = tcol + col_of(trimmed, rhs_trim) - 1;
+            let (op, args_str) = rhs_trim
+                .split_once('(')
+                .ok_or_else(|| err(lineno, rcol, "expected `<OP>(<args>)`"))?;
+            let args_str = args_str
+                .strip_suffix(')')
+                .ok_or_else(|| err(lineno, tcol + trimmed.len() - 1, "missing closing `)`"))?;
+            let op = op.trim();
+            let mut args = Vec::new();
+            for part in args_str.split(',') {
+                let a = part.trim();
+                if a.is_empty() {
+                    if args_str.trim().is_empty() && args.is_empty() {
+                        break; // zero-arg constants: CONST0()
+                    }
+                    return Err(err(lineno, tcol + col_of(trimmed, part).saturating_sub(1), "empty operand"));
+                }
+                args.push((tcol + col_of(trimmed, a) - 1, a.to_string()));
+            }
+            def_index.insert(name.to_string(), defs.len());
+            defs.push(Def {
+                lineno,
+                name: name.to_string(),
+                op: op.to_ascii_uppercase(),
+                op_col: rcol,
+                args,
+            });
+        }
+    }
+
+    // Build in dependency order: BENCH permits forward references, the
+    // netlist does not, so DFS over the definition graph (iterative —
+    // benchmark files are deep).
+    let mut nl = Netlist::new();
+    let mut sig_of: HashMap<String, Sig> = HashMap::new();
+    for (_, _, name) in &inputs {
+        sig_of.insert(name.clone(), nl.input(name));
+    }
+    // 0 = unvisited, 1 = on stack, 2 = done.
+    let mut state = vec![0u8; defs.len()];
+    for root in 0..defs.len() {
+        if state[root] == 2 {
+            continue;
+        }
+        let mut stack: Vec<(usize, usize)> = vec![(root, 0)];
+        while let Some(&mut (d, ref mut next_arg)) = stack.last_mut() {
+            if state[d] == 2 {
+                stack.pop();
+                continue;
+            }
+            state[d] = 1;
+            let def = &defs[d];
+            if *next_arg < def.args.len() {
+                let (acol, aname) = &def.args[*next_arg];
+                *next_arg += 1;
+                if sig_of.contains_key(aname) {
+                    continue;
+                }
+                match def_index.get(aname) {
+                    Some(&dep) if state[dep] == 1 => {
+                        return Err(err(
+                            def.lineno,
+                            *acol,
+                            format!("combinational cycle through {aname:?}"),
+                        ));
+                    }
+                    Some(&dep) => stack.push((dep, 0)),
+                    None => {
+                        return Err(err(def.lineno, *acol, format!("unknown signal {aname:?}")))
+                    }
+                }
+            } else {
+                let s = emit_def(&mut nl, def, &sig_of)?;
+                nl.set_name(s, &def.name);
+                sig_of.insert(def.name.clone(), s);
+                state[d] = 2;
+                stack.pop();
+            }
+        }
+    }
+    for (lineno, col, name) in outputs {
+        let s = *sig_of
+            .get(&name)
+            .ok_or_else(|| err(lineno, col, format!("unknown output signal {name:?}")))?;
+        nl.add_output(&name, s);
+    }
+    Ok(nl)
+}
+
+/// `INPUT(a)` / `OUTPUT(a)` → the enclosed name; `Err(col_offset)` when
+/// the parentheses are malformed.
+fn strip_decl<'a>(line: &'a str, keyword: &str) -> Option<Result<&'a str, usize>> {
+    let rest = line.strip_prefix(keyword)?;
+    let rest_t = rest.trim_start();
+    if !rest_t.starts_with('(') {
+        return None; // a gate like `INPUTX = ...`, not a declaration
+    }
+    let inner = match rest_t.strip_prefix('(').and_then(|r| r.strip_suffix(')')) {
+        Some(i) => i.trim(),
+        None => return Some(Err(line.len().saturating_sub(1))),
+    };
+    if inner.is_empty() || inner.contains(|c: char| c.is_whitespace() || c == ',') {
+        return Some(Err(col_of(line, rest_t)));
+    }
+    Some(Ok(inner))
+}
+
+/// Lowers one BENCH definition onto verbatim two-input gates. Wide
+/// gates become left-leaning trees; the negating families apply their
+/// inversion once, at the root.
+fn emit_def(nl: &mut Netlist, def: &Def, sig_of: &HashMap<String, Sig>) -> Result<Sig, ParseError> {
+    let args: Vec<Sig> = def.args.iter().map(|(_, a)| sig_of[a]).collect();
+    let arity = |want: std::ops::RangeInclusive<usize>| -> Result<(), ParseError> {
+        if want.contains(&args.len()) {
+            Ok(())
+        } else {
+            Err(err(
+                def.lineno,
+                def.op_col,
+                format!("{} takes {:?} operand(s), got {}", def.op, want, args.len()),
+            ))
+        }
+    };
+    let reduce = |nl: &mut Netlist, op: BinOp, args: &[Sig]| -> Sig {
+        let mut acc = args[0];
+        for &a in &args[1..] {
+            acc = nl.push_gate(Gate::Binary(op, acc, a));
+        }
+        acc
+    };
+    Ok(match def.op.as_str() {
+        "AND" | "OR" | "XOR" => {
+            arity(2..=usize::MAX)?;
+            let op = match def.op.as_str() {
+                "AND" => BinOp::And,
+                "OR" => BinOp::Or,
+                _ => BinOp::Xor,
+            };
+            reduce(nl, op, &args)
+        }
+        "NAND" | "NOR" | "XNOR" => {
+            arity(2..=usize::MAX)?;
+            let (inner, root) = match def.op.as_str() {
+                "NAND" => (BinOp::And, BinOp::Nand),
+                "NOR" => (BinOp::Or, BinOp::Nor),
+                _ => (BinOp::Xor, BinOp::Xnor),
+            };
+            if args.len() == 2 {
+                nl.push_gate(Gate::Binary(root, args[0], args[1]))
+            } else {
+                let pre = reduce(nl, inner, &args[..args.len() - 1]);
+                nl.push_gate(Gate::Binary(root, pre, args[args.len() - 1]))
+            }
+        }
+        "NOT" => {
+            arity(1..=1)?;
+            nl.push_gate(Gate::Unary(UnaryOp::Not, args[0]))
+        }
+        "BUF" | "BUFF" => {
+            arity(1..=1)?;
+            nl.push_gate(Gate::Unary(UnaryOp::Buf, args[0]))
+        }
+        "CONST0" | "GND" => {
+            arity(0..=0)?;
+            nl.push_gate(Gate::Const(false))
+        }
+        "CONST1" | "VDD" => {
+            arity(0..=0)?;
+            nl.push_gate(Gate::Const(true))
+        }
+        "DFF" | "DFFSR" => {
+            return Err(err(
+                def.lineno,
+                def.op_col,
+                format!("{} is sequential — only combinational BENCH is supported", def.op),
+            ))
+        }
+        other => {
+            return Err(err(def.lineno, def.op_col, format!("unknown operator {other:?}")))
+        }
+    })
+}
+
+/// Serializes a netlist to BENCH text. Every workspace operator has a
+/// direct BENCH spelling except [`BinOp::AndNot`], which is expanded as
+/// `AND(a, NOT(b))` through a synthesized inverter, so
+/// `read_bench(&write_bench(nl))` reproduces the behaviour (and the
+/// gate list exactly, for AndNot-free netlists).
+///
+/// # Panics
+///
+/// Panics if a primary input is unnamed.
+pub fn write_bench(nl: &Netlist) -> String {
+    let mut out = String::from("# bench, written by sbif-netlist\n");
+    let sig_name = |s: Sig| -> String {
+        match nl.name(s) {
+            Some(n) => n.to_string(),
+            None => format!("n{}", s.0),
+        }
+    };
+    for &s in nl.inputs() {
+        let _ = writeln!(out, "INPUT({})", nl.name(s).expect("primary inputs must be named"));
+    }
+    // BENCH identifies an output by signal name. When the declared
+    // output name differs from the driving signal's, bridge the two
+    // with a BUF alias (emitted after the gate list; read_bench sorts).
+    let mut aliases = String::new();
+    for (name, s) in nl.outputs() {
+        let _ = writeln!(out, "OUTPUT({name})");
+        if nl.name(*s) != Some(name) {
+            let _ = writeln!(aliases, "{name} = BUF({})", sig_name(*s));
+        }
+    }
+    for s in nl.signals() {
+        match *nl.gate(s) {
+            Gate::Input => {}
+            Gate::Const(v) => {
+                let _ = writeln!(out, "{} = CONST{}()", sig_name(s), v as u8);
+            }
+            Gate::Unary(op, a) => {
+                let mn = match op {
+                    UnaryOp::Not => "NOT",
+                    UnaryOp::Buf => "BUF",
+                };
+                let _ = writeln!(out, "{} = {mn}({})", sig_name(s), sig_name(a));
+            }
+            Gate::Binary(BinOp::AndNot, a, b) => {
+                let inv = format!("{}_nb", sig_name(s));
+                let _ = writeln!(out, "{inv} = NOT({})", sig_name(b));
+                let _ = writeln!(out, "{} = AND({}, {inv})", sig_name(s), sig_name(a));
+            }
+            Gate::Binary(op, a, b) => {
+                let mn = match op {
+                    BinOp::And => "AND",
+                    BinOp::Or => "OR",
+                    BinOp::Xor => "XOR",
+                    BinOp::Nand => "NAND",
+                    BinOp::Nor => "NOR",
+                    BinOp::Xnor => "XNOR",
+                    BinOp::AndNot => unreachable!(),
+                };
+                let _ = writeln!(out, "{} = {mn}({}, {})", sig_name(s), sig_name(a), sig_name(b));
+            }
+        }
+    }
+    out.push_str(&aliases);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::nonrestoring_divider;
+
+    #[test]
+    fn parse_minimal() {
+        let text = "\
+# comparator
+INPUT(a)
+INPUT(b)
+OUTPUT(eq)
+na = NOT(a)
+nb = NOT(b)
+t0 = AND(na, nb)
+t1 = AND(a, b)
+eq = OR(t0, t1)
+";
+        let nl = read_bench(text).expect("parses");
+        assert_eq!(nl.inputs().len(), 2);
+        for (a, b) in [(0u64, 0u64), (0, 1), (1, 0), (1, 1)] {
+            assert_eq!(nl.eval_u64(&[("a", a), ("b", b)])["eq"], (a == b) as u64);
+        }
+    }
+
+    #[test]
+    fn forward_references_are_sorted() {
+        // `eq` is defined before its operands exist.
+        let text = "INPUT(a)\nINPUT(b)\nOUTPUT(eq)\neq = OR(t0, t1)\nt0 = NOR(a, b)\nt1 = AND(a, b)\n";
+        let nl = read_bench(text).expect("parses");
+        for (a, b) in [(0u64, 0u64), (0, 1), (1, 0), (1, 1)] {
+            assert_eq!(nl.eval_u64(&[("a", a), ("b", b)])["eq"], (a == b) as u64);
+        }
+    }
+
+    #[test]
+    fn wide_gates_expand_to_trees() {
+        let text = "INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nOUTPUT(o)\nOUTPUT(p)\no = AND(a, b, c, d)\np = NAND(a, b, c)\n";
+        let nl = read_bench(text).expect("parses");
+        for bits in 0u64..16 {
+            let v = [bits & 1, bits >> 1 & 1, bits >> 2 & 1, bits >> 3 & 1];
+            let out = nl.eval_u64(&[("a", v[0]), ("b", v[1]), ("c", v[2]), ("d", v[3])]);
+            assert_eq!(out["o"], (v.iter().all(|&x| x == 1)) as u64);
+            assert_eq!(out["p"], !(v[0] == 1 && v[1] == 1 && v[2] == 1) as u64);
+        }
+    }
+
+    #[test]
+    fn divider_roundtrips() {
+        let div = nonrestoring_divider(4);
+        let text = write_bench(&div.netlist);
+        let back = read_bench(&text).expect("parses");
+        for (r0, d) in [(0u64, 1u64), (62, 7), (50, 7), (39, 5)] {
+            let x = div.netlist.eval_u64(&[("r0", r0), ("d", d)]);
+            let y = back.eval_u64(&[("r0", r0), ("d", d)]);
+            assert_eq!((x["q"], x["r"]), (y["q"], y["r"]), "{r0}/{d}");
+        }
+    }
+
+    #[test]
+    fn rejects_are_located() {
+        let cases: &[(&str, usize, usize, &str)] = &[
+            ("INPUT(a)\nx = FROB(a)\n", 2, 5, "unknown operator"),
+            ("INPUT(a)\nx = DFF(a)\n", 2, 5, "sequential"),
+            ("INPUT(a)\nx = AND(a, zz)\n", 2, 12, "unknown signal"),
+            ("INPUT(a)\nx = NOT(a, a)\n", 2, 5, "operand"),
+            ("INPUT(a)\na = NOT(a)\n", 2, 1, "duplicate signal"),
+            ("INPUT(a)\nINPUT(a)\n", 2, 7, "duplicate signal"),
+            ("INPUT(a)\nOUTPUT(o)\nOUTPUT(o)\no = NOT(a)\n", 3, 8, "duplicate output"),
+            ("INPUT(a)\nOUTPUT(zz)\n", 2, 8, "unknown output"),
+            ("INPUT(a)\nx = NOT a\n", 2, 5, "expected `<OP>(<args>)`"),
+            ("INPUT(a)\nx = NOT(a\n", 2, 9, "missing closing"),
+            ("INPUT(a)\nnonsense\n", 2, 1, "expected `<name> = <OP>(...)`"),
+            // The cycle is detected while resolving `x` inside `y`'s
+            // definition, so the error points at line 2's operand.
+            ("x = NOT(y)\ny = BUF(x)\n", 2, 9, "cycle"),
+        ];
+        for &(text, line, col, needle) in cases {
+            let e = read_bench(text).expect_err(text);
+            assert_eq!((e.line, e.col), (line, col), "{text:?}: {e}");
+            assert!(e.message.contains(needle), "{text:?}: {e} !~ {needle}");
+        }
+    }
+
+    #[test]
+    fn comments_and_constants() {
+        let text = "INPUT(a) # trailing comment\nOUTPUT(o)\nOUTPUT(k)\nz = CONST1()\no = XOR(a, z)\nk = BUFF(z)\n";
+        let nl = read_bench(text).expect("parses");
+        assert_eq!(nl.eval_u64(&[("a", 1)])["o"], 0);
+        assert_eq!(nl.eval_u64(&[("a", 0)])["o"], 1);
+        assert_eq!(nl.eval_u64(&[("a", 0)])["k"], 1);
+    }
+}

@@ -71,6 +71,67 @@ pub fn write_bnet(nl: &Netlist) -> String {
     out
 }
 
+/// A located parse error shared by the structured netlist frontends
+/// ([AIGER](crate::aiger) and [BENCH](crate::bench)). Unlike
+/// [`ParseBnetError`] it pinpoints the offending *token*: both the
+/// 1-based line and the 1-based column are reported, mirroring the
+/// hardened DIMACS parser in `sbif-check`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number of the offending token.
+    pub line: usize,
+    /// 1-based column of the offending token.
+    pub col: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}, column {}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// The netlist exchange formats the workspace can read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// The BLIF-like in-house text format ([`read_bnet`]).
+    Bnet,
+    /// AIGER ASCII ([`crate::aiger::read_aag`]).
+    Aag,
+    /// ISCAS-85/89 BENCH ([`crate::bench::read_bench`]).
+    Bench,
+}
+
+impl Format {
+    /// Guesses the format from a file name's extension (`.aag`,
+    /// `.bench`/`.isc`, anything else ⇒ BNET).
+    pub fn from_path(path: &str) -> Format {
+        let lower = path.to_ascii_lowercase();
+        if lower.ends_with(".aag") {
+            Format::Aag
+        } else if lower.ends_with(".bench") || lower.ends_with(".isc") {
+            Format::Bench
+        } else {
+            Format::Bnet
+        }
+    }
+}
+
+/// Parses netlist text in the given [`Format`], normalizing every
+/// frontend's error into the located [`ParseError`] (BNET reports
+/// column 1 — its grammar is line-oriented).
+pub fn read_netlist(text: &str, format: Format) -> Result<Netlist, ParseError> {
+    match format {
+        Format::Bnet => read_bnet(text)
+            .map_err(|e| ParseError { line: e.line, col: 1, message: e.message }),
+        Format::Aag => crate::aiger::read_aag(text),
+        Format::Bench => crate::bench::read_bench(text),
+    }
+}
+
 /// Error produced while parsing BNET text.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseBnetError {

@@ -28,6 +28,8 @@
 //! assert_eq!(out["r"], 2);
 //! ```
 
+pub mod aiger;
+pub mod bench;
 pub mod build;
 mod gate;
 pub mod io;

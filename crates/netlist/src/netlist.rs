@@ -448,6 +448,19 @@ impl Netlist {
         (out, map)
     }
 
+    /// Cone-of-influence restriction: the [`slice`](Netlist::slice)
+    /// rooted at every declared primary output. Imported netlists
+    /// (AIGER, BENCH, BNET files) routinely carry logic that feeds no
+    /// output — scan chains, debug taps, synthesis leftovers — and the
+    /// file loaders apply this before verification so dead logic never
+    /// reaches polynomial extraction or SBIF. Inputs survive in
+    /// declaration order (the slice is interface preserving), so bus
+    /// grouping and constrained stimulus are unaffected.
+    pub fn restricted_to_outputs(&self) -> Netlist {
+        let roots: Vec<Sig> = self.outputs.iter().map(|(_, s)| *s).collect();
+        self.slice(&roots).0
+    }
+
     /// Summary statistics.
     pub fn stats(&self) -> NetlistStats {
         let mut st = NetlistStats {

@@ -70,6 +70,45 @@ echo "==> trace gate (NDJSON contract + golden metrics byte-compare)"
 cmp "$FUZZ_TMP/metrics-1.json" "$FUZZ_TMP/metrics-4.json"
 cmp "$FUZZ_TMP/metrics-1.json" tests/golden/metrics_nonrestoring_n8.json
 
+echo "==> service gate (frontends + result cache + sbif-serve smoke)"
+# The verification-service layer (DESIGN.md §15): the parser
+# conformance suite (AIGER/BENCH golden fixtures, write->parse
+# round-trip properties, located rejection), the cache differential
+# suite (cold = warm byte-identical at --jobs 1 and 4, dirty-cone
+# invalidation), and the daemon protocol tests.
+cargo test -q --offline --test frontends
+cargo test -q --offline --test cache
+cargo test -q --offline --test serve
+# Release-binary smoke: a daemon answers a job, a duplicate job hits
+# the shared cache, and shutdown is clean — all inside a 10 s timeout
+# so a wedged daemon fails the gate instead of hanging it.
+SERVE_SOCK="$FUZZ_TMP/serve.sock"
+timeout 10 ./target/release/sbif-serve "$SERVE_SOCK" \
+    --cache-dir "$FUZZ_TMP/serve-cache" > /dev/null &
+SERVE_PID=$!
+for _ in $(seq 100); do [ -S "$SERVE_SOCK" ] && break; sleep 0.1; done
+./target/release/sbif-serve submit "$SERVE_SOCK" \
+    '{"op": "verify", "id": 1, "demo": 6}' | grep -q '"verdict": "correct"'
+./target/release/sbif-serve submit "$SERVE_SOCK" \
+    '{"op": "verify", "id": 2, "demo": 6}' | grep -q '"cached": true'
+./target/release/sbif-serve stop "$SERVE_SOCK" > /dev/null
+wait "$SERVE_PID"
+# Warm-over-cold on the fuzz side: a re-run over an unchanged corpus
+# must reproduce the kill matrix byte for byte while skipping every
+# already-judged seed and mutant (zero cache misses).
+./target/release/sbif-fuzz --arch nonrestoring --n 4 --count 3 \
+    --cache-dir "$FUZZ_TMP/fuzz-cache" --json "$FUZZ_TMP/kill-cold.json" \
+    --metrics-out "$FUZZ_TMP/fm-cold.json" > /dev/null
+./target/release/sbif-fuzz --arch nonrestoring --n 4 --count 3 \
+    --cache-dir "$FUZZ_TMP/fuzz-cache" --json "$FUZZ_TMP/kill-warm.json" \
+    --metrics-out "$FUZZ_TMP/fm-warm.json" > /dev/null
+cmp "$FUZZ_TMP/kill-cold.json" "$FUZZ_TMP/kill-warm.json"
+grep -q '"cache.misses": 0,' "$FUZZ_TMP/fm-warm.json"
+if grep -q '"sbif.windows_solved"' "$FUZZ_TMP/fm-warm.json"; then
+    echo "verify.sh: warm fuzz re-run still solved SBIF windows" >&2
+    exit 1
+fi
+
 echo "==> bdd gate (differential + property harness)"
 # The BDD engine's own acceptance harness: every root of random
 # netlists differentially checked against exhaustive truth-table

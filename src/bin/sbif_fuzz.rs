@@ -4,6 +4,7 @@
 //! sbif-fuzz [--smoke] [--seed N] [--jobs N] [--arch A]... [--n W]...
 //!           [--count K] [--certify] [--no-shrink] [--json FILE]
 //!           [--corpus-dir DIR] [--min-semantic K] [--metrics-out FILE]
+//!           [--cache-dir DIR]
 //! ```
 //!
 //! Generates dividers, injects gate-level faults (see `sbif-fuzz`'s
@@ -20,13 +21,23 @@
 //! `--smoke` selects the fixed CI profile (seed, archs, widths, counts)
 //! and enforces `--min-semantic 200` unless overridden; the JSON kill
 //! matrix is byte-identical for every `--jobs` value. So is the
-//! deterministic `fuzz.*` metrics report that `--metrics-out FILE`
-//! writes (canonical `sbif-metrics-v1` JSON, DESIGN.md §12).
+//! deterministic metrics report that `--metrics-out FILE` writes
+//! (canonical `sbif-metrics-v1` JSON, DESIGN.md §12): the `fuzz.*`
+//! tallies mirror the kill matrix, the `sbif.*`/`rewrite.*`/`vc2.*`
+//! totals measure the campaign's actual symbolic work, and the
+//! `cache.*` counters account what `--cache-dir DIR` saved.
+//!
+//! `--cache-dir DIR` attaches the content-addressed outcome cache
+//! (DESIGN.md §15): structurally identical mutants are proved once per
+//! campaign, and a re-run over an unchanged corpus skips every
+//! already-judged seed and mutant while reproducing the kill matrix
+//! byte for byte.
 //!
 //! Exit code 0 = campaign passed, 1 = escapes/false alarms/crashes (or
 //! too few semantic mutants), 2 = usage error.
 
-use sbif::fuzz::{run_campaign, Arch, CampaignConfig, FaultModel};
+use sbif::cache::ResultCache;
+use sbif::fuzz::{default_pipeline_recorded, run_campaign_with_cache, Arch, CampaignConfig, FaultModel};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
@@ -34,7 +45,7 @@ fn usage() -> ExitCode {
         "usage: sbif-fuzz [--smoke] [--seed N] [--jobs N] [--arch A]... [--n W]...\n\
          \x20               [--model M]... [--count K] [--certify] [--no-shrink]\n\
          \x20               [--json FILE] [--corpus-dir DIR] [--min-semantic K]\n\
-         \x20               [--metrics-out FILE]\n\
+         \x20               [--metrics-out FILE] [--cache-dir DIR]\n\
          archs: nonrestoring restoring array srt\n\
          models: {}",
         FaultModel::all().map(|m| m.name()).join(" ")
@@ -53,6 +64,7 @@ fn main() -> ExitCode {
     let mut corpus_dir: Option<String> = None;
     let mut min_semantic: Option<usize> = None;
     let mut metrics_out: Option<String> = None;
+    let mut cache_dir: Option<String> = None;
     cfg.jobs = std::thread::available_parallelism().map_or(1, |n| n.get());
 
     let mut i = 0;
@@ -132,6 +144,11 @@ fn main() -> ExitCode {
                 metrics_out = Some(p.clone());
                 i += 2;
             }
+            "--cache-dir" => {
+                let Some(p) = args.get(i + 1) else { return usage() };
+                cache_dir = Some(p.clone());
+                i += 2;
+            }
             _ => return usage(),
         }
     }
@@ -162,11 +179,25 @@ fn main() -> ExitCode {
         cfg.widths,
         cfg.per_model
     );
-    let report = run_campaign(&cfg);
+    let cache = match &cache_dir {
+        Some(dir) => match ResultCache::on_disk(dir) {
+            Ok(c) => Some(c),
+            Err(e) => {
+                eprintln!("cannot open cache dir {dir}: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => None,
+    };
+    // One recorder observes every verifier run of the campaign, so the
+    // sbif.* totals in --metrics-out measure the actual symbolic work —
+    // on a warm cache they drop while the kill matrix stays identical.
+    let rec = sbif::trace::Recorder::new();
+    let pipeline = default_pipeline_recorded(cfg.certify, cfg.max_terms, rec.clone());
+    let report = run_campaign_with_cache(&cfg, &pipeline, cache.as_ref());
     print!("{}", report.human_summary());
 
     if let Some(path) = &metrics_out {
-        let rec = sbif::trace::Recorder::new();
         report.record_metrics(&rec);
         if let Err(e) = std::fs::write(path, rec.finish().to_json()) {
             eprintln!("cannot write {path}: {e}");

@@ -2,17 +2,32 @@
 //! line.
 //!
 //! ```text
-//! sbif-verify <netlist.bnet> [--vc1-only] [--no-sbif] [--certify] [--max-terms N] [--jobs N]
-//!             [--trace pretty|json] [--trace-out FILE] [--metrics-out FILE] [--analysis-out FILE]
+//! sbif-verify <netlist> [--vc1-only] [--no-sbif] [--certify] [--max-terms N] [--jobs N]
+//!             [--cache-dir DIR] [--trace pretty|json] [--trace-out FILE]
+//!             [--metrics-out FILE] [--analysis-out FILE]
 //! sbif-verify --demo <n>          # generate and verify an n-bit divider
 //! sbif-verify --emit <n> <file>   # write an n-bit divider as BNET
 //! ```
 //!
-//! Netlist files are first run through the `sbif-lint` static analyzer;
-//! hard errors (cycles, undriven signals, …) abort before verification.
+//! Netlist files may be BNET (`.bnet`, anything else), AIGER ASCII
+//! (`.aag`) or ISCAS BENCH (`.bench`/`.isc`) — the format is chosen by
+//! extension. BNET files are first run through the `sbif-lint` static
+//! analyzer; hard errors (cycles, undriven signals, …) abort before
+//! verification (the AIGER/BENCH parsers reject those structurally,
+//! with line/column positions). File inputs are cone-of-influence
+//! restricted to their declared outputs before verification, so
+//! synthesis leftovers outside the divider cone cost nothing.
 //! With `--certify`, every UNSAT answer of the flow is replayed through
 //! the independent DRAT checker and the certificate statistics are
 //! reported; a rejected certificate means the run is *not* trusted.
+//!
+//! `--cache-dir DIR` attaches the content-addressed result cache
+//! (DESIGN.md §15): the design's canonical cone digests plus the flow
+//! configuration (with `--jobs` normalized away) form the key; a hit
+//! replays the stored verdict and the byte-identical `sbif-metrics-v1`
+//! stub of the original run without verifying anything, a miss proves
+//! and stores. The same cache directory is shared with `sbif-serve`
+//! and `sbif-fuzz --cache-dir`.
 //!
 //! `--trace pretty` prints the live phase tree (spans, wall times) to
 //! stderr; `--trace json` emits the NDJSON event stream instead
@@ -30,17 +45,20 @@
 //! Exit code 0 = verified correct, 1 = refuted/failed, 2 = usage or
 //! resource error.
 
+use sbif::cache::{Entry, ResultCache};
 use sbif::check::lint_bnet;
 use sbif::core::verify::{DividerVerifier, Vc1Outcome, VerifierConfig};
 use sbif::netlist::build::{nonrestoring_divider, Divider};
-use sbif::netlist::io::{read_bnet, write_bnet};
+use sbif::netlist::io::{read_netlist, write_bnet, Format};
+use sbif::serve::design_key;
 use sbif::trace::{NdjsonSink, PrettySink, Recorder};
 use std::io::Write;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: sbif-verify <netlist.bnet> [--vc1-only] [--no-sbif] [--certify] [--max-terms N] [--jobs N]\n\
+        "usage: sbif-verify <netlist(.bnet|.aag|.bench)> [--vc1-only] [--no-sbif] [--certify]\n\
+         \x20                [--max-terms N] [--jobs N] [--cache-dir DIR]\n\
          \x20                [--trace pretty|json] [--trace-out FILE] [--metrics-out FILE]\n\
          \x20                [--analysis-out FILE]\n\
          \x20      sbif-verify --demo <n>\n\
@@ -90,6 +108,7 @@ fn main() -> ExitCode {
     let mut trace_out: Option<String> = None;
     let mut metrics_out: Option<String> = None;
     let mut analysis_out: Option<String> = None;
+    let mut cache_dir: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -151,6 +170,11 @@ fn main() -> ExitCode {
                 analysis_out = Some(path.clone());
                 i += 2;
             }
+            "--cache-dir" => {
+                let Some(path) = args.get(i + 1) else { return usage() };
+                cache_dir = Some(path.clone());
+                i += 2;
+            }
             "--max-terms" => {
                 let Some(limit) = args.get(i + 1).and_then(|s| s.parse::<usize>().ok())
                 else {
@@ -167,28 +191,36 @@ fn main() -> ExitCode {
                         return ExitCode::from(2);
                     }
                 };
-                // Static analysis before anything interprets the file:
-                // a cyclic or undriven netlist must not reach polynomial
-                // extraction or SAT encoding.
-                let lint = lint_bnet(&text);
-                for issue in &lint.issues {
-                    eprintln!("{path}: {issue}");
+                let format = Format::from_path(path);
+                // Static analysis before anything interprets a BNET
+                // file: a cyclic or undriven netlist must not reach
+                // polynomial extraction or SAT encoding. The AIGER and
+                // BENCH parsers enforce those invariants themselves.
+                if matches!(format, Format::Bnet) {
+                    let lint = lint_bnet(&text);
+                    for issue in &lint.issues {
+                        eprintln!("{path}: {issue}");
+                    }
+                    if lint.num_errors() > 0 {
+                        eprintln!(
+                            "{path}: {} lint error(s) — refusing to verify",
+                            lint.num_errors()
+                        );
+                        return ExitCode::from(2);
+                    }
                 }
-                if lint.num_errors() > 0 {
-                    eprintln!(
-                        "{path}: {} lint error(s) — refusing to verify",
-                        lint.num_errors()
-                    );
-                    return ExitCode::from(2);
-                }
-                let nl = match read_bnet(&text) {
+                let nl = match read_netlist(&text, format) {
                     Ok(nl) => nl,
                     Err(e) => {
                         eprintln!("{path}: {e}");
                         return ExitCode::from(2);
                     }
                 };
-                match Divider::from_netlist(nl) {
+                // Restrict file inputs to the cone of influence of
+                // their declared outputs: synthesis leftovers outside
+                // the divider cone must not slow verification down or
+                // perturb the cache key.
+                match Divider::from_netlist(nl.restricted_to_outputs()) {
                     Ok(d) => divider = Some(d),
                     Err(e) => {
                         eprintln!("{path}: {e}");
@@ -204,6 +236,46 @@ fn main() -> ExitCode {
     // A file target without an explicit mode means the machine stream.
     if trace_out.is_some() && trace_mode.is_none() {
         trace_mode = Some(TraceMode::Json);
+    }
+
+    // The content-addressed result cache: a hit replays the stored
+    // verdict and metrics stub byte-identically and skips the run.
+    struct KeyedCache {
+        cache: ResultCache,
+        key: u128,
+        cones: Vec<(u64, bool)>,
+    }
+    let mut cache_key: Option<KeyedCache> = None;
+    if let Some(dir) = &cache_dir {
+        let cache = match ResultCache::on_disk(dir) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("cannot open cache dir {dir}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let (key, cones) = design_key(&divider, &config);
+        if let Some(entry) = cache.lookup(key, &cones).entry {
+            let correct = entry.verdict == "correct";
+            println!(
+                "verifying {}-bit divider ({} signals) against Definition 1 …",
+                divider.n,
+                divider.netlist.num_signals()
+            );
+            if let Some(path) = &metrics_out {
+                if let Err(e) = std::fs::write(path, &entry.payload) {
+                    eprintln!("cannot write {path}: {e}");
+                    return ExitCode::from(2);
+                }
+                println!("metrics report written to {path}");
+            }
+            println!(
+                "VERDICT: {} (cached)",
+                if correct { "correct" } else { "NOT correct" }
+            );
+            return if correct { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+        }
+        cache_key = Some(KeyedCache { cache, key, cones });
     }
 
     // One recorder observes the whole run; sinks stream events as the
@@ -295,7 +367,15 @@ fn main() -> ExitCode {
             100.0 * cert.used_fraction()
         );
     }
-    if report.is_correct() && certified_ok {
+    let correct = report.is_correct() && certified_ok;
+    if let Some(kc) = &cache_key {
+        let verdict = if correct { "correct" } else { "not-correct" };
+        let entry = Entry::new(verdict, report.metrics.to_json());
+        if let Err(e) = kc.cache.store(kc.key, &kc.cones, &entry) {
+            eprintln!("cannot store cache entry: {e}");
+        }
+    }
+    if correct {
         println!("VERDICT: correct");
         ExitCode::SUCCESS
     } else {

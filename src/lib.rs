@@ -10,6 +10,8 @@
 //!   (ternary propagation, structural hashing, cone slicing, shadow
 //!   signatures) that prefilters SBIF's SAT work, see DESIGN.md §14,
 //! * [`apint`] — arbitrary-precision signed integers,
+//! * [`cache`] — the content-addressed verification result cache
+//!   keyed by canonical cone digests (`--cache-dir`, DESIGN.md §15),
 //! * [`poly`] — pseudo-Boolean polynomials,
 //! * [`netlist`] — gate-level circuits and divider generators,
 //! * [`sat`] — a CDCL SAT solver with Tseitin encoding,
@@ -38,9 +40,12 @@
 //! # }
 //! ```
 
+pub mod serve;
+
 pub use sbif_analysis as analysis;
 pub use sbif_apint as apint;
 pub use sbif_bdd as bdd;
+pub use sbif_cache as cache;
 pub use sbif_cec as cec;
 pub use sbif_check as check;
 pub use sbif_core as core;

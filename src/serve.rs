@@ -1,0 +1,619 @@
+//! `sbif-serve` — the verification job server (DESIGN.md §15).
+//!
+//! A long-running daemon over a **local Unix socket** speaking
+//! line-delimited JSON (`sbif-serve-v1`). Each connection sends one
+//! request object per line and reads tagged response lines; jobs on
+//! different connections run concurrently in their own threads, all
+//! sharing one content-addressed [`ResultCache`], so a design any job
+//! has already judged — under the same flow configuration — is
+//! answered from the cache with its stored verdict and the
+//! byte-identical `sbif-metrics-v1` stub of the original run.
+//!
+//! # Protocol
+//!
+//! Requests (one JSON object per line):
+//!
+//! ```text
+//! {"op": "verify", "id": 1, "demo": 8}
+//! {"op": "verify", "id": 2, "format": "aag", "source": "aag 0 0 0 0 0\n",
+//!  "jobs": 4, "trace": true, "vc1_only": true, "certify": true, "max_terms": 1000000}
+//! {"op": "ping"}
+//! {"op": "stats"}
+//! {"op": "shutdown"}
+//! ```
+//!
+//! `demo` generates an n-bit non-restoring divider; `format`/`source`
+//! carry a netlist as text (`bnet`, `aag` or `bench`), which is parsed,
+//! cone-of-influence restricted to its declared outputs
+//! ([`Netlist::restricted_to_outputs`]) and bound to the Definition-1
+//! divider interface. `jobs` sets the SBIF worker count for this job
+//! (verdicts and logical metrics are identical for any value).
+//!
+//! Responses — every job-scoped line carries the request's `id`:
+//!
+//! ```text
+//! {"job": 1, "ev": "accepted"}
+//! {"job": 1, "ev": "trace", "line": "{\"ev\": \"span_open\", ...}"}
+//! {"job": 1, "ev": "result", "verdict": "correct", "cached": false, "n": 8,
+//!  "metrics": "<canonical sbif-metrics-v1 JSON, escaped>"}
+//! {"job": 2, "ev": "error", "message": "..."}
+//! {"ev": "pong"}   {"ev": "stats", "serve.jobs": 3, ...}   {"ev": "bye"}
+//! ```
+//!
+//! With `"trace": true` the job streams its live NDJSON trace, one
+//! event per `trace` response; unescaping the `line` fields in order
+//! reconstructs exactly the stream `sbif-verify --trace json` would
+//! have written, so `sbif-trace check` validates it unchanged. A
+//! cache-hit job streams no trace events (nothing ran).
+//!
+//! The same module hosts the cached-verification flow shared with the
+//! `sbif-verify` CLI: [`flow_fingerprint`], [`design_key`],
+//! [`verify_cached`] and [`load_divider`].
+
+use sbif_analysis::design_digest;
+use sbif_cache::{Entry, ResultCache};
+use sbif_check::lint_bnet;
+use sbif_core::verify::{DividerVerifier, VerifierConfig};
+use sbif_netlist::build::{nonrestoring_divider, Divider};
+use sbif_netlist::io::{read_netlist, Format};
+use sbif_trace::json::{escape, parse, Value};
+use sbif_trace::{NdjsonSink, Recorder};
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+// ---------------------------------------------------------------------
+// The cached verification flow (shared with the sbif-verify CLI)
+// ---------------------------------------------------------------------
+
+/// The flow-configuration fingerprint bound into every cache key.
+///
+/// Everything that can change a verdict or the deterministic metrics
+/// payload is included; the SBIF worker count is normalized away
+/// because the jobs-determinism contract (DESIGN.md §12) guarantees it
+/// changes neither — so runs at `--jobs 1` and `--jobs 4` share cache
+/// entries.
+pub fn flow_fingerprint(config: &VerifierConfig) -> String {
+    let mut c = *config;
+    c.sbif.jobs = 0;
+    format!("sbif-verify-flow-v1 {c:?}")
+}
+
+/// The content-addressed cache key of one (design, flow config) pair:
+/// the 128-bit design key plus the per-cone digests used for
+/// dirty-cone accounting.
+pub fn design_key(div: &Divider, config: &VerifierConfig) -> (u128, Vec<(u64, bool)>) {
+    let dd = design_digest(
+        &div.netlist,
+        Some(div.constraint),
+        &flow_fingerprint(config),
+    );
+    let cones = dd.cones.iter().map(|c| (c.core, c.phase)).collect();
+    (dd.key, cones)
+}
+
+/// What one verification job produced.
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    /// `"correct"` or `"not-correct"`.
+    pub verdict: String,
+    /// Convenience: `verdict == "correct"`.
+    pub correct: bool,
+    /// `true` when the verdict came from the cache (nothing ran).
+    pub cached: bool,
+    /// `true` when this run wrote a fresh cache entry.
+    pub stored: bool,
+    /// The canonical `sbif-metrics-v1` JSON of the run that judged this
+    /// design — replayed byte-identically on every later hit.
+    pub metrics_json: String,
+}
+
+/// Verifies `div` under `config`, resolving and feeding the result
+/// cache when one is attached. On a hit the stored verdict and metrics
+/// stub are returned verbatim and the verifier never runs; `recorder`
+/// observes only real runs, so trace streams and `sbif.*` totals
+/// measure actual work.
+///
+/// # Errors
+///
+/// The verifier's resource errors (term-limit blow-up), as a message.
+/// Aborted runs are never cached.
+pub fn verify_cached(
+    div: &Divider,
+    config: VerifierConfig,
+    cache: Option<&ResultCache>,
+    recorder: Recorder,
+) -> Result<JobOutcome, String> {
+    let keyed = cache.map(|c| {
+        let (key, cones) = design_key(div, &config);
+        (c, key, cones)
+    });
+    if let Some((c, key, cones)) = &keyed {
+        if let Some(entry) = c.lookup(*key, cones).entry {
+            let correct = entry.verdict == "correct";
+            return Ok(JobOutcome {
+                verdict: entry.verdict,
+                correct,
+                cached: true,
+                stored: false,
+                metrics_json: entry.payload,
+            });
+        }
+    }
+    let report = DividerVerifier::new(div)
+        .with_config(config)
+        .with_recorder(recorder)
+        .verify()
+        .map_err(|e| e.to_string())?;
+    let certified = !config.certify || report.certificates().all_accepted();
+    let correct = report.is_correct() && certified;
+    let verdict = if correct { "correct" } else { "not-correct" };
+    let metrics_json = report.metrics.to_json();
+    let mut stored = false;
+    if let Some((c, key, cones)) = &keyed {
+        stored = c.store(*key, cones, &Entry::new(verdict, &metrics_json)).is_ok();
+    }
+    Ok(JobOutcome {
+        verdict: verdict.to_string(),
+        correct,
+        cached: false,
+        stored,
+        metrics_json,
+    })
+}
+
+/// Parses a netlist in any supported frontend format, lints it (BNET
+/// carries the full static analyzer; the AIGER/BENCH parsers already
+/// reject cycles and undriven logic structurally), restricts it to the
+/// cone of influence of its declared outputs and binds it to the
+/// Definition-1 divider interface.
+///
+/// # Errors
+///
+/// Lint errors, parse errors (with line/column) and interface-binding
+/// failures, as a message.
+pub fn load_divider(text: &str, format: Format) -> Result<Divider, String> {
+    if matches!(format, Format::Bnet) {
+        let lint = lint_bnet(text);
+        if lint.num_errors() > 0 {
+            let first = lint
+                .issues
+                .iter()
+                .map(|i| i.to_string())
+                .next()
+                .unwrap_or_default();
+            return Err(format!(
+                "{} lint error(s) — refusing to verify ({first})",
+                lint.num_errors()
+            ));
+        }
+    }
+    let nl = read_netlist(text, format).map_err(|e| e.to_string())?;
+    Divider::from_netlist(nl.restricted_to_outputs())
+}
+
+// ---------------------------------------------------------------------
+// The daemon
+// ---------------------------------------------------------------------
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Path of the Unix socket to listen on (a stale file is replaced).
+    pub socket: PathBuf,
+    /// Persist the shared result cache here (`None` = in-memory only).
+    pub cache_dir: Option<PathBuf>,
+    /// SBIF worker count for jobs that don't send `"jobs"`.
+    pub default_jobs: usize,
+}
+
+#[derive(Default)]
+struct Stats {
+    connections: AtomicU64,
+    jobs: AtomicU64,
+    jobs_ok: AtomicU64,
+    jobs_failed: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    cache_stores: AtomicU64,
+}
+
+impl Stats {
+    fn bump(&self, c: &AtomicU64) {
+        c.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// One `stats` response line; the dotted keys double as the
+    /// counter names of the daemon's final metrics report.
+    fn to_line(&self) -> String {
+        format!(
+            "{{\"ev\": \"stats\", \"serve.connections\": {}, \"serve.jobs\": {}, \
+             \"serve.jobs_ok\": {}, \"serve.jobs_failed\": {}, \"cache.hits\": {}, \
+             \"cache.misses\": {}, \"cache.stores\": {}}}",
+            self.connections.load(Ordering::SeqCst),
+            self.jobs.load(Ordering::SeqCst),
+            self.jobs_ok.load(Ordering::SeqCst),
+            self.jobs_failed.load(Ordering::SeqCst),
+            self.cache_hits.load(Ordering::SeqCst),
+            self.cache_misses.load(Ordering::SeqCst),
+            self.cache_stores.load(Ordering::SeqCst),
+        )
+    }
+
+    fn record(&self, rec: &Recorder) {
+        rec.add("serve.connections", self.connections.load(Ordering::SeqCst));
+        rec.add("serve.jobs", self.jobs.load(Ordering::SeqCst));
+        rec.add("serve.jobs_ok", self.jobs_ok.load(Ordering::SeqCst));
+        rec.add("serve.jobs_failed", self.jobs_failed.load(Ordering::SeqCst));
+        rec.add("cache.hits", self.cache_hits.load(Ordering::SeqCst));
+        rec.add("cache.misses", self.cache_misses.load(Ordering::SeqCst));
+        rec.add("cache.stores", self.cache_stores.load(Ordering::SeqCst));
+    }
+}
+
+struct Ctx {
+    cache: ResultCache,
+    stats: Stats,
+    stop: AtomicBool,
+    socket: PathBuf,
+    default_jobs: usize,
+}
+
+/// A bound, not-yet-running job server. Splitting bind from
+/// [`Server::run`] lets the caller announce readiness after the socket
+/// exists and before the accept loop blocks.
+pub struct Server {
+    listener: UnixListener,
+    ctx: Arc<Ctx>,
+}
+
+impl Server {
+    /// Binds the socket and opens (or creates) the shared cache.
+    ///
+    /// # Errors
+    ///
+    /// Socket binding or cache-directory creation failures.
+    pub fn bind(opts: &ServeOptions) -> io::Result<Server> {
+        let _ = std::fs::remove_file(&opts.socket);
+        let listener = UnixListener::bind(&opts.socket)?;
+        let cache = match &opts.cache_dir {
+            Some(dir) => ResultCache::on_disk(dir)?,
+            None => ResultCache::in_memory(),
+        };
+        Ok(Server {
+            listener,
+            ctx: Arc::new(Ctx {
+                cache,
+                stats: Stats::default(),
+                stop: AtomicBool::new(false),
+                socket: opts.socket.clone(),
+                default_jobs: opts.default_jobs.max(1),
+            }),
+        })
+    }
+
+    /// Whether the shared cache persists to disk.
+    pub fn cache_is_persistent(&self) -> bool {
+        self.ctx.cache.is_persistent()
+    }
+
+    /// Serves connections until a `shutdown` request arrives, then
+    /// joins every worker, removes the socket file and returns the
+    /// final `serve.*`/`cache.*` counters.
+    pub fn run(self) -> sbif_trace::MetricsReport {
+        let mut workers = Vec::new();
+        for conn in self.listener.incoming() {
+            if self.ctx.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = conn else { continue };
+            let ctx = self.ctx.clone();
+            workers.push(std::thread::spawn(move || {
+                let _ = handle_connection(stream, &ctx);
+            }));
+        }
+        for w in workers {
+            let _ = w.join();
+        }
+        let _ = std::fs::remove_file(&self.ctx.socket);
+        let rec = Recorder::new();
+        self.ctx.stats.record(&rec);
+        rec.finish()
+    }
+}
+
+type SharedWriter = Arc<Mutex<BufWriter<UnixStream>>>;
+
+fn send(writer: &SharedWriter, line: &str) -> io::Result<()> {
+    let mut w = writer.lock().expect("serve writer poisoned");
+    writeln!(w, "{line}")?;
+    w.flush()
+}
+
+/// A [`Write`] adapter that chops the NDJSON trace stream of one job
+/// into lines and forwards each as a `trace` response, so concurrent
+/// jobs on other connections can never interleave into it.
+struct JobTraceWriter {
+    job: u64,
+    out: SharedWriter,
+    buf: Vec<u8>,
+}
+
+impl Write for JobTraceWriter {
+    fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+        self.buf.extend_from_slice(data);
+        while let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = self.buf.drain(..=pos).collect();
+            let line = String::from_utf8_lossy(&line[..line.len() - 1]).into_owned();
+            send(
+                &self.out,
+                &format!(
+                    "{{\"job\": {}, \"ev\": \"trace\", \"line\": \"{}\"}}",
+                    self.job,
+                    escape(&line)
+                ),
+            )?;
+        }
+        Ok(data.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+fn handle_connection(stream: UnixStream, ctx: &Arc<Ctx>) -> io::Result<()> {
+    ctx.stats.bump(&ctx.stats.connections);
+    let reader = BufReader::new(stream.try_clone()?);
+    let writer: SharedWriter = Arc::new(Mutex::new(BufWriter::new(stream)));
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let parsed = match parse(&line) {
+            Ok(v) => v,
+            Err(e) => {
+                send(&writer, &error_line(None, &format!("not valid JSON: {e}")))?;
+                continue;
+            }
+        };
+        let Some(obj) = parsed.as_object().cloned() else {
+            send(&writer, &error_line(None, "request is not a JSON object"))?;
+            continue;
+        };
+        match obj.get("op").and_then(Value::as_str) {
+            Some("ping") => send(&writer, "{\"ev\": \"pong\"}")?,
+            Some("stats") => send(&writer, &ctx.stats.to_line())?,
+            Some("shutdown") => {
+                // Flag first, farewell second: a client that fired the
+                // request and hung up must still stop the daemon, so
+                // the `bye` write is best-effort.
+                ctx.stop.store(true, Ordering::SeqCst);
+                // Nudge the blocked acceptor so it observes the flag.
+                let _ = UnixStream::connect(&ctx.socket);
+                let _ = send(&writer, "{\"ev\": \"bye\"}");
+                return Ok(());
+            }
+            Some("verify") => handle_verify(&obj, &writer, ctx)?,
+            Some(other) => {
+                send(&writer, &error_line(None, &format!("unknown op {other:?}")))?
+            }
+            None => send(&writer, &error_line(None, "missing \"op\""))?,
+        }
+    }
+    Ok(())
+}
+
+fn error_line(job: Option<u64>, message: &str) -> String {
+    match job {
+        Some(id) => format!(
+            "{{\"job\": {id}, \"ev\": \"error\", \"message\": \"{}\"}}",
+            escape(message)
+        ),
+        None => format!("{{\"ev\": \"error\", \"message\": \"{}\"}}", escape(message)),
+    }
+}
+
+fn handle_verify(
+    obj: &std::collections::BTreeMap<String, Value>,
+    writer: &SharedWriter,
+    ctx: &Arc<Ctx>,
+) -> io::Result<()> {
+    let id = obj.get("id").and_then(Value::as_u64).unwrap_or(0);
+    ctx.stats.bump(&ctx.stats.jobs);
+    send(writer, &format!("{{\"job\": {id}, \"ev\": \"accepted\"}}"))?;
+
+    let div = match divider_of_request(obj) {
+        Ok(d) => d,
+        Err(msg) => {
+            ctx.stats.bump(&ctx.stats.jobs_failed);
+            return send(writer, &error_line(Some(id), &msg));
+        }
+    };
+
+    let mut config = VerifierConfig::default();
+    config.sbif.jobs = obj
+        .get("jobs")
+        .and_then(Value::as_u64)
+        .map_or(ctx.default_jobs, |j| (j as usize).max(1));
+    if matches!(obj.get("vc1_only"), Some(Value::Bool(true))) {
+        config.check_vc2 = false;
+    }
+    if matches!(obj.get("certify"), Some(Value::Bool(true))) {
+        config.certify = true;
+    }
+    if let Some(mt) = obj.get("max_terms").and_then(Value::as_u64) {
+        config.rewrite.max_terms = Some(mt as usize);
+    }
+
+    let recorder = Recorder::new();
+    if matches!(obj.get("trace"), Some(Value::Bool(true))) {
+        recorder.attach(Box::new(NdjsonSink::new(JobTraceWriter {
+            job: id,
+            out: writer.clone(),
+            buf: Vec::new(),
+        })));
+    }
+
+    match verify_cached(&div, config, Some(&ctx.cache), recorder) {
+        Ok(out) => {
+            ctx.stats.bump(if out.cached {
+                &ctx.stats.cache_hits
+            } else {
+                &ctx.stats.cache_misses
+            });
+            if out.stored {
+                ctx.stats.bump(&ctx.stats.cache_stores);
+            }
+            ctx.stats.bump(&ctx.stats.jobs_ok);
+            send(
+                writer,
+                &format!(
+                    "{{\"job\": {id}, \"ev\": \"result\", \"verdict\": \"{}\", \
+                     \"cached\": {}, \"n\": {}, \"metrics\": \"{}\"}}",
+                    out.verdict,
+                    out.cached,
+                    div.n,
+                    escape(&out.metrics_json)
+                ),
+            )
+        }
+        Err(msg) => {
+            ctx.stats.bump(&ctx.stats.jobs_failed);
+            send(writer, &error_line(Some(id), &msg))
+        }
+    }
+}
+
+fn divider_of_request(
+    obj: &std::collections::BTreeMap<String, Value>,
+) -> Result<Divider, String> {
+    if let Some(n) = obj.get("demo").and_then(Value::as_u64) {
+        if !(2..=64).contains(&n) {
+            return Err(format!("demo width must be in 2..=64, got {n}"));
+        }
+        return Ok(nonrestoring_divider(n as usize));
+    }
+    let Some(source) = obj.get("source").and_then(Value::as_str) else {
+        return Err("verify needs either \"demo\": N or \"format\" + \"source\"".into());
+    };
+    let format = match obj.get("format").and_then(Value::as_str) {
+        Some("bnet") | None => Format::Bnet,
+        Some("aag") | Some("aiger") => Format::Aag,
+        Some("bench") | Some("isc") => Format::Bench,
+        Some(other) => return Err(format!("unknown format {other:?}")),
+    };
+    load_divider(source, format)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_normalizes_jobs_but_binds_everything_else() {
+        let base = VerifierConfig::default();
+        let mut jobs4 = base;
+        jobs4.sbif.jobs = 4;
+        assert_eq!(flow_fingerprint(&base), flow_fingerprint(&jobs4));
+
+        let mut vc1 = base;
+        vc1.check_vc2 = false;
+        assert_ne!(flow_fingerprint(&base), flow_fingerprint(&vc1));
+        let mut terms = base;
+        terms.rewrite.max_terms = Some(123);
+        assert_ne!(flow_fingerprint(&base), flow_fingerprint(&terms));
+    }
+
+    #[test]
+    fn verify_cached_replays_the_stub_byte_for_byte() {
+        let div = nonrestoring_divider(3);
+        let cache = ResultCache::in_memory();
+        let cold = verify_cached(
+            &div,
+            VerifierConfig::default(),
+            Some(&cache),
+            Recorder::new(),
+        )
+        .unwrap();
+        assert!(cold.correct && !cold.cached && cold.stored);
+        assert!(cold.metrics_json.contains("sbif-metrics-v1"));
+
+        // Warm: same key even at a different jobs count; the stub is
+        // the stored bytes, and nothing is recorded (nothing ran).
+        let mut warm_cfg = VerifierConfig::default();
+        warm_cfg.sbif.jobs = 4;
+        let rec = Recorder::new();
+        let warm = verify_cached(&div, warm_cfg, Some(&cache), rec.clone()).unwrap();
+        assert!(warm.correct && warm.cached && !warm.stored);
+        assert_eq!(warm.metrics_json, cold.metrics_json);
+        assert_eq!(rec.finish().counters.len(), 0);
+    }
+
+    #[test]
+    fn load_divider_parses_and_coi_restricts_every_format() {
+        use sbif_netlist::io::{write_bnet, Format};
+        let div = nonrestoring_divider(3);
+        let bnet = write_bnet(&div.netlist);
+        let loaded = load_divider(&bnet, Format::Bnet).unwrap();
+        assert_eq!(loaded.n, 3);
+        let aag = sbif_netlist::aiger::write_aag(&div.netlist);
+        assert_eq!(load_divider(&aag, Format::Aag).unwrap().n, 3);
+        let bench = sbif_netlist::bench::write_bench(&div.netlist);
+        assert_eq!(load_divider(&bench, Format::Bench).unwrap().n, 3);
+        // Broken input surfaces as a message, not a panic.
+        assert!(load_divider("aag x", Format::Aag).unwrap_err().contains("line 1"));
+    }
+
+    #[test]
+    fn daemon_answers_ping_verify_stats_and_shuts_down() {
+        let socket = std::env::temp_dir()
+            .join(format!("sbif_serve_unit_{}.sock", std::process::id()));
+        let server = Server::bind(&ServeOptions {
+            socket: socket.clone(),
+            cache_dir: None,
+            default_jobs: 1,
+        })
+        .unwrap();
+        let daemon = std::thread::spawn(move || server.run());
+
+        let stream = UnixStream::connect(&socket).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut w = stream;
+        let mut ask = |req: &str, reader: &mut BufReader<UnixStream>| -> Vec<String> {
+            writeln!(w, "{req}").unwrap();
+            w.flush().unwrap();
+            let mut lines = Vec::new();
+            loop {
+                let mut line = String::new();
+                reader.read_line(&mut line).unwrap();
+                let done = !line.contains("\"ev\": \"accepted\"")
+                    && !line.contains("\"ev\": \"trace\"");
+                lines.push(line.trim_end().to_string());
+                if done {
+                    return lines;
+                }
+            }
+        };
+
+        assert_eq!(ask("{\"op\": \"ping\"}", &mut reader), ["{\"ev\": \"pong\"}"]);
+        let run1 = ask("{\"op\": \"verify\", \"id\": 7, \"demo\": 3}", &mut reader);
+        assert_eq!(run1[0], "{\"job\": 7, \"ev\": \"accepted\"}");
+        assert!(run1[1].contains("\"verdict\": \"correct\"") && run1[1].contains("\"cached\": false"));
+        let run2 = ask("{\"op\": \"verify\", \"id\": 8, \"demo\": 3}", &mut reader);
+        assert!(run2[1].contains("\"cached\": true"), "{run2:?}");
+        let stats = ask("{\"op\": \"stats\"}", &mut reader);
+        assert!(stats[0].contains("\"serve.jobs\": 2") && stats[0].contains("\"cache.hits\": 1"));
+        let bye = ask("{\"op\": \"shutdown\"}", &mut reader);
+        assert_eq!(bye, ["{\"ev\": \"bye\"}"]);
+
+        let report = daemon.join().unwrap();
+        assert_eq!(report.counter("serve.jobs"), 2);
+        assert_eq!(report.counter("cache.hits"), 1);
+        assert_eq!(report.counter("cache.misses"), 1);
+        assert!(!socket.exists(), "socket file must be removed on shutdown");
+    }
+}

@@ -1,0 +1,163 @@
+//! Conformance suite for the netlist frontends (DESIGN.md §15).
+//!
+//! Three layers, matching what a frontend can get wrong:
+//!
+//! * **golden fixtures** — the checked-in `examples/netlists/` files
+//!   parse, carry their symbol names and compute the right function,
+//! * **round-trips** — `prop_check!` writes random netlists out as
+//!   AIGER ASCII and ISCAS BENCH and reads them back; the parsed
+//!   circuit must agree with the original on *every* input assignment
+//!   (the AIGER writer lowers to AND-inverter form, so structural
+//!   equality is not expected — behavioral equality is),
+//! * **rejection** — malformed inputs fail with the documented
+//!   line/column positions instead of panicking or mis-parsing.
+
+mod common;
+
+use common::{prop_check, random_netlist};
+use sbif::netlist::aiger::write_aag;
+use sbif::netlist::bench::write_bench;
+use sbif::netlist::build::nonrestoring_divider;
+use sbif::netlist::io::{read_netlist, Format};
+use sbif::netlist::Netlist;
+
+// ---------------------------------------------------------------------
+// Golden fixtures
+// ---------------------------------------------------------------------
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/examples/netlists/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+}
+
+fn check_full_adder(nl: &Netlist) {
+    let names: Vec<_> =
+        nl.inputs().iter().map(|&s| nl.name(s).expect("named input")).collect();
+    assert_eq!(names, ["a", "b", "cin"]);
+    let outs: Vec<_> = nl.outputs().iter().map(|(n, _)| n.as_str()).collect();
+    assert_eq!(outs, ["sum", "cout"]);
+    for bits in 0u64..8 {
+        let (a, b, cin) = (bits & 1, (bits >> 1) & 1, (bits >> 2) & 1);
+        let out = nl.eval_u64(&[("a", a), ("b", b), ("cin", cin)]);
+        let total = a + b + cin;
+        assert_eq!(out["sum"], total & 1, "sum at a={a} b={b} cin={cin}");
+        assert_eq!(out["cout"], total >> 1, "cout at a={a} b={b} cin={cin}");
+    }
+}
+
+#[test]
+fn golden_full_adder_aag() {
+    let nl = read_netlist(&fixture("full_adder.aag"), Format::Aag).expect("parses");
+    check_full_adder(&nl);
+}
+
+#[test]
+fn golden_full_adder_bench() {
+    let nl = read_netlist(&fixture("full_adder.bench"), Format::Bench).expect("parses");
+    check_full_adder(&nl);
+}
+
+#[test]
+fn format_is_chosen_by_extension() {
+    assert_eq!(Format::from_path("a/b/c.aag"), Format::Aag);
+    assert_eq!(Format::from_path("c.BENCH"), Format::Bench);
+    assert_eq!(Format::from_path("c.isc"), Format::Bench);
+    assert_eq!(Format::from_path("divider.bnet"), Format::Bnet);
+    assert_eq!(Format::from_path("no_extension"), Format::Bnet);
+}
+
+// ---------------------------------------------------------------------
+// Write → parse round-trips
+// ---------------------------------------------------------------------
+
+/// Exhaustive behavioral equivalence on every input assignment; the
+/// generated netlists keep `inputs` small enough for 2^inputs sweeps.
+fn equivalent_on_all_inputs(a: &Netlist, b: &Netlist, inputs: usize) -> bool {
+    (0..1u64 << inputs).all(|x| {
+        a.eval_u64(&[("x", x)])["o"] == b.eval_u64(&[("x", x)])["o"]
+    })
+}
+
+#[test]
+fn prop_aag_write_parse_roundtrip() {
+    prop_check!(
+        64,
+        |rng: &mut sbif_rng::XorShift64| {
+            let seed = rng.next_u64();
+            let inputs = 2 + (seed % 5) as usize; // 2..=6
+            let gates = 1 + (seed % 40) as usize;
+            (seed, inputs, gates)
+        },
+        |(seed, inputs, gates): (u64, usize, usize)| {
+            let nl = random_netlist(seed, inputs, gates);
+            let back = read_netlist(&write_aag(&nl), Format::Aag).expect("round-trip parses");
+            back.inputs().len() == inputs && equivalent_on_all_inputs(&nl, &back, inputs)
+        }
+    );
+}
+
+#[test]
+fn prop_bench_write_parse_roundtrip() {
+    prop_check!(
+        64,
+        |rng: &mut sbif_rng::XorShift64| {
+            let seed = rng.next_u64();
+            let inputs = 2 + (seed % 5) as usize;
+            let gates = 1 + (seed % 40) as usize;
+            (seed, inputs, gates)
+        },
+        |(seed, inputs, gates): (u64, usize, usize)| {
+            let nl = random_netlist(seed, inputs, gates);
+            let back =
+                read_netlist(&write_bench(&nl), Format::Bench).expect("round-trip parses");
+            back.inputs().len() == inputs && equivalent_on_all_inputs(&nl, &back, inputs)
+        }
+    );
+}
+
+#[test]
+fn divider_survives_both_frontends() {
+    // The real workload: a generated divider crosses each frontend and
+    // still divides. Gate counts may change (AIG lowering); the
+    // function may not.
+    let div = nonrestoring_divider(4);
+    for (text, format) in [
+        (write_aag(&div.netlist), Format::Aag),
+        (write_bench(&div.netlist), Format::Bench),
+    ] {
+        let back = read_netlist(&text, format).expect("parses");
+        for (r0, d) in [(0u64, 1u64), (62, 7), (50, 6), (39, 5), (17, 3), (11, 2)] {
+            let want = div.netlist.eval_u64(&[("r0", r0), ("d", d)]);
+            let got = back.eval_u64(&[("r0", r0), ("d", d)]);
+            assert_eq!(want["q"], got["q"], "{format:?}: q at {r0}/{d}");
+            assert_eq!(want["r"], got["r"], "{format:?}: r at {r0}/{d}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Malformed-input rejection (line/column contract)
+// ---------------------------------------------------------------------
+
+#[test]
+fn malformed_inputs_fail_with_positions() {
+    let cases: &[(Format, &str, usize, usize, &str)] = &[
+        (Format::Aag, "", 1, 1, "empty file"),
+        (Format::Aag, "aig 1 1 0 0 0\n2\n", 1, 1, "binary AIGER"),
+        (Format::Aag, "aag x 1 0 0 0\n", 1, 5, "not a number"),
+        (Format::Aag, "aag 1 1 9 0 0\n2\n", 1, 9, "latches"),
+        (Format::Aag, "aag 2 1 0 0 1\n2\n4 6 2\n", 3, 3, "does not precede"),
+        (Format::Bench, "INPUT(a)\nx = FROB(a)\n", 2, 5, "unknown operator"),
+        (Format::Bench, "INPUT(a)\nx = AND(a, zz)\n", 2, 12, "unknown signal"),
+        (Format::Bench, "x = NOT(y)\ny = BUF(x)\n", 2, 9, "cycle"),
+        (Format::Bench, "INPUT(a)\nx = NOT(a\n", 2, 9, "missing closing"),
+    ];
+    for &(format, text, line, col, needle) in cases {
+        let e = read_netlist(text, format).expect_err(text);
+        assert_eq!((e.line, e.col), (line, col), "{format:?} {text:?}: {e}");
+        assert!(e.message.contains(needle), "{format:?} {text:?}: {e} !~ {needle}");
+        // The rendered message carries the position for CLI users.
+        let shown = e.to_string();
+        assert!(shown.contains(&format!("line {line}")), "{shown}");
+    }
+}
