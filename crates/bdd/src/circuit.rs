@@ -122,6 +122,27 @@ pub struct WpcStats {
     pub final_size: usize,
 }
 
+/// Cooperative limits for [`weakest_precondition_budgeted`]. The
+/// live-node ceiling is deterministic (the traversal is sequential, so
+/// the cut happens at the same gate on every run); the interrupt flag
+/// is the wall-clock watchdog hook and only ever cancels.
+#[derive(Debug, Clone, Default)]
+pub struct WpcLimits {
+    /// Stop once the manager's live-node population exceeds this after
+    /// a compose step (checked post-GC, so transient garbage does not
+    /// trip it).
+    pub max_live_nodes: Option<usize>,
+    /// Cooperative cancellation, polled once per composed gate.
+    pub interrupt: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
+}
+
+impl WpcLimits {
+    /// `true` when neither limit is set (the unlimited fast path).
+    pub fn is_unlimited(&self) -> bool {
+        self.max_live_nodes.is_none() && self.interrupt.is_none()
+    }
+}
+
 /// Backward traversal of Sect. V: starting from `predicate` (over output
 /// signal variables), substitutes every gate-output variable by the BDD
 /// of its gate function, in reverse topological order, yielding the
@@ -135,6 +156,20 @@ pub fn weakest_precondition(
     nl: &Netlist,
     predicate: Bdd,
 ) -> (Bdd, WpcStats) {
+    let (f, stats) = weakest_precondition_budgeted(m, nl, predicate, &WpcLimits::default());
+    (f.expect("unlimited WPC traversal always completes"), stats)
+}
+
+/// [`weakest_precondition`] under cooperative [`WpcLimits`]: returns
+/// `None` instead of a result BDD when the live-node ceiling is hit or
+/// the interrupt flag is raised mid-traversal. The stats describe the
+/// partial work either way (`composed` tells how far it got).
+pub fn weakest_precondition_budgeted(
+    m: &mut BddManager,
+    nl: &Netlist,
+    predicate: Bdd,
+    limits: &WpcLimits,
+) -> (Option<Bdd>, WpcStats) {
     let mut f = predicate;
     let mut stats = WpcStats::default();
     // Track a superset of f's support to skip irrelevant gates cheaply.
@@ -234,11 +269,32 @@ pub fn weakest_precondition(
             gc_watermark = 1024usize.max(m.live_nodes() * 2);
         }
         stats.peak_nodes = stats.peak_nodes.max(m.peak_nodes);
+        // Budget poll point: once per composed gate, after any GC, so
+        // the live count is the canonical (garbage-free) population.
+        if let Some(max) = limits.max_live_nodes {
+            if m.live_nodes() > max {
+                if since_gc > 0 {
+                    m.gc(&[f]);
+                    since_gc = 0;
+                    gc_watermark = 1024usize.max(m.live_nodes() * 2);
+                }
+                if m.live_nodes() > max {
+                    stats.final_size = m.size(f);
+                    return (None, stats);
+                }
+            }
+        }
+        if let Some(flag) = &limits.interrupt {
+            if flag.load(std::sync::atomic::Ordering::Relaxed) {
+                stats.final_size = m.size(f);
+                return (None, stats);
+            }
+        }
     }
     m.gc(&[f]);
     stats.peak_nodes = stats.peak_nodes.max(m.peak_nodes);
     stats.final_size = m.size(f);
-    (f, stats)
+    (Some(f), stats)
 }
 
 /// Builds the BDD of a signal *forward* (bottom-up over its cone) — used
@@ -445,5 +501,45 @@ mod tests {
         // And the implication must be strict (some invalid input violates
         // the remainder condition).
         assert_ne!(wpc, BddManager::TRUE);
+    }
+
+    #[test]
+    fn budgeted_wpc_stops_on_live_node_ceiling_and_interrupt() {
+        let div = nonrestoring_divider(4);
+        let nl = &div.netlist;
+        let mut m = BddManager::new();
+        m.set_order(&interleaved_fanin_order(nl, &div.remainder, &div.divisor));
+        let r = BddWord::from(&div.remainder);
+        let d = BddWord::from(&div.divisor);
+        let pred = remainder_in_range(&mut m, &r, &d);
+        // A one-node ceiling must abort almost immediately…
+        let limits = WpcLimits { max_live_nodes: Some(1), interrupt: None };
+        let (f, stats) = weakest_precondition_budgeted(&mut m, nl, pred, &limits);
+        assert!(f.is_none(), "a 1-node budget cannot complete");
+        assert!(stats.composed >= 1, "at least one gate composes before the poll");
+
+        // …a pre-raised interrupt likewise…
+        let mut m2 = BddManager::new();
+        m2.set_order(&interleaved_fanin_order(nl, &div.remainder, &div.divisor));
+        let pred2 = remainder_in_range(&mut m2, &r, &d);
+        let flag = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(true));
+        let limits2 = WpcLimits { max_live_nodes: None, interrupt: Some(flag) };
+        let (f2, _) = weakest_precondition_budgeted(&mut m2, nl, pred2, &limits2);
+        assert!(f2.is_none());
+
+        // …and an ample budget reproduces the unlimited result exactly.
+        let mut m3 = BddManager::new();
+        m3.set_order(&interleaved_fanin_order(nl, &div.remainder, &div.divisor));
+        let pred3 = remainder_in_range(&mut m3, &r, &d);
+        let limits3 = WpcLimits { max_live_nodes: Some(1 << 20), interrupt: None };
+        let (f3, s3) = weakest_precondition_budgeted(&mut m3, nl, pred3, &limits3);
+        let mut m4 = BddManager::new();
+        m4.set_order(&interleaved_fanin_order(nl, &div.remainder, &div.divisor));
+        let pred4 = remainder_in_range(&mut m4, &r, &d);
+        let (f4, s4) = weakest_precondition(&mut m4, nl, pred4);
+        assert!(f3.is_some());
+        assert_eq!(s3.composed, s4.composed);
+        assert_eq!(s3.final_size, s4.final_size);
+        let _ = f4;
     }
 }

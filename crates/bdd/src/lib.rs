@@ -41,7 +41,7 @@ mod reorder;
 
 pub use circuit::{
     bdd_of_signal, interleaved_fanin_order, remainder_in_range, unsigned_less,
-    weakest_precondition, BddWord, WpcStats,
+    weakest_precondition, weakest_precondition_budgeted, BddWord, WpcLimits, WpcStats,
 };
 pub use manager::{Bdd, BddManager, VarId};
 pub use reorder::ReorderStats;

@@ -50,17 +50,30 @@ use std::sync::Mutex;
 /// produced it, replayed verbatim on a hit).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Entry {
-    /// Short verdict token, e.g. `correct` / `not-correct`. Must not
-    /// contain newlines.
+    /// Short verdict token, e.g. `correct` / `not-correct` /
+    /// `inconclusive`. Must not contain newlines.
     pub verdict: String,
     /// Arbitrary payload text (metrics stub, kill-matrix row, …).
     pub payload: String,
+    /// Optional single-line qualifier bound to the entry — by
+    /// convention the governor's budget stamp for `inconclusive`
+    /// verdicts, so a lookup under a different budget can reject the
+    /// hit (an inconclusive result is only valid for the exact budget
+    /// that produced it; see DESIGN.md §16). Entries written by older
+    /// versions read back with `stamp == None`.
+    pub stamp: Option<String>,
 }
 
 impl Entry {
-    /// Convenience constructor.
+    /// Convenience constructor (no stamp).
     pub fn new(verdict: impl Into<String>, payload: impl Into<String>) -> Entry {
-        Entry { verdict: verdict.into(), payload: payload.into() }
+        Entry { verdict: verdict.into(), payload: payload.into(), stamp: None }
+    }
+
+    /// Attaches a budget stamp (single line).
+    pub fn with_stamp(mut self, stamp: impl Into<String>) -> Entry {
+        self.stamp = Some(stamp.into());
+        self
     }
 }
 
@@ -101,6 +114,10 @@ impl ResultCache {
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(dir.join("entries"))?;
         std::fs::create_dir_all(dir.join("cones"))?;
+        // A writer killed between temp-write and rename leaves a
+        // `<key>.tmp.<pid>` orphan; the entry itself is absent (a clean
+        // miss), but the orphans would otherwise accumulate forever.
+        sweep_tmp_files(&dir.join("entries"));
         Ok(ResultCache {
             dir: Some(dir),
             entries: Mutex::new(HashMap::new()),
@@ -157,6 +174,10 @@ impl ResultCache {
     /// one.
     pub fn store(&self, key: u128, cones: &[(u64, bool)], entry: &Entry) -> io::Result<()> {
         debug_assert!(!entry.verdict.contains('\n'), "verdicts are single-line");
+        debug_assert!(
+            entry.stamp.as_ref().is_none_or(|s| !s.contains('\n')),
+            "stamps are single-line"
+        );
         self.entries.lock().unwrap().insert(key, entry.clone());
         {
             let mut known = self.cones.lock().unwrap();
@@ -187,9 +208,28 @@ impl ResultCache {
     }
 }
 
+/// Removes abandoned atomic-write temporaries (`*.tmp.<pid>`) from an
+/// entry directory. Racing a *live* writer is harmless: `rename`
+/// replaces the destination atomically, and a concurrently-unlinked
+/// temp makes that writer's single `store` fail without corrupting
+/// anything — the entry is simply rewritten on the next store.
+fn sweep_tmp_files(dir: &Path) {
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    for e in entries.flatten() {
+        let name = e.file_name();
+        if name.to_string_lossy().contains(".tmp.") {
+            let _ = std::fs::remove_file(e.path());
+        }
+    }
+}
+
 fn format_entry(entry: &Entry) -> String {
+    let stamp = match &entry.stamp {
+        Some(s) => format!("stamp {s}\n"),
+        None => String::new(),
+    };
     format!(
-        "{MAGIC}\nverdict {}\npayload-len {}\n{}",
+        "{MAGIC}\nverdict {}\n{stamp}payload-len {}\n{}",
         entry.verdict,
         entry.payload.len(),
         entry.payload
@@ -197,18 +237,30 @@ fn format_entry(entry: &Entry) -> String {
 }
 
 /// Parses an entry file; any deviation from the format reads as `None`
-/// (a miss), never an error — a cache must degrade, not abort.
+/// (a miss), never an error — a cache must degrade, not abort. The
+/// `stamp` line is optional, so pre-stamp entries stay readable.
 fn read_entry(path: &Path) -> Option<Entry> {
     let text = std::fs::read_to_string(path).ok()?;
     let rest = text.strip_prefix(MAGIC)?.strip_prefix('\n')?;
     let (vline, rest) = rest.split_once('\n')?;
     let verdict = vline.strip_prefix("verdict ")?;
-    let (lline, payload) = rest.split_once('\n')?;
+    let (head, rest) = rest.split_once('\n')?;
+    let (stamp, lline, payload) = match head.strip_prefix("stamp ") {
+        Some(s) => {
+            let (lline, payload) = rest.split_once('\n')?;
+            (Some(s), lline, payload)
+        }
+        None => (None, head, rest),
+    };
     let len: usize = lline.strip_prefix("payload-len ")?.parse().ok()?;
     if payload.len() != len {
         return None; // truncated or padded — treat as corrupt
     }
-    Some(Entry::new(verdict, payload))
+    let mut entry = Entry::new(verdict, payload);
+    if let Some(s) = stamp {
+        entry = entry.with_stamp(s);
+    }
+    Some(entry)
 }
 
 #[cfg(test)]
@@ -275,6 +327,48 @@ mod tests {
         std::fs::write(&path, format_entry(&Entry::new("correct", "abc"))).unwrap();
         let fresh = ResultCache::on_disk(&dir).unwrap();
         assert_eq!(fresh.lookup(1, &[]).entry.unwrap().verdict, "correct");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stamped_entries_roundtrip_and_unstamped_files_stay_readable() {
+        let dir = tmpdir("stamp");
+        {
+            let cache = ResultCache::on_disk(&dir).unwrap();
+            let stamped = Entry::new("inconclusive", "{}").with_stamp("sbif-govern-v1 x=1");
+            cache.store(9, &[], &stamped).unwrap();
+        }
+        let fresh = ResultCache::on_disk(&dir).unwrap();
+        let hit = fresh.lookup(9, &[]).entry.unwrap();
+        assert_eq!(hit.verdict, "inconclusive");
+        assert_eq!(hit.stamp.as_deref(), Some("sbif-govern-v1 x=1"));
+
+        // A pre-stamp file (no `stamp` line) parses with stamp == None.
+        let path = dir.join("entries").join(format!("{:032x}.entry", 9u128));
+        std::fs::write(&path, "sbif-cache-v1\nverdict correct\npayload-len 2\nok").unwrap();
+        let old = ResultCache::on_disk(&dir).unwrap();
+        let hit = old.lookup(9, &[]).entry.unwrap();
+        assert_eq!((hit.verdict.as_str(), hit.stamp), ("correct", None));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn crashed_mid_write_temp_is_reaped_and_reads_as_a_miss() {
+        let dir = tmpdir("crash");
+        // Simulate a writer killed between temp-write and rename: the
+        // temp exists (half a formatted entry), the entry does not.
+        let entries = dir.join("entries");
+        std::fs::create_dir_all(&entries).unwrap();
+        let orphan = entries.join(format!("{:032x}.tmp.4242", 77u128));
+        std::fs::write(&orphan, "sbif-cache-v1\nverdict corr").unwrap();
+
+        let cache = ResultCache::on_disk(&dir).unwrap();
+        assert!(cache.lookup(77, &[]).entry.is_none(), "half-written entry must miss");
+        assert!(!orphan.exists(), "orphaned temp must be swept on open");
+        // Real entries survive the sweep.
+        cache.store(77, &[], &Entry::new("correct", "p")).unwrap();
+        let fresh = ResultCache::on_disk(&dir).unwrap();
+        assert!(fresh.lookup(77, &[]).entry.is_some());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -31,9 +31,11 @@
 
 mod sat_cec;
 mod sweep;
+mod vc2_sat;
 
 pub use sat_cec::{sat_cec, sat_cec_with};
 pub use sweep::{sweep_cec, SweepConfig};
+pub use vc2_sat::{vc2_sat, vc2_sat_with};
 
 use sbif_check::{certify_unsat, CertOutcome, CertStats, DratStep};
 use sbif_netlist::{Netlist, Sig};

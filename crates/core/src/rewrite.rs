@@ -97,6 +97,7 @@ pub struct BackwardRewriter<'a> {
     nl: &'a Netlist,
     classes: Option<&'a EquivClasses>,
     cfg: RewriteConfig,
+    interrupt: Option<sbif_govern::CancelToken>,
 }
 
 /// Per-run bookkeeping of atomic blocks.
@@ -134,7 +135,17 @@ impl BlockPlan {
 impl<'a> BackwardRewriter<'a> {
     /// A plain rewriter (no SBIF information) with default configuration.
     pub fn new(nl: &'a Netlist) -> Self {
-        BackwardRewriter { nl, classes: None, cfg: RewriteConfig::default() }
+        BackwardRewriter { nl, classes: None, cfg: RewriteConfig::default(), interrupt: None }
+    }
+
+    /// Attaches the wall-clock watchdog's cancel token: once it fires,
+    /// the next substitution step returns
+    /// [`VerifyError::Timeout`]`{ phase: "rewrite" }` instead of
+    /// finishing the traversal. Purely cooperative — committed
+    /// statistics up to the cut are untouched.
+    pub fn with_interrupt(mut self, token: sbif_govern::CancelToken) -> Self {
+        self.interrupt = Some(token);
+        self
     }
 
     /// Attaches SBIF equivalence classes: the modified backward rewriting
@@ -349,6 +360,9 @@ impl<'a> BackwardRewriter<'a> {
                     steps: stats.steps,
                 });
             }
+        }
+        if self.interrupt.as_ref().is_some_and(|t| t.is_cancelled()) {
+            return Err(VerifyError::Timeout { phase: "rewrite" });
         }
         Ok(())
     }

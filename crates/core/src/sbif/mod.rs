@@ -109,6 +109,17 @@ pub struct SbifStats {
     /// [`sat_micros`](Self::sat_micros), these belong in the
     /// deterministic metrics report.
     pub solver: SolverStats,
+    /// `true` when a governed run stopped scanning candidates because
+    /// the cumulative committed solver-conflict ledger reached its
+    /// budget ([`SbifGovernor::conflict_budget`]). The classes found up
+    /// to the cut are sound and committed; the flag is deterministic —
+    /// the ledger is accounted commit-side, so the cut happens at the
+    /// same signal for every `jobs` value.
+    pub exhausted: bool,
+    /// `true` when the wall-clock watchdog cancelled the scan. Unlike
+    /// [`exhausted`](Self::exhausted) this is *not* reproducible; a
+    /// cancelled run must never be cached.
+    pub cancelled: bool,
     /// Candidate decisions that actually built a window solver. Without
     /// a [`SbifPrefilter`] this equals [`sat_checks`](Self::sat_checks);
     /// the gap is the SAT work the static analysis saved.
@@ -312,7 +323,45 @@ pub fn forward_information_with(
 
     // Lines 5–11: candidate detection and window checking, fanned out
     // over `cfg.jobs` workers with a deterministic sequential commit.
-    parallel::run(nl, constraint, signatures, &cfg, prefilter)
+    parallel::run(nl, constraint, signatures, &cfg, prefilter, None)
+}
+
+/// Governed-run hooks for Alg. 1 (DESIGN.md §16): a cumulative budget
+/// on the *committed* solver-conflict ledger, and the wall-clock
+/// watchdog's cancel token. Both are polled at the sequential commit
+/// boundary — the budget before the cancel flag, so a deterministic
+/// exhaustion always wins over a racing cancellation.
+#[derive(Debug, Clone, Default)]
+pub struct SbifGovernor {
+    /// Stop scanning further signals once the commit-side conflict
+    /// total ([`SbifStats::solver`]) reaches this. Partial classes are
+    /// always sound (fewer merges, never wrong ones).
+    pub conflict_budget: Option<u64>,
+    /// Cooperative cancellation (sets [`SbifStats::cancelled`]).
+    pub cancel: Option<sbif_govern::CancelToken>,
+}
+
+/// [`forward_information_with`] under a [`SbifGovernor`]: the scan
+/// stops early when the conflict budget is exhausted (deterministically
+/// — see [`SbifStats::exhausted`]) or the cancel token fires.
+pub fn forward_information_governed(
+    nl: &Netlist,
+    constraint: Option<Sig>,
+    sim_words: &[Vec<u64>],
+    cfg: SbifConfig,
+    prefilter: Option<&SbifPrefilter>,
+    governor: &SbifGovernor,
+) -> (EquivClasses, SbifStats) {
+    let num_words = sim_words.first().map_or(0, |v| v.len());
+    let mut signatures: Vec<Vec<u64>> = vec![Vec::new(); nl.num_signals()];
+    for w in 0..num_words {
+        let plane: Vec<u64> = sim_words.iter().map(|v| v[w]).collect();
+        let vals = nl.simulate64(&plane);
+        for (s, &v) in vals.iter().enumerate() {
+            signatures[s].push(v);
+        }
+    }
+    parallel::run(nl, constraint, signatures, &cfg, prefilter, Some(governor))
 }
 
 /// A `rep()` answer an encoding depended on: `(queried, representative,

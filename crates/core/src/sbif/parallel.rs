@@ -342,6 +342,7 @@ pub(super) fn run(
     mut signatures: Vec<Vec<u64>>,
     cfg: &SbifConfig,
     prefilter: Option<&SbifPrefilter>,
+    governor: Option<&super::SbifGovernor>,
 ) -> (EquivClasses, SbifStats) {
     let n = nl.num_signals();
     let jobs = cfg.jobs.max(1);
@@ -350,8 +351,39 @@ pub(super) fn run(
     let mut epoch = Arc::new(build_epoch(&signatures));
     let mut pending_cex: Vec<Vec<bool>> = Vec::new();
 
+    // Governed stop check, polled before every signal commit in every
+    // path below — the ledger it reads is commit-side, so a budget cut
+    // lands on the same signal for any `jobs` value. The deterministic
+    // budget is checked before the (racy) cancel flag so exhaustion
+    // always wins when both fire.
+    let stop = |stats: &SbifStats| -> Option<bool> {
+        let g = governor?;
+        if let Some(limit) = g.conflict_budget {
+            if stats.solver.conflicts >= limit {
+                return Some(false); // exhausted
+            }
+        }
+        if let Some(c) = &g.cancel {
+            if c.is_cancelled() {
+                return Some(true); // cancelled
+            }
+        }
+        None
+    };
+    let mark = |stats: &mut SbifStats, cancelled: bool| {
+        if cancelled {
+            stats.cancelled = true;
+        } else {
+            stats.exhausted = true;
+        }
+    };
+
     if jobs == 1 || n <= CHUNK {
         for idx in 0..n {
+            if let Some(cancelled) = stop(&stats) {
+                mark(&mut stats, cancelled);
+                break;
+            }
             commit_signal(
                 nl,
                 constraint,
@@ -396,7 +428,8 @@ pub(super) fn run(
         let mut ready: HashMap<usize, ChunkResult> = HashMap::new();
         let chunk_range = |c: usize| c * CHUNK..((c + 1) * CHUNK).min(n);
         let mut workers_alive = true;
-        while next_commit < num_chunks {
+        let mut stopped = false;
+        while !stopped && next_commit < num_chunks {
             // Keep a bounded pipeline of chunks in flight; each is
             // speculated against the freshest committed state.
             while workers_alive
@@ -423,6 +456,11 @@ pub(super) fn run(
                 stats.sat_micros += res.stats.sat_micros;
                 speculated += res.stats.sat_checks;
                 for idx in chunk_range(next_commit) {
+                    if let Some(cancelled) = stop(&stats) {
+                        mark(&mut stats, cancelled);
+                        stopped = true;
+                        break;
+                    }
                     hits += commit_signal(
                         nl,
                         constraint,
@@ -449,6 +487,11 @@ pub(super) fn run(
                     // was lost (worker panic): commit it in-process —
                     // same results, just slower.
                     for idx in chunk_range(next_commit) {
+                        if let Some(cancelled) = stop(&stats) {
+                            mark(&mut stats, cancelled);
+                            stopped = true;
+                            break;
+                        }
                         commit_signal(
                             nl,
                             constraint,

@@ -10,8 +10,8 @@
 //!    `¬C ∨ WPC` is the constant 1.
 
 use sbif_bdd::{
-    bdd_of_signal, interleaved_fanin_order, remainder_in_range, weakest_precondition, BddManager,
-    BddWord, WpcStats,
+    bdd_of_signal, interleaved_fanin_order, remainder_in_range, weakest_precondition_budgeted,
+    BddManager, BddWord, WpcLimits, WpcStats,
 };
 use sbif_netlist::build::Divider;
 
@@ -80,6 +80,35 @@ pub struct Vc2Report {
 /// assert!(report.holds);
 /// ```
 pub fn check_vc2(div: &Divider, cfg: Vc2Config) -> Vc2Report {
+    check_vc2_governed(div, cfg, None, None).expect("ungoverned vc2 always completes")
+}
+
+/// How far a governed vc2 BDD traversal got before giving up (the
+/// `Err` side of [`check_vc2_governed`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Vc2Exhausted {
+    /// `true` when the wall-clock watchdog cancelled the traversal
+    /// (non-reproducible); `false` when the live-node budget tripped
+    /// (deterministic — the traversal is sequential).
+    pub cancelled: bool,
+    /// Live nodes when the traversal stopped.
+    pub live_nodes: usize,
+    /// Peak live nodes over the partial traversal.
+    pub peak_nodes: usize,
+    /// Partial traversal statistics (`composed` tells how far it got).
+    pub wpc_stats: WpcStats,
+}
+
+/// [`check_vc2`] under a live-node budget and/or a cancel token. On
+/// exhaustion the caller is expected to degrade to the bounded SAT
+/// fallback (`sbif_cec::vc2_sat`) — see the fallback ladder in
+/// DESIGN.md §16.
+pub fn check_vc2_governed(
+    div: &Divider,
+    cfg: Vc2Config,
+    max_live_nodes: Option<usize>,
+    cancel: Option<&sbif_govern::CancelToken>,
+) -> Result<Vc2Report, Vc2Exhausted> {
     let nl = &div.netlist;
     let mut m = BddManager::with_table_capacity(cfg.table_capacity);
     m.reorder_threshold = cfg.reorder_threshold;
@@ -88,7 +117,19 @@ pub fn check_vc2(div: &Divider, cfg: Vc2Config) -> Vc2Report {
     let r = BddWord::from(&div.remainder);
     let d = BddWord::from(&div.divisor);
     let predicate = remainder_in_range(&mut m, &r, &d);
-    let (wpc, wpc_stats) = weakest_precondition(&mut m, nl, predicate);
+    let limits = WpcLimits { max_live_nodes, interrupt: cancel.map(|t| t.flag()) };
+    let (wpc, wpc_stats) = weakest_precondition_budgeted(&mut m, nl, predicate, &limits);
+    let Some(wpc) = wpc else {
+        // A deterministic budget overrun wins the attribution over a
+        // racing cancellation (mirrors the SBIF commit loop).
+        let over = max_live_nodes.is_some_and(|mx| m.live_nodes() > mx);
+        return Err(Vc2Exhausted {
+            cancelled: !over,
+            live_nodes: m.live_nodes(),
+            peak_nodes: m.peak_nodes,
+            wpc_stats,
+        });
+    };
     let c = bdd_of_signal(&mut m, nl, div.constraint);
     let holds = m.implies_taut(c, wpc);
     let counterexample = if holds {
@@ -105,7 +146,7 @@ pub fn check_vc2(div: &Divider, cfg: Vc2Config) -> Vc2Report {
                 .collect()
         })
     };
-    Vc2Report {
+    Ok(Vc2Report {
         holds,
         peak_nodes: m.peak_nodes,
         final_nodes: m.live_nodes(),
@@ -113,7 +154,7 @@ pub fn check_vc2(div: &Divider, cfg: Vc2Config) -> Vc2Report {
         cache_entries: m.cache_len(),
         wpc_stats,
         counterexample,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -192,6 +233,28 @@ mod tests {
         let report = check_vc2(&div, Vc2Config { reorder_threshold: 256, ..Vc2Config::default() });
         assert!(report.holds);
         assert!(report.wpc_stats.reorders > 0, "expected reordering to trigger");
+    }
+
+    #[test]
+    fn governed_vc2_exhausts_on_node_budget_and_cancel() {
+        let div = nonrestoring_divider(4);
+        // A 1-node ceiling trips immediately and deterministically.
+        let err = check_vc2_governed(&div, Vc2Config::default(), Some(1), None)
+            .expect_err("1-node budget must exhaust");
+        assert!(!err.cancelled, "budget overrun, not cancellation");
+        assert!(err.live_nodes > 1);
+        // A pre-cancelled token stops the traversal and is attributed as
+        // a cancellation (no deterministic budget in play).
+        let token = sbif_govern::CancelToken::new();
+        token.cancel();
+        let err = check_vc2_governed(&div, Vc2Config::default(), None, Some(&token))
+            .expect_err("cancelled token must stop the traversal");
+        assert!(err.cancelled);
+        // Ample budget reproduces the ungoverned result exactly.
+        let ungoverned = check_vc2(&div, Vc2Config::default());
+        let governed = check_vc2_governed(&div, Vc2Config::default(), Some(1 << 20), None)
+            .expect("ample budget completes");
+        assert_eq!(governed, ungoverned);
     }
 
     #[test]

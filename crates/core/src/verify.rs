@@ -4,14 +4,16 @@
 use crate::error::VerifyError;
 use crate::rewrite::{BackwardRewriter, RewriteConfig, RewriteStats};
 use crate::sbif::{
-    certify_solver_unsat, forward_information_with, try_divider_sim_words, EquivClasses,
-    SbifConfig, SbifPrefilter, SbifStats,
+    certify_solver_unsat, forward_information_governed, try_divider_sim_words, EquivClasses,
+    SbifConfig, SbifGovernor, SbifPrefilter, SbifStats,
 };
 use crate::spec::divider_spec;
-use crate::vc2::{check_vc2, Vc2Config, Vc2Report};
+use crate::vc2::{check_vc2_governed, Vc2Config, Vc2Report};
 use sbif_analysis::{analyze, AnalysisConfig, AnalysisDb};
 use sbif_apint::Int;
+use sbif_cec::CecResult;
 use sbif_check::CertStats;
+use sbif_govern::{CancelToken, Exhausted, GovernConfig, Resource, Verdict, Watchdog};
 use sbif_netlist::build::Divider;
 use sbif_trace::{MetricsReport, Recorder};
 use std::time::{Duration, Instant};
@@ -50,6 +52,12 @@ pub struct VerifierConfig {
     /// per-call outcomes are aggregated in the report's certificate
     /// statistics ([`VerificationReport::certificates`]).
     pub certify: bool,
+    /// Resource governor (DESIGN.md §16). All-`None` (the default) is
+    /// ungoverned: every stage behaves exactly as before, byte for
+    /// byte. Setting any budget turns on graceful degradation — typed
+    /// [`Exhausted`] outcomes and the engine fallback ladder instead of
+    /// hard errors.
+    pub govern: GovernConfig,
 }
 
 impl Default for VerifierConfig {
@@ -65,6 +73,7 @@ impl Default for VerifierConfig {
             smoke_check: true,
             check_vc2: true,
             certify: false,
+            govern: GovernConfig::default(),
         }
     }
 }
@@ -90,6 +99,10 @@ pub enum Vc1Outcome {
         /// Number of terms of the residual polynomial.
         residual_terms: usize,
     },
+    /// A governed budget (or the wall-clock watchdog) stopped vc1
+    /// before a decision; only produced when
+    /// [`VerifierConfig::govern`] is active.
+    Exhausted(Exhausted),
 }
 
 /// Everything measured while checking vc1.
@@ -111,6 +124,28 @@ pub struct Vc1Report {
     pub cert: CertStats,
 }
 
+/// Result of the bounded SAT fallback that decided vc2 after the BDD
+/// traversal exhausted its live-node budget — the second rung of the
+/// engine fallback ladder (DESIGN.md §16).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Vc2Fallback {
+    /// `Some(true)`: the miter is UNSAT, vc2 proven by SAT.
+    /// `Some(false)`: a model violating `0 ≤ R < D` was found.
+    /// `None`: the conflict budget ran out too (`Inconclusive`).
+    pub holds: Option<bool>,
+    /// Violating input assignment when `holds == Some(false)`, as
+    /// `(input name, value)` pairs.
+    pub counterexample: Option<Vec<(String, bool)>>,
+    /// Conflicts the fallback query spent (deterministic — one
+    /// single-threaded solver run).
+    pub conflicts: u64,
+    /// The configured conflict budget.
+    pub budget: u64,
+    /// DRAT certificate statistics of the fallback's UNSAT answer
+    /// (populated under [`VerifierConfig::certify`]).
+    pub cert: CertStats,
+}
+
 /// The complete report of a divider verification run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct VerificationReport {
@@ -118,8 +153,20 @@ pub struct VerificationReport {
     pub vc1: Vc1Report,
     /// The vc2 (remainder range) result, when enabled.
     pub vc2: Option<Vc2Report>,
+    /// The bounded SAT fallback that took over when the governed vc2
+    /// BDD traversal exhausted its live-node budget.
+    pub vc2_fallback: Option<Vc2Fallback>,
     /// Wall-clock time of the vc2 phase.
     pub vc2_time: Duration,
+    /// The three-valued verdict: `Proven` / `Refuted` /
+    /// `Inconclusive { exhausted_at }`. Ungoverned runs never produce
+    /// `Inconclusive` from a budget (only from the paper's incomplete
+    /// residual-sampling direction).
+    pub verdict: Verdict,
+    /// `true` when the wall-clock watchdog cut any stage short. Such a
+    /// run is **not reproducible** and must never be written to the
+    /// result cache (DESIGN.md §16 determinism rules).
+    pub cancelled: bool,
     /// The deterministic metrics payload of the run: every counter and
     /// gauge the pipeline recorded, frozen by
     /// [`Recorder::finish`]. Byte-identical (via
@@ -131,17 +178,22 @@ pub struct VerificationReport {
 }
 
 impl VerificationReport {
-    /// `true` iff both conditions of Definition 1 were proven.
+    /// `true` iff both conditions of Definition 1 were proven
+    /// (`Inconclusive` is not correct, but not refuted either — check
+    /// [`VerificationReport::verdict`] to distinguish).
     pub fn is_correct(&self) -> bool {
-        self.vc1.outcome == Vc1Outcome::Proven
-            && self.vc2.as_ref().is_none_or(|r| r.holds)
+        self.verdict.is_proven()
     }
 
     /// All certificate statistics of the run, merged over the SBIF
-    /// window checks and the vc1 residual decision.
+    /// window checks, the vc1 residual decision and the vc2 SAT
+    /// fallback.
     pub fn certificates(&self) -> CertStats {
         let mut c = self.vc1.cert;
         c.merge(self.vc1.sbif.cert);
+        if let Some(f) = &self.vc2_fallback {
+            c.merge(f.cert);
+        }
         c
     }
 }
@@ -221,35 +273,188 @@ impl<'a> DividerVerifier<'a> {
     /// [`VerifyError::TermLimitExceeded`] when backward rewriting blows
     /// up (expected without SBIF beyond small widths).
     pub fn verify(&self) -> Result<VerificationReport, VerifyError> {
+        let g = self.config.govern;
+        let (cancel, _watchdog) = Self::arm_watchdog(&g);
         let verify_span = self.recorder.span("verify");
-        let vc1 = self.verify_vc1()?;
+        let vc1 = self.vc1_governed(cancel.as_ref())?;
         let t0 = Instant::now();
         // A refuted vc1 already settles the verdict; the vc2 BDD
         // traversal can be arbitrarily expensive on a broken netlist
-        // (the nice divider structure it relies on is gone), so skip it.
-        let run_vc2 =
-            self.config.check_vc2 && !matches!(vc1.outcome, Vc1Outcome::Refuted { .. });
-        let vc2 = if run_vc2 {
+        // (the nice divider structure it relies on is gone), so skip
+        // it. A cancelled vc1 means the watchdog already fired — vc2
+        // would only return cancelled too.
+        let run_vc2 = self.config.check_vc2
+            && !matches!(vc1.outcome, Vc1Outcome::Refuted { .. })
+            && !matches!(vc1.outcome, Vc1Outcome::Exhausted(e) if !e.deterministic());
+        let mut vc2 = None;
+        let mut vc2_fallback = None;
+        let mut vc2_exhausted: Option<Exhausted> = None;
+        let mut vc2_cancelled = false;
+        if run_vc2 {
             let span = self.recorder.span("vc2");
-            let report = check_vc2(self.divider, self.config.vc2);
-            self.record_vc2_metrics(&report);
+            match check_vc2_governed(
+                self.divider,
+                self.config.vc2,
+                g.vc2_live_nodes,
+                cancel.as_ref(),
+            ) {
+                Ok(report) => {
+                    self.record_vc2_metrics(&report);
+                    vc2 = Some(report);
+                }
+                Err(ex) if !ex.cancelled => {
+                    // Deterministic live-node exhaustion: degrade to one
+                    // bounded SAT query of the vc2 property — the next
+                    // rung of the fallback ladder.
+                    self.recorder.add("govern.vc2_exhausted", 1);
+                    self.recorder.add("govern.vc2_live_nodes_spent", ex.live_nodes as u64);
+                    let budget = g
+                        .vc2_sat_conflicts
+                        .unwrap_or(GovernConfig::DEFAULT_VC2_SAT_CONFLICTS);
+                    let fb_span = self.recorder.span("vc2-sat");
+                    let outcome = sbif_cec::vc2_sat_with(
+                        self.divider,
+                        sbif_sat::Budget::new().with_conflicts(budget),
+                        self.config.certify,
+                        cancel.as_ref().map(CancelToken::flag),
+                    );
+                    fb_span.close();
+                    self.recorder.add("govern.vc2_sat_fallback", 1);
+                    let conflicts = outcome.stats.solver.conflicts;
+                    let cert = outcome.stats.cert;
+                    let fallback = match outcome.result {
+                        CecResult::Equivalent => Vc2Fallback {
+                            holds: Some(true),
+                            counterexample: None,
+                            conflicts,
+                            budget,
+                            cert,
+                        },
+                        CecResult::NotEquivalent(cex) => Vc2Fallback {
+                            holds: Some(false),
+                            counterexample: Some(cex),
+                            conflicts,
+                            budget,
+                            cert,
+                        },
+                        CecResult::Unknown => {
+                            // Deterministic budget exhaustion wins the
+                            // attribution over a racing cancellation.
+                            if conflicts >= budget {
+                                self.recorder.add("govern.vc2_sat_exhausted", 1);
+                                vc2_exhausted = Some(Exhausted {
+                                    stage: "vc2-sat",
+                                    resource: Resource::SatConflicts,
+                                    spent: conflicts,
+                                    limit: budget,
+                                });
+                            } else {
+                                vc2_cancelled = true;
+                            }
+                            Vc2Fallback {
+                                holds: None,
+                                counterexample: None,
+                                conflicts,
+                                budget,
+                                cert,
+                            }
+                        }
+                    };
+                    vc2_fallback = Some(fallback);
+                }
+                Err(_) => {
+                    // Wall-clock cancellation mid-traversal: no
+                    // fallback, the whole flow is being torn down.
+                    vc2_cancelled = true;
+                }
+            }
             span.close();
-            Some(report)
-        } else {
-            None
-        };
+        }
         verify_span.close();
+
+        let refuted = matches!(vc1.outcome, Vc1Outcome::Refuted { .. })
+            || vc2.as_ref().is_some_and(|r| !r.holds)
+            || vc2_fallback.as_ref().is_some_and(|f| f.holds == Some(false));
+        let cancelled = vc1.sbif.cancelled
+            || matches!(vc1.outcome, Vc1Outcome::Exhausted(e) if !e.deterministic())
+            || vc2_cancelled;
+        let wall = |stage: &'static str| Exhausted {
+            stage,
+            resource: Resource::WallClock,
+            spent: g.timeout_ms.unwrap_or(0),
+            limit: g.timeout_ms.unwrap_or(0),
+        };
+        let verdict = if refuted {
+            Verdict::Refuted
+        } else if let Vc1Outcome::Exhausted(e) = vc1.outcome {
+            Verdict::Inconclusive { exhausted_at: e }
+        } else if let Vc1Outcome::Inconclusive { residual_terms } = vc1.outcome {
+            // The paper's incomplete direction: a non-zero residual that
+            // sampling could not refute. Not a budget exhaustion, but
+            // still short of a proof.
+            Verdict::Inconclusive {
+                exhausted_at: Exhausted {
+                    stage: "residual",
+                    resource: Resource::AnalysisSteps,
+                    spent: residual_terms as u64,
+                    limit: 0,
+                },
+            }
+        } else if let Some(e) = vc2_exhausted {
+            Verdict::Inconclusive { exhausted_at: e }
+        } else if vc2_cancelled {
+            Verdict::Inconclusive { exhausted_at: wall("vc2") }
+        } else {
+            Verdict::Proven
+        };
+        if cancelled {
+            // Nondeterministic by nature; cancelled runs are excluded
+            // from the byte-identity contract and never cached.
+            self.recorder.add("govern.cancelled", 1);
+        }
         let metrics = self.recorder.finish();
-        Ok(VerificationReport { vc1, vc2, vc2_time: t0.elapsed(), metrics })
+        Ok(VerificationReport {
+            vc1,
+            vc2,
+            vc2_fallback,
+            vc2_time: t0.elapsed(),
+            verdict,
+            cancelled,
+            metrics,
+        })
     }
 
-    /// Runs only the vc1 check (SBIF + modified backward rewriting).
+    /// Arms the wall-clock watchdog when the governor configures one.
+    /// The returned [`Watchdog`] must stay alive for the duration of
+    /// the run (dropping it disarms).
+    fn arm_watchdog(g: &GovernConfig) -> (Option<CancelToken>, Option<Watchdog>) {
+        match g.timeout_ms {
+            Some(ms) => {
+                let token = CancelToken::new();
+                let wd = Watchdog::arm(Duration::from_millis(ms), &token);
+                (Some(token), Some(wd))
+            }
+            None => (None, None),
+        }
+    }
+
+    /// Runs only the vc1 check (SBIF + modified backward rewriting),
+    /// under the configured governor.
     ///
     /// # Errors
     ///
-    /// [`VerifyError::TermLimitExceeded`] on polynomial blow-up.
+    /// [`VerifyError::TermLimitExceeded`] on polynomial blow-up (when
+    /// no rewrite budget is governed — a governed blow-up becomes
+    /// [`Vc1Outcome::Exhausted`] instead).
     pub fn verify_vc1(&self) -> Result<Vc1Report, VerifyError> {
+        let (cancel, _watchdog) = Self::arm_watchdog(&self.config.govern);
+        self.vc1_governed(cancel.as_ref())
+    }
+
+    /// The vc1 flow proper, polling `cancel` at stage boundaries.
+    fn vc1_governed(&self, cancel: Option<&CancelToken>) -> Result<Vc1Report, VerifyError> {
         let div = self.divider;
+        let g = self.config.govern;
         let _vc1_span = self.recorder.span("vc1");
         let t0 = Instant::now();
         // Cheap smoke refutation: badly broken dividers (mis-wired
@@ -301,12 +506,19 @@ impl<'a> DividerVerifier<'a> {
             let span = self.recorder.span("sbif");
             let sim = try_divider_sim_words(div, self.config.seed, self.config.sim_words)
                 .map_err(VerifyError::MalformedInterface)?;
-            let (c, s) = forward_information_with(
+            // The governor's conflict budget is accounted commit-side
+            // (cumulative absorbed solver conflicts), so the cut lands
+            // on the same signal for every `--jobs` value. All-`None`
+            // governors poll nothing and change nothing.
+            let governor =
+                SbifGovernor { conflict_budget: g.sbif_conflicts, cancel: cancel.cloned() };
+            let (c, s) = forward_information_governed(
                 &div.netlist,
                 Some(div.constraint),
                 &sim,
                 sbif_cfg,
                 prefilter.as_ref(),
+                &governor,
             );
             span.close();
             (Some(c), s)
@@ -314,30 +526,95 @@ impl<'a> DividerVerifier<'a> {
             (None, SbifStats::default())
         };
         let sbif_time = t0.elapsed();
+        if sbif_stats.cancelled {
+            // The watchdog fired mid-scan. Deterministic budget cuts
+            // (`exhausted`) fall through instead: the classes found so
+            // far are sound, and rewriting continues with them — the
+            // first rung of the fallback ladder.
+            let ms = g.timeout_ms.unwrap_or(0);
+            let report = Vc1Report {
+                outcome: Vc1Outcome::Exhausted(Exhausted {
+                    stage: "sbif",
+                    resource: Resource::WallClock,
+                    spent: ms,
+                    limit: ms,
+                }),
+                sbif: sbif_stats,
+                rewrite: RewriteStats::default(),
+                sbif_time,
+                rewrite_time: Duration::default(),
+                cert: CertStats::default(),
+            };
+            self.record_vc1_metrics(&report, classes.as_ref());
+            return Ok(report);
+        }
 
         let t1 = Instant::now();
         let rewrite_span = self.recorder.span("rewrite");
         let spec = divider_spec(div);
-        let mut rewriter =
-            BackwardRewriter::new(&div.netlist).with_config(self.config.rewrite);
+        let mut rw_cfg = self.config.rewrite;
+        if let Some(budget) = g.rewrite_terms {
+            rw_cfg.max_terms = Some(rw_cfg.max_terms.map_or(budget, |m| m.min(budget)));
+        }
+        let mut rewriter = BackwardRewriter::new(&div.netlist).with_config(rw_cfg);
+        if let Some(token) = cancel {
+            rewriter = rewriter.with_interrupt(token.clone());
+        }
         if let Some(c) = classes.as_ref() {
             rewriter = rewriter.with_classes(c);
         }
-        let (residual, rewrite_stats) = rewriter.run(spec)?;
+        let run = rewriter.run(spec);
         rewrite_span.close();
         let rewrite_time = t1.elapsed();
 
-        let (outcome, cert) = if residual.is_zero() {
-            (Vc1Outcome::Proven, CertStats::default())
-        } else {
-            // SBIF classes hold under the constraint C, so the residual
-            // only needs to vanish on C-satisfying inputs. Decide that
-            // exactly when the residual's support is small; otherwise
-            // fall back to sampling.
-            let span = self.recorder.span("residual");
-            let decided = self.decide_residual(&residual)?;
-            span.close();
-            decided
+        let (outcome, rewrite_stats, cert) = match run {
+            Ok((residual, rewrite_stats)) => {
+                let (outcome, cert) = if residual.is_zero() {
+                    (Vc1Outcome::Proven, CertStats::default())
+                } else {
+                    // SBIF classes hold under the constraint C, so the
+                    // residual only needs to vanish on C-satisfying
+                    // inputs. Decide that exactly when the residual's
+                    // support is small; otherwise fall back to sampling.
+                    let span = self.recorder.span("residual");
+                    let decided = self.decide_residual(&residual)?;
+                    span.close();
+                    decided
+                };
+                (outcome, rewrite_stats, cert)
+            }
+            Err(VerifyError::TermLimitExceeded { limit, reached, steps })
+                if g.rewrite_terms.is_some() =>
+            {
+                // Governed blow-up: a typed Inconclusive, not an abort.
+                // Rewriting is single-threaded, so `reached` is
+                // deterministic and cacheable.
+                let stats = RewriteStats {
+                    steps,
+                    peak_terms: reached,
+                    ..RewriteStats::default()
+                };
+                let e = Exhausted {
+                    stage: "rewrite",
+                    resource: Resource::RewriteTerms,
+                    spent: reached as u64,
+                    limit: limit as u64,
+                };
+                (Vc1Outcome::Exhausted(e), stats, CertStats::default())
+            }
+            Err(VerifyError::Timeout { .. })
+                if cancel.is_some_and(|t| t.is_cancelled()) =>
+            {
+                let ms = g.timeout_ms.unwrap_or(0);
+                let e = Exhausted {
+                    stage: "rewrite",
+                    resource: Resource::WallClock,
+                    spent: ms,
+                    limit: ms,
+                };
+                (Vc1Outcome::Exhausted(e), RewriteStats::default(), CertStats::default())
+            }
+            Err(e) => return Err(e),
         };
         let report = Vc1Report {
             outcome,
@@ -405,6 +682,20 @@ impl<'a> DividerVerifier<'a> {
         r.add("sbif.sat.restarts", s.solver.restarts);
         r.add("sbif.sat.learnts", s.solver.learnts);
         r.add("sbif.sat.deleted", s.solver.deleted);
+        // Governor counters are recorded only on exhaustion events, so
+        // a governed run that never trips a budget stays byte-identical
+        // to the ungoverned run (which makes normalizing the governor
+        // out of the cache fingerprint sound).
+        if s.exhausted {
+            r.add("govern.sbif_exhausted", 1);
+            r.add("govern.sbif_conflicts_spent", s.solver.conflicts);
+        }
+        if let Vc1Outcome::Exhausted(e) = &report.outcome {
+            if e.deterministic() {
+                r.add(&format!("govern.{}_exhausted", e.stage), 1);
+                r.add(&format!("govern.{}_spent", e.stage), e.spent);
+            }
+        }
         if let Some(c) = classes {
             r.add("sbif.merges", c.num_merges() as u64);
             for (size, count) in c.size_histogram() {

@@ -55,7 +55,7 @@
 //! dedupe-free run at every `--jobs` value; only the amount of SAT and
 //! rewriting work moves, which the `cache.*` counters account.
 
-use crate::classify::{classify, MutantClass};
+use crate::classify::{classify, classify_escalating, MutantClass};
 use crate::mutate::{apply, pick, FaultModel, Mutation};
 use crate::shrink::{shrink_escape, ShrunkWitness};
 use crate::Arch;
@@ -374,8 +374,11 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
 /// which cells run) must NOT be, so different campaigns can share
 /// judged mutants.
 fn campaign_fingerprint(cfg: &CampaignConfig) -> String {
+    // v2: the classifier now escalates Unknown verdicts up the
+    // geometric budget ladder, so judgements under the same base
+    // budget can differ from v1's flat classification.
     format!(
-        "sbif-fuzz-outcome-v1 seed={:#x} sim_words={} classify_conflicts={} \
+        "sbif-fuzz-outcome-v2 seed={:#x} sim_words={} classify_conflicts={} \
          max_terms={:?} certify={}",
         cfg.seed, cfg.sim_words, cfg.classify_conflicts, cfg.max_terms, cfg.certify
     )
@@ -621,7 +624,11 @@ pub fn run_campaign_with_cache(
         let t0 = Instant::now();
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             let mutant = apply(&setup.div, &t.mutation);
-            match classify(&setup.div, &mutant, &setup.planes, cfg.classify_conflicts) {
+            // Unknown verdicts retry up the geometric escalation ladder
+            // (base, 4·base, 16·base conflicts) before being reported
+            // unclassified — deterministic, so cacheable.
+            match classify_escalating(&setup.div, &mutant, &setup.planes, cfg.classify_conflicts)
+            {
                 MutantClass::Unknown => MutantOutcome::Unclassified,
                 MutantClass::SemanticsChanging => match pipeline(&mutant) {
                     PipelineVerdict::Correct => MutantOutcome::Escaped,

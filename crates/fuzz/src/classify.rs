@@ -184,6 +184,28 @@ pub fn classify(
     }
 }
 
+/// [`classify`], retrying an [`MutantClass::Unknown`] verdict up the
+/// deterministic geometric escalation ladder — `base`, `4·base`,
+/// `16·base` conflicts (DESIGN.md §16) — before giving up. Conflict
+/// budgets are deterministic units, so the rung that settles a mutant
+/// (and therefore the verdict) is reproducible across runs and worker
+/// counts.
+pub fn classify_escalating(
+    seed: &Divider,
+    mutant: &Divider,
+    planes: &[Vec<u64>],
+    base_conflicts: u64,
+) -> MutantClass {
+    let mut class = MutantClass::Unknown;
+    for budget in sbif_govern::escalation_ladder(base_conflicts, 4, 3) {
+        class = classify(seed, mutant, planes, budget);
+        if class != MutantClass::Unknown {
+            return class;
+        }
+    }
+    class
+}
+
 /// Convenience for tests and the shrinker: decide disagreement on an
 /// output subset by simulation, then SAT.
 pub fn subset_disagrees(
@@ -265,5 +287,46 @@ mod tests {
         let mutant = apply(&div, &instantiate(&div, m, &mut rng));
         let class = classify(&div, &mutant, &[], CONFLICTS);
         assert_ne!(class, MutantClass::Unknown);
+    }
+
+    #[test]
+    fn escalation_settles_what_a_starved_base_budget_cannot() {
+        let div = nonrestoring_divider(4);
+        // A commutative input swap with no simulation planes forces the
+        // SAT stages to do real work.
+        let m = enumerate_sites(&div, FaultModel::InputSwap)
+            .into_iter()
+            .find(|m| {
+                !matches!(div.netlist.gate(m.site), Gate::Binary(BinOp::AndNot, ..))
+            })
+            .expect("some commutative gate");
+        let mutant = apply(&div, &m);
+        let settled = classify(&div, &mutant, &[], CONFLICTS);
+        assert_ne!(settled, MutantClass::Unknown);
+        // Walk base budgets up in powers of two: the 16× span of the
+        // ladder is wider than the 2× step, so some base must land in
+        // the window where flat classify is starved (Unknown) but the
+        // escalated retry settles — unless even 1 conflict suffices.
+        // Any settled answer for this mutant must be a benign flavour
+        // (the swap is semantics-preserving; under a bigger budget the
+        // strict miter upgrades BenignUnderC to Benign, so the two
+        // flavours can differ across budgets — never the kill verdict).
+        let benign = |c: MutantClass| {
+            matches!(c, MutantClass::Benign | MutantClass::BenignUnderC)
+        };
+        assert!(benign(settled), "{settled:?}");
+        let mut base = 1u64;
+        while classify(&div, &mutant, &[], base) == MutantClass::Unknown {
+            let escalated = classify_escalating(&div, &mutant, &[], base);
+            if escalated != MutantClass::Unknown {
+                assert!(benign(escalated), "{escalated:?}");
+                return;
+            }
+            base *= 2;
+            assert!(base <= CONFLICTS, "classifier never settled");
+        }
+        // Flat classify already settles at `base`; the ladder's first
+        // rung is that same budget, so it must agree with it.
+        assert!(benign(classify_escalating(&div, &mutant, &[], base)));
     }
 }

@@ -36,6 +36,9 @@ pub enum SolveResult {
 pub struct Budget {
     /// Abort after this many conflicts.
     pub max_conflicts: Option<u64>,
+    /// Abort after this many propagations (checked at conflicts, like
+    /// every other budget, so the cut is deterministic).
+    pub max_propagations: Option<u64>,
     /// Abort once this much wall-clock time has elapsed.
     pub timeout: Option<std::time::Duration>,
 }
@@ -49,6 +52,12 @@ impl Budget {
     /// Limits the number of conflicts.
     pub fn with_conflicts(mut self, n: u64) -> Self {
         self.max_conflicts = Some(n);
+        self
+    }
+
+    /// Limits the number of propagations.
+    pub fn with_propagations(mut self, n: u64) -> Self {
+        self.max_propagations = Some(n);
         self
     }
 
@@ -137,6 +146,9 @@ pub struct Solver {
     // certification
     proof: Option<Box<ProofLog>>,
     final_conflict: Vec<Lit>,
+    // cooperative cancellation (wall-clock watchdog); polled alongside
+    // the timeout check, never alters committed statistics
+    interrupt: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
 }
 
 const HEAP_ABSENT: usize = usize::MAX;
@@ -180,6 +192,14 @@ impl Solver {
     /// Number of variables allocated so far.
     pub fn num_vars(&self) -> usize {
         self.assign.len()
+    }
+
+    /// Installs a shared cancellation flag. Once the flag is set,
+    /// [`Solver::solve_with`] returns [`SolveResult::Unknown`] at its
+    /// next conflict — the same cooperative cadence as the wall-clock
+    /// budget, so an interrupted run never corrupts solver state.
+    pub fn set_interrupt(&mut self, flag: std::sync::Arc<std::sync::atomic::AtomicBool>) {
+        self.interrupt = Some(flag);
     }
 
     /// Number of problem (non-learnt) clauses added.
@@ -701,6 +721,7 @@ impl Solver {
         }
         let start = Instant::now();
         let start_conflicts = self.stats.conflicts;
+        let start_propagations = self.stats.propagations;
         let mut restart_idx = 0u64;
         let result = 'outer: loop {
             restart_idx += 1;
@@ -734,8 +755,18 @@ impl Solver {
                             break 'outer SolveResult::Unknown;
                         }
                     }
+                    if let Some(max) = budget.max_propagations {
+                        if self.stats.propagations - start_propagations >= max {
+                            break 'outer SolveResult::Unknown;
+                        }
+                    }
                     if let Some(t) = budget.timeout {
                         if self.stats.conflicts.is_multiple_of(128) && start.elapsed() >= t {
+                            break 'outer SolveResult::Unknown;
+                        }
+                    }
+                    if let Some(flag) = &self.interrupt {
+                        if flag.load(std::sync::atomic::Ordering::Relaxed) {
                             break 'outer SolveResult::Unknown;
                         }
                     }
@@ -973,6 +1004,50 @@ mod tests {
         }
         let r = s.solve_with(&[], Budget::new().with_conflicts(50));
         assert_eq!(r, SolveResult::Unknown);
+        // A propagation budget cuts the same instance off too (every
+        // conflict costs at least one propagation).
+        let mut s2 = solver_with_vars((holes * pigeons) as usize);
+        for i in 0..pigeons {
+            s2.add_clause((0..holes).map(|j| p(i, j)));
+        }
+        for j in 0..holes {
+            for i1 in 0..pigeons {
+                for i2 in (i1 + 1)..pigeons {
+                    s2.add_clause([!p(i1, j), !p(i2, j)]);
+                }
+            }
+        }
+        let r2 = s2.solve_with(&[], Budget::new().with_propagations(100));
+        assert_eq!(r2, SolveResult::Unknown);
+        assert!(s2.stats().propagations >= 100);
+    }
+
+    #[test]
+    fn preset_interrupt_flag_returns_unknown_at_first_conflict() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        // The same pigeonhole instance, cut off by a pre-raised
+        // interrupt flag instead of a unit budget.
+        let holes = 7i64;
+        let pigeons = 8i64;
+        let mut s = solver_with_vars((holes * pigeons) as usize);
+        let p = |i: i64, j: i64| lit(i * holes + j + 1);
+        for i in 0..pigeons {
+            s.add_clause((0..holes).map(|j| p(i, j)));
+        }
+        for j in 0..holes {
+            for i1 in 0..pigeons {
+                for i2 in (i1 + 1)..pigeons {
+                    s.add_clause([!p(i1, j), !p(i2, j)]);
+                }
+            }
+        }
+        let flag = Arc::new(AtomicBool::new(true));
+        s.set_interrupt(Arc::clone(&flag));
+        assert_eq!(s.solve(), SolveResult::Unknown);
+        // Clearing the flag lets the same solver finish the proof.
+        flag.store(false, std::sync::atomic::Ordering::Relaxed);
+        assert_eq!(s.solve(), SolveResult::Unsat);
     }
 
     #[test]

@@ -96,6 +96,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             println!("vc1 inconclusive with {residual_terms} residual terms");
             assert!(!report.is_correct());
         }
+        Vc1Outcome::Exhausted(e) => {
+            // Unreachable here — this run is ungoverned — but the match
+            // stays exhaustive for when budgets are added above.
+            println!("vc1 exhausted its budget: {e}");
+            assert!(!report.is_correct());
+        }
     }
     println!("\n✔ the injected bug was caught");
     Ok(())

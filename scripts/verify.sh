@@ -109,6 +109,27 @@ if grep -q '"sbif.windows_solved"' "$FUZZ_TMP/fm-warm.json"; then
     exit 1
 fi
 
+echo "==> robustness gate (resource governor + crash-safe daemon)"
+# DESIGN.md §16: budgeted runs degrade to typed Inconclusive verdicts
+# instead of aborting, byte-identically at any --jobs; the daemon
+# survives panicking jobs and SIGKILL mid-job (journal recovery and
+# stale-socket rebind are asserted by tests/serve.rs, which the
+# service gate above already runs under its 10 s stop discipline).
+cargo test -q --offline -p sbif-govern
+cargo test -q --offline --test governor
+# Budget smoke on the known-divergent case: backward rewriting of the
+# SRT divider blows any small term budget (DESIGN.md §16); governed,
+# the standard flow must exit 0 with an inconclusive verdict naming
+# the exhausted stage — inside a hard wall-clock ceiling so a hung
+# governor fails the gate instead of wedging it.
+timeout 60 ./target/release/sbif-verify --demo 6 --arch srt \
+    --budget-conflicts 1 --budget-terms 10 --timeout 5000 \
+    > "$FUZZ_TMP/srt-governed.out"
+# Normally the term budget trips first ("rewrite exhausted
+# rewrite-terms"); on a pathologically slow machine the 5 s watchdog
+# may beat it — either way the contract is exit 0 + inconclusive.
+grep -q "VERDICT: inconclusive (" "$FUZZ_TMP/srt-governed.out"
+
 echo "==> bdd gate (differential + property harness)"
 # The BDD engine's own acceptance harness: every root of random
 # netlists differentially checked against exhaustive truth-table

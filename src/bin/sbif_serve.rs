@@ -20,11 +20,18 @@
 //! `submit` is a one-shot client: it sends a single request line and
 //! prints every response line for it (including streamed `trace`
 //! events) until the terminal `result`/`error`/`pong`/`stats` line.
-//! `stop` asks a running daemon to shut down.
+//! `stop` asks a running daemon to shut down. Verify requests may
+//! carry per-job governor budgets (`budget_conflicts`, `budget_terms`,
+//! `budget_nodes`, `budget_sat`, `timeout_ms`; DESIGN.md §16) — a
+//! budget-limited job answers `"verdict": "inconclusive"` with an
+//! `exhausted_at` field naming the stage that ran out. `--max-active
+//! N` bounds concurrent jobs; excess requests get a `rejected`
+//! response with a `retry_after_ms` hint.
 //!
 //! Exit code 0 = success (daemon: clean shutdown; submit: `result` with
-//! verdict `correct`, or `pong`/`stats`/`bye`), 1 = job failed or
-//! verdict not correct, 2 = usage/connection error.
+//! verdict `correct` or `inconclusive`, or `pong`/`stats`/`bye`), 1 =
+//! job failed, rejected, or verdict not correct, 2 = usage/connection
+//! error.
 
 use sbif::serve::{Server, ServeOptions};
 use sbif::trace::json::{parse, Value};
@@ -35,7 +42,8 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: sbif-serve <socket> [--cache-dir DIR] [--jobs N] [--metrics-out FILE]\n\
+        "usage: sbif-serve <socket> [--cache-dir DIR] [--jobs N] [--max-active N]\n\
+         \x20                [--metrics-out FILE]\n\
          \x20      sbif-serve submit <socket> <json-request-line>\n\
          \x20      sbif-serve stop <socket>"
     );
@@ -62,6 +70,7 @@ fn daemon(args: &[String]) -> ExitCode {
     let mut socket: Option<PathBuf> = None;
     let mut cache_dir: Option<PathBuf> = None;
     let mut jobs = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut max_active = ServeOptions::default().max_active;
     let mut metrics_out: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
@@ -77,6 +86,14 @@ fn daemon(args: &[String]) -> ExitCode {
                     return usage();
                 };
                 jobs = j.max(1);
+                i += 2;
+            }
+            "--max-active" => {
+                let Some(m) = args.get(i + 1).and_then(|s| s.parse::<usize>().ok())
+                else {
+                    return usage();
+                };
+                max_active = m;
                 i += 2;
             }
             "--metrics-out" => {
@@ -99,6 +116,7 @@ fn daemon(args: &[String]) -> ExitCode {
         socket: socket.clone(),
         cache_dir,
         default_jobs: jobs,
+        max_active,
     }) {
         Ok(s) => s,
         Err(e) => {
@@ -165,11 +183,18 @@ fn submit(socket: &str, request: &str) -> ExitCode {
         match obj.get("ev").and_then(Value::as_str) {
             Some("accepted") | Some("trace") => continue,
             Some("result") => {
-                let correct =
-                    obj.get("verdict").and_then(Value::as_str) == Some("correct");
-                return if correct { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+                // A budget-limited job is a successful run whose answer
+                // is "the budget was too small" — exit 0, like the
+                // sbif-verify CLI.
+                let ok = matches!(
+                    obj.get("verdict").and_then(Value::as_str),
+                    Some("correct") | Some("inconclusive")
+                );
+                return if ok { ExitCode::SUCCESS } else { ExitCode::FAILURE };
             }
-            Some("error") => return ExitCode::FAILURE,
+            Some("error") | Some("job_failed") | Some("rejected") => {
+                return ExitCode::FAILURE
+            }
             _ => return ExitCode::SUCCESS,
         }
     }

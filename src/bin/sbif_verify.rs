@@ -5,9 +5,28 @@
 //! sbif-verify <netlist> [--vc1-only] [--no-sbif] [--certify] [--max-terms N] [--jobs N]
 //!             [--cache-dir DIR] [--trace pretty|json] [--trace-out FILE]
 //!             [--metrics-out FILE] [--analysis-out FILE]
-//! sbif-verify --demo <n>          # generate and verify an n-bit divider
-//! sbif-verify --emit <n> <file>   # write an n-bit divider as BNET
+//!             [--budget-conflicts N] [--budget-terms N] [--budget-nodes N]
+//!             [--budget-sat N] [--timeout MS]
+//! sbif-verify --demo <n> [--arch A]        # generate and verify an n-bit divider
+//! sbif-verify --emit <n> <file> [--arch A] # write an n-bit divider as BNET
 //! ```
+//!
+//! `--arch` picks the generated architecture: `nonrestoring` (the
+//! default), `restoring`, `srt` or `array`.
+//!
+//! The `--budget-*` flags attach the resource governor (DESIGN.md
+//! §16): `--budget-conflicts` caps the committed SBIF solver conflicts
+//! (exhaustion skips the remaining windows and continues with the
+//! classes found — sound, possibly slower downstream),
+//! `--budget-terms` caps backward-rewriting terms (exhaustion is an
+//! *inconclusive* verdict instead of a hard abort), `--budget-nodes`
+//! caps the vc2 BDD's live nodes (exhaustion falls back to a bounded
+//! SAT check of the range property, itself capped by `--budget-sat`).
+//! All of those are deterministic units — whether a budget trips is
+//! byte-identical for any `--jobs` value. `--timeout MS` arms a
+//! wall-clock watchdog that only ever cancels; a cancelled run is
+//! reported inconclusive and never cached. A budget-limited run exits
+//! 0 with `VERDICT: inconclusive (…)` naming the exhausted stage.
 //!
 //! Netlist files may be BNET (`.bnet`, anything else), AIGER ASCII
 //! (`.aag`) or ISCAS BENCH (`.bench`/`.isc`) — the format is chosen by
@@ -42,16 +61,19 @@
 //! `r0[0..2n−3]` and `d[0..n−2]` (the sign bits are constant 0 per the
 //! paper) and output buses `q[0..n−1]` and `r[0..2n−2]`.
 //!
-//! Exit code 0 = verified correct, 1 = refuted/failed, 2 = usage or
-//! resource error.
+//! Exit code 0 = verified correct *or* inconclusive under a budget
+//! (the run itself succeeded; the budget was the limit), 1 =
+//! refuted/failed, 2 = usage or resource error.
 
-use sbif::cache::{Entry, ResultCache};
 use sbif::check::lint_bnet;
 use sbif::core::verify::{DividerVerifier, Vc1Outcome, VerifierConfig};
-use sbif::netlist::build::{nonrestoring_divider, Divider};
+use sbif::netlist::build::{
+    array_divider, nonrestoring_divider, restoring_divider, srt_divider, Divider,
+};
 use sbif::netlist::io::{read_netlist, write_bnet, Format};
-use sbif::serve::design_key;
+use sbif::serve::verify_cached;
 use sbif::trace::{NdjsonSink, PrettySink, Recorder};
+use sbif::cache::ResultCache;
 use std::io::Write;
 use std::process::ExitCode;
 
@@ -60,11 +82,23 @@ fn usage() -> ExitCode {
         "usage: sbif-verify <netlist(.bnet|.aag|.bench)> [--vc1-only] [--no-sbif] [--certify]\n\
          \x20                [--max-terms N] [--jobs N] [--cache-dir DIR]\n\
          \x20                [--trace pretty|json] [--trace-out FILE] [--metrics-out FILE]\n\
-         \x20                [--analysis-out FILE]\n\
-         \x20      sbif-verify --demo <n>\n\
-         \x20      sbif-verify --emit <n> <file>"
+         \x20                [--analysis-out FILE] [--budget-conflicts N] [--budget-terms N]\n\
+         \x20                [--budget-nodes N] [--budget-sat N] [--timeout MS]\n\
+         \x20      sbif-verify --demo <n> [--arch nonrestoring|restoring|srt|array]\n\
+         \x20      sbif-verify --emit <n> <file> [--arch nonrestoring|restoring|srt|array]"
     );
     ExitCode::from(2)
+}
+
+/// Builds an `n`-bit divider of the named architecture.
+fn build_arch(arch: &str, n: usize) -> Option<Divider> {
+    match arch {
+        "nonrestoring" => Some(nonrestoring_divider(n)),
+        "restoring" => Some(restoring_divider(n)),
+        "srt" => Some(srt_divider(n)),
+        "array" => Some(array_divider(n)),
+        _ => None,
+    }
 }
 
 /// How the trace event stream is rendered (`--trace`).
@@ -89,12 +123,20 @@ fn main() -> ExitCode {
             eprintln!("divisor width must be at least 2 bits");
             return ExitCode::from(2);
         }
-        let div = nonrestoring_divider(n);
+        let arch = match (args.get(3).map(String::as_str), args.get(4)) {
+            (Some("--arch"), Some(a)) => a.as_str(),
+            (None, _) => "nonrestoring",
+            _ => return usage(),
+        };
+        let Some(div) = build_arch(arch, n) else {
+            eprintln!("unknown architecture {arch:?} (want nonrestoring, restoring, srt or array)");
+            return ExitCode::from(2);
+        };
         if let Err(e) = std::fs::write(path, write_bnet(&div.netlist)) {
             eprintln!("cannot write {path}: {e}");
             return ExitCode::from(2);
         }
-        println!("wrote the {n}-bit non-restoring divider to {path}");
+        println!("wrote the {n}-bit {arch} divider to {path}");
         return ExitCode::SUCCESS;
     }
 
@@ -104,6 +146,8 @@ fn main() -> ExitCode {
     let mut config = VerifierConfig::default();
     config.sbif.jobs = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut divider: Option<Divider> = None;
+    let mut demo: Option<usize> = None;
+    let mut arch = String::from("nonrestoring");
     let mut trace_mode: Option<TraceMode> = None;
     let mut trace_out: Option<String> = None;
     let mut metrics_out: Option<String> = None;
@@ -120,7 +164,47 @@ fn main() -> ExitCode {
                     eprintln!("divisor width must be at least 2 bits");
                     return ExitCode::from(2);
                 }
-                divider = Some(nonrestoring_divider(n));
+                demo = Some(n);
+                i += 2;
+            }
+            "--arch" => {
+                let Some(a) = args.get(i + 1) else { return usage() };
+                arch = a.clone();
+                i += 2;
+            }
+            "--budget-conflicts" => {
+                let Some(v) = args.get(i + 1).and_then(|s| s.parse::<u64>().ok()) else {
+                    return usage();
+                };
+                config.govern.sbif_conflicts = Some(v);
+                i += 2;
+            }
+            "--budget-terms" => {
+                let Some(v) = args.get(i + 1).and_then(|s| s.parse::<usize>().ok()) else {
+                    return usage();
+                };
+                config.govern.rewrite_terms = Some(v);
+                i += 2;
+            }
+            "--budget-nodes" => {
+                let Some(v) = args.get(i + 1).and_then(|s| s.parse::<usize>().ok()) else {
+                    return usage();
+                };
+                config.govern.vc2_live_nodes = Some(v);
+                i += 2;
+            }
+            "--budget-sat" => {
+                let Some(v) = args.get(i + 1).and_then(|s| s.parse::<u64>().ok()) else {
+                    return usage();
+                };
+                config.govern.vc2_sat_conflicts = Some(v);
+                i += 2;
+            }
+            "--timeout" => {
+                let Some(v) = args.get(i + 1).and_then(|s| s.parse::<u64>().ok()) else {
+                    return usage();
+                };
+                config.govern.timeout_ms = Some(v);
                 i += 2;
             }
             "--vc1-only" => {
@@ -232,6 +316,19 @@ fn main() -> ExitCode {
             _ => return usage(),
         }
     }
+    if divider.is_none() {
+        if let Some(n) = demo {
+            match build_arch(&arch, n) {
+                Some(d) => divider = Some(d),
+                None => {
+                    eprintln!(
+                        "unknown architecture {arch:?} (want nonrestoring, restoring, srt or array)"
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    }
     let Some(divider) = divider else { return usage() };
     // A file target without an explicit mode means the machine stream.
     if trace_out.is_some() && trace_mode.is_none() {
@@ -239,44 +336,19 @@ fn main() -> ExitCode {
     }
 
     // The content-addressed result cache: a hit replays the stored
-    // verdict and metrics stub byte-identically and skips the run.
-    struct KeyedCache {
-        cache: ResultCache,
-        key: u128,
-        cones: Vec<(u64, bool)>,
-    }
-    let mut cache_key: Option<KeyedCache> = None;
-    if let Some(dir) = &cache_dir {
-        let cache = match ResultCache::on_disk(dir) {
-            Ok(c) => c,
+    // verdict and metrics stub byte-identically and skips the run
+    // (inconclusive entries only hit under the exact same budgets; see
+    // DESIGN.md §16).
+    let cache = match &cache_dir {
+        Some(dir) => match ResultCache::on_disk(dir) {
+            Ok(c) => Some(c),
             Err(e) => {
                 eprintln!("cannot open cache dir {dir}: {e}");
                 return ExitCode::from(2);
             }
-        };
-        let (key, cones) = design_key(&divider, &config);
-        if let Some(entry) = cache.lookup(key, &cones).entry {
-            let correct = entry.verdict == "correct";
-            println!(
-                "verifying {}-bit divider ({} signals) against Definition 1 …",
-                divider.n,
-                divider.netlist.num_signals()
-            );
-            if let Some(path) = &metrics_out {
-                if let Err(e) = std::fs::write(path, &entry.payload) {
-                    eprintln!("cannot write {path}: {e}");
-                    return ExitCode::from(2);
-                }
-                println!("metrics report written to {path}");
-            }
-            println!(
-                "VERDICT: {} (cached)",
-                if correct { "correct" } else { "NOT correct" }
-            );
-            return if correct { ExitCode::SUCCESS } else { ExitCode::FAILURE };
-        }
-        cache_key = Some(KeyedCache { cache, key, cones });
-    }
+        },
+        None => None,
+    };
 
     // One recorder observes the whole run; sinks stream events as the
     // phases execute, the deterministic payload lands in the report.
@@ -303,24 +375,25 @@ fn main() -> ExitCode {
         divider.n,
         divider.netlist.num_signals()
     );
-    let verifier =
-        DividerVerifier::new(&divider).with_config(config).with_recorder(recorder.clone());
-    let report = match verifier.verify() {
-        Ok(r) => r,
+    let out = match verify_cached(&divider, config, cache.as_ref(), recorder) {
+        Ok(o) => o,
         Err(e) => {
             eprintln!("aborted: {e}");
             return ExitCode::from(2);
         }
     };
     if let Some(path) = &metrics_out {
-        if let Err(e) = std::fs::write(path, report.metrics.to_json()) {
+        if let Err(e) = std::fs::write(path, &out.metrics_json) {
             eprintln!("cannot write {path}: {e}");
             return ExitCode::from(2);
         }
         println!("metrics report written to {path}");
     }
     if let Some(path) = &analysis_out {
-        let db = match verifier.analysis_db() {
+        // The analysis database is deterministic, so recomputing it on
+        // a fresh verifier matches what the run (or the cached original
+        // run) observed.
+        let db = match DividerVerifier::new(&divider).with_config(config).analysis_db() {
             Ok(db) => db,
             Err(e) => {
                 eprintln!("cannot analyze: {e}");
@@ -333,53 +406,74 @@ fn main() -> ExitCode {
         }
         println!("analysis database written to {path}");
     }
-    match &report.vc1.outcome {
-        Vc1Outcome::Proven => println!(
-            "vc1 (R0 = Q*D + R): PROVEN   [{} equivalences, peak {} terms, {:?} + {:?}]",
-            report.vc1.sbif.proven,
-            report.vc1.rewrite.peak_terms,
-            report.vc1.sbif_time,
-            report.vc1.rewrite_time
-        ),
-        Vc1Outcome::Refuted { dividend, divisor } => {
-            println!("vc1 (R0 = Q*D + R): REFUTED  [{dividend} / {divisor} divides wrong]")
+    if let Some(report) = out.report.as_deref() {
+        match &report.vc1.outcome {
+            Vc1Outcome::Proven => println!(
+                "vc1 (R0 = Q*D + R): PROVEN   [{} equivalences, peak {} terms, {:?} + {:?}]",
+                report.vc1.sbif.proven,
+                report.vc1.rewrite.peak_terms,
+                report.vc1.sbif_time,
+                report.vc1.rewrite_time
+            ),
+            Vc1Outcome::Refuted { dividend, divisor } => {
+                println!("vc1 (R0 = Q*D + R): REFUTED  [{dividend} / {divisor} divides wrong]")
+            }
+            Vc1Outcome::Inconclusive { residual_terms } => {
+                println!("vc1 (R0 = Q*D + R): UNDECIDED [{residual_terms} residual terms]")
+            }
+            Vc1Outcome::Exhausted(e) => {
+                println!("vc1 (R0 = Q*D + R): EXHAUSTED [{e}]")
+            }
         }
-        Vc1Outcome::Inconclusive { residual_terms } => {
-            println!("vc1 (R0 = Q*D + R): UNDECIDED [{residual_terms} residual terms]")
+        if let Some(vc2) = &report.vc2 {
+            println!(
+                "vc2 (0 <= R < D):   {}  [peak {} BDD nodes, {:?}]",
+                if vc2.holds { "PROVEN " } else { "REFUTED" },
+                vc2.peak_nodes,
+                report.vc2_time
+            );
+        }
+        if let Some(fb) = &report.vc2_fallback {
+            println!(
+                "vc2 SAT fallback:   {}  [{} of {} conflicts]",
+                match fb.holds {
+                    Some(true) => "PROVEN ",
+                    Some(false) => "REFUTED",
+                    None => "UNKNOWN",
+                },
+                fb.conflicts,
+                fb.budget
+            );
+        }
+        if config.certify {
+            let cert = report.certificates();
+            println!(
+                "certificates:       {} UNSAT answers DRAT-checked, {} rejected, {:.1}% of logged steps used",
+                cert.checked,
+                cert.rejected,
+                100.0 * cert.used_fraction()
+            );
+        }
+        if report.cancelled {
+            eprintln!("watchdog: run cancelled by --timeout; result not cached");
         }
     }
-    if let Some(vc2) = &report.vc2 {
-        println!(
-            "vc2 (0 <= R < D):   {}  [peak {} BDD nodes, {:?}]",
-            if vc2.holds { "PROVEN " } else { "REFUTED" },
-            vc2.peak_nodes,
-            report.vc2_time
-        );
-    }
-    let mut certified_ok = true;
-    if config.certify {
-        let cert = report.certificates();
-        certified_ok = cert.all_accepted();
-        println!(
-            "certificates:       {} UNSAT answers DRAT-checked, {} rejected, {:.1}% of logged steps used",
-            cert.checked,
-            cert.rejected,
-            100.0 * cert.used_fraction()
-        );
-    }
-    let correct = report.is_correct() && certified_ok;
-    if let Some(kc) = &cache_key {
-        let verdict = if correct { "correct" } else { "not-correct" };
-        let entry = Entry::new(verdict, report.metrics.to_json());
-        if let Err(e) = kc.cache.store(kc.key, &kc.cones, &entry) {
-            eprintln!("cannot store cache entry: {e}");
+    let cached = if out.cached { " (cached)" } else { "" };
+    match out.verdict.as_str() {
+        "correct" => {
+            println!("VERDICT: correct{cached}");
+            ExitCode::SUCCESS
         }
-    }
-    if correct {
-        println!("VERDICT: correct");
-        ExitCode::SUCCESS
-    } else {
-        println!("VERDICT: NOT correct");
-        ExitCode::FAILURE
+        "inconclusive" => {
+            match &out.exhausted_at {
+                Some(e) => println!("VERDICT: inconclusive ({e}){cached}"),
+                None => println!("VERDICT: inconclusive{cached}"),
+            }
+            ExitCode::SUCCESS
+        }
+        _ => {
+            println!("VERDICT: NOT correct{cached}");
+            ExitCode::FAILURE
+        }
     }
 }

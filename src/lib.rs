@@ -50,6 +50,7 @@ pub use sbif_cec as cec;
 pub use sbif_check as check;
 pub use sbif_core as core;
 pub use sbif_fuzz as fuzz;
+pub use sbif_govern as govern;
 pub use sbif_netlist as netlist;
 pub use sbif_poly as poly;
 pub use sbif_sat as sat;

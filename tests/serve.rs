@@ -35,9 +35,14 @@ struct Daemon {
 
 impl Daemon {
     fn spawn(socket: PathBuf, extra: &[&str]) -> Daemon {
+        Daemon::spawn_env(socket, extra, &[])
+    }
+
+    fn spawn_env(socket: PathBuf, extra: &[&str], envs: &[(&str, &str)]) -> Daemon {
         let mut child = Command::new(env!("CARGO_BIN_EXE_sbif-serve"))
             .arg(&socket)
             .args(extra)
+            .envs(envs.iter().copied())
             .stdout(Stdio::null())
             .stderr(Stdio::null())
             .spawn()
@@ -211,6 +216,133 @@ fn submit_and_stop_subcommands_round_trip() {
     // `stop` already sent the shutdown; Daemon::stop tolerates the
     // socket being gone and just reaps the process.
     daemon.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Reads response lines for one request until a terminal event,
+/// returning every line.
+fn transact(socket: &PathBuf, request: &str) -> Vec<String> {
+    let stream = UnixStream::connect(socket).expect("connects");
+    let mut reader = BufReader::new(stream.try_clone().expect("clones"));
+    let mut writer = stream;
+    writeln!(writer, "{request}").expect("sends");
+    writer.flush().expect("flushes");
+    let mut lines = Vec::new();
+    loop {
+        let mut line = String::new();
+        assert_ne!(reader.read_line(&mut line).expect("reads"), 0, "closed early");
+        let terminal = !line.contains("\"ev\": \"accepted\"") && !line.contains("\"ev\": \"trace\"");
+        lines.push(line.trim_end().to_string());
+        if terminal {
+            return lines;
+        }
+    }
+}
+
+#[test]
+fn budgeted_jobs_answer_inconclusive_with_the_exhausted_stage() {
+    let dir = tmpdir("budget");
+    let socket = dir.join("serve.sock");
+    let daemon = Daemon::spawn(socket.clone(), &[]);
+
+    let lines = transact(
+        &socket,
+        "{\"op\": \"verify\", \"id\": 3, \"demo\": 4, \
+         \"budget_conflicts\": 1, \"budget_terms\": 1}",
+    );
+    let result = lines.last().expect("terminal line");
+    assert!(result.contains("\"verdict\": \"inconclusive\""), "{result}");
+    assert!(result.contains("\"exhausted_at\": \""), "{result}");
+    assert!(result.contains("exhausted"), "{result}");
+
+    // An ample budget on the same design is a cache miss (different
+    // stamp), runs for real, and proves.
+    let lines = transact(
+        &socket,
+        "{\"op\": \"verify\", \"id\": 4, \"demo\": 4, \"budget_terms\": 1000000}",
+    );
+    let result = lines.last().expect("terminal line");
+    assert!(result.contains("\"verdict\": \"correct\""), "{result}");
+    assert!(result.contains("\"cached\": false"), "{result}");
+
+    daemon.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_panicking_job_fails_structurally_without_killing_the_daemon() {
+    let dir = tmpdir("panic");
+    let socket = dir.join("serve.sock");
+    // The crash op is honored only under this env var, so production
+    // daemons can never be crashed remotely.
+    let daemon =
+        Daemon::spawn_env(socket.clone(), &[], &[("SBIF_SERVE_TEST_CRASH", "1")]);
+
+    let lines = transact(&socket, "{\"op\": \"verify\", \"id\": 1, \"demo\": 3, \"crash\": true}");
+    let failed = lines.last().expect("terminal line");
+    assert!(failed.contains("\"ev\": \"job_failed\""), "{failed}");
+    assert!(failed.contains("injected test crash"), "{failed}");
+
+    // The daemon survived: the next job on a fresh connection runs
+    // normally and the stats account the panic.
+    let lines = transact(&socket, "{\"op\": \"verify\", \"id\": 2, \"demo\": 3}");
+    assert!(lines.last().unwrap().contains("\"verdict\": \"correct\""), "{lines:?}");
+    let stats = transact(&socket, "{\"op\": \"stats\"}");
+    assert!(stats[0].contains("\"serve.jobs_panicked\": 1"), "{}", stats[0]);
+
+    daemon.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sigkilled_daemon_restarts_on_the_same_socket_and_recovers_the_journal() {
+    let dir = tmpdir("kill");
+    let socket = dir.join("serve.sock");
+    let cache = dir.join("cache");
+    let cache_arg = cache.to_str().unwrap().to_string();
+    let mut daemon =
+        Daemon::spawn(socket.clone(), &["--cache-dir", &cache_arg, "--jobs", "1"]);
+
+    // Start a job big enough to still be in flight, wait for the
+    // accepted line (the journal entry is written right after it), then
+    // SIGKILL the daemon mid-job.
+    let stream = UnixStream::connect(&socket).expect("connects");
+    let mut reader = BufReader::new(stream.try_clone().expect("clones"));
+    let mut writer = stream;
+    writeln!(writer, "{{\"op\": \"verify\", \"id\": 1, \"demo\": 5}}").expect("sends");
+    writer.flush().expect("flushes");
+    let mut accepted = String::new();
+    reader.read_line(&mut accepted).expect("reads");
+    assert!(accepted.contains("\"ev\": \"accepted\""), "{accepted}");
+    // Give the handler a moment to write the journal entry; demo 5
+    // runs orders of magnitude longer than this.
+    let journal = cache.join("journal");
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while std::fs::read_dir(&journal).map(|d| d.count()).unwrap_or(0) == 0 {
+        assert!(Instant::now() < deadline, "journal entry never appeared");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    daemon.child.kill().expect("kills");
+    daemon.child.wait().expect("reaps");
+    assert!(socket.exists(), "kill -9 leaves the socket file behind");
+    assert_eq!(std::fs::read_dir(&journal).unwrap().count(), 1, "orphaned journal entry");
+
+    // Restart on the same socket: the stale file is swept (nobody
+    // answers the probe), the journal is recovered — re-running the
+    // job feeds the shared cache — and the journal is drained.
+    let daemon2 = Daemon::spawn(socket.clone(), &["--cache-dir", &cache_arg, "--jobs", "1"]);
+    let stats = transact(&socket, "{\"op\": \"stats\"}");
+    assert!(stats[0].contains("\"serve.jobs_recovered\": 1"), "{}", stats[0]);
+    assert_eq!(std::fs::read_dir(&journal).unwrap().count(), 0, "journal must drain");
+
+    // Resubmitting the interrupted job hits the recovered cache entry.
+    let lines = transact(&socket, "{\"op\": \"verify\", \"id\": 2, \"demo\": 5}");
+    let result = lines.last().expect("terminal line");
+    assert!(result.contains("\"verdict\": \"correct\""), "{result}");
+    assert!(result.contains("\"cached\": true"), "{result}");
+
+    daemon2.stop();
+    assert!(!socket.exists(), "socket removed on clean shutdown");
     let _ = std::fs::remove_dir_all(&dir);
 }
 
