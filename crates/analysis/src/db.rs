@@ -38,6 +38,11 @@ pub struct AnalysisDb {
     /// The input planes behind `shadow` (`[input][word]`), kept so a
     /// signature mismatch can be turned into a concrete input vector.
     pub shadow_planes: Vec<Vec<u64>>,
+    /// Topological level per signal (strictly greater than every fanin
+    /// level). Empty until the level pass ran. The SBIF level scheduler
+    /// builds its batch geometry from this map instead of re-traversing
+    /// the netlist.
+    pub levels: Vec<usize>,
 }
 
 impl AnalysisDb {
@@ -101,6 +106,11 @@ impl AnalysisDb {
             out,
             "  \"shadow_words\": {},",
             self.shadow.first().map_or(0, |w| w.len())
+        );
+        let _ = writeln!(
+            out,
+            "  \"levels\": {},",
+            self.levels.iter().map(|&l| l + 1).max().unwrap_or(0)
         );
 
         // Ternary facts.

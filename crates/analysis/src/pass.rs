@@ -93,6 +93,32 @@ impl Pass for TernaryPass {
     }
 }
 
+/// Topological level map (depth per signal). The SBIF level scheduler
+/// consumes it through [`AnalysisDb::levels`] instead of re-traversing
+/// the netlist.
+pub struct LevelPass;
+
+impl Pass for LevelPass {
+    fn name(&self) -> &'static str {
+        "levels"
+    }
+
+    fn run(&self, nl: &Netlist, _cfg: &AnalysisConfig, db: &mut AnalysisDb, rec: &ScopedRecorder) {
+        let levels = nl.levels();
+        let depth = levels.iter().map(|&l| l + 1).max().unwrap_or(0);
+        rec.add("levels", depth as u64);
+        let widest = {
+            let mut width = vec![0u64; depth];
+            for &l in &levels {
+                width[l] += 1;
+            }
+            width.into_iter().max().unwrap_or(0)
+        };
+        rec.add("level_width_max", widest);
+        db.levels = levels;
+    }
+}
+
 /// Canonical structural hashing (see [`crate::strash`]).
 pub struct StrashPass;
 
@@ -161,10 +187,12 @@ pub struct PassManager {
 }
 
 impl PassManager {
-    /// The standard pipeline: ternary → strash → cone → signature.
+    /// The standard pipeline: levels → ternary → strash → cone →
+    /// signature.
     pub fn standard() -> Self {
         PassManager {
             passes: vec![
+                Box::new(LevelPass),
                 Box::new(TernaryPass),
                 Box::new(StrashPass),
                 Box::new(ConePass),

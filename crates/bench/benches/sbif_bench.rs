@@ -66,6 +66,16 @@ fn write_det_artifact() {
             key("propagations"),
             Value::Int(stats.solver.propagations as i64),
         );
+        // The level-barrier dispatch contract (DESIGN.md §7): nearly
+        // every speculative check commits, and the shared batch solvers
+        // amortize their setup over many windows. Pinned here so a
+        // scheduling regression shows up as a baseline diff, not just a
+        // timing wobble.
+        let permille =
+            if stats.spec_attempts > 0 { stats.spec_hits * 1000 / stats.spec_attempts } else { 0 };
+        det.insert(key("spec_hit_permille"), Value::Int(permille as i64));
+        det.insert(key("solver_inits"), Value::Int(stats.solver_inits as i64));
+        det.insert(key("batch_checks"), Value::Int(stats.batch_checks as i64));
     }
     // The cache-key contract: canonical digests are deterministic
     // across machines and runs, so they can be pinned like any other

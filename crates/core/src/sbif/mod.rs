@@ -18,11 +18,15 @@
 //! by its class representative *before* substitution prevents the
 //! exponential blow-up of Sect. III.
 
+pub mod batch;
 mod classes;
+pub mod levels;
 mod parallel;
 mod sim;
 
+pub use batch::WindowBatch;
 pub use classes::EquivClasses;
+pub use levels::LevelSchedule;
 pub use sim::{divider_sim_words, try_divider_sim_words};
 
 use sbif_analysis::{canon_of, relate, CanonForm};
@@ -56,6 +60,14 @@ pub struct SbifConfig {
     /// only committed if its certificate is accepted; results are
     /// recorded in [`SbifStats::cert`].
     pub certify: bool,
+    /// Minimum signals per dispatch batch of the level scheduler (see
+    /// [`levels::LevelSchedule`]): consecutive whole levels are grouped
+    /// until at least this many signals accumulate, and each batch's
+    /// window checks share one incremental solver. Part of the dispatch
+    /// geometry — like every field here it must not vary with `jobs`,
+    /// or the per-batch solver statistics would stop being
+    /// jobs-invariant.
+    pub batch_signals: usize,
 }
 
 impl Default for SbifConfig {
@@ -67,6 +79,7 @@ impl Default for SbifConfig {
             jobs: 1,
             cex_flush: 64,
             certify: false,
+            batch_signals: 128,
         }
     }
 }
@@ -92,8 +105,11 @@ pub struct SbifStats {
     /// buffered SAT models were simulated and the candidate buckets
     /// rebuilt.
     pub refinements: usize,
-    /// Speculative worker checks whose results the deterministic commit
-    /// could not reuse (always 0 when `jobs` = 1).
+    /// Speculative checks whose results the deterministic commit could
+    /// not reuse (`spec_attempts − spec_hits`). Every batch runs the
+    /// same speculative scan regardless of `jobs` — including the
+    /// single-worker run — so unlike the old pipelined engine this is a
+    /// deterministic, jobs-invariant number.
     pub wasted_checks: usize,
     /// Wall-clock microseconds spent inside SAT checks, summed over all
     /// worker threads.
@@ -130,11 +146,32 @@ pub struct SbifStats {
     /// Candidate pairs refuted by the shadow simulation signatures with
     /// no solver built.
     pub prefilter_refuted: usize,
+    /// Topological levels of the scanned netlist — the granularity of
+    /// the barrier scheduler (see [`levels::LevelSchedule`]).
+    pub levels: usize,
+    /// Speculative candidate checks executed by the batch runners. The
+    /// batch partition and every batch's input are fixed by the schedule
+    /// (never by `jobs`), so this is deterministic.
+    pub spec_attempts: usize,
+    /// Speculative checks the deterministic commit reused (touch set
+    /// still valid). The speculation *hit rate* is
+    /// `spec_hits / spec_attempts`.
+    pub spec_hits: usize,
+    /// Shared incremental solvers built by the batch runners — at most
+    /// one per batch, so ≥ 10× fewer than
+    /// [`windows_solved`](Self::windows_solved) on the divider
+    /// workloads. Commit-side fresh re-checks (speculation misses) build
+    /// per-window solvers that are *not* counted here.
+    pub solver_inits: usize,
+    /// Window checks served by a shared batch solver (speculative side;
+    /// the commit-side equivalent is
+    /// [`windows_solved`](Self::windows_solved)).
+    pub batch_checks: usize,
 }
 
 /// How the prefilter decided a candidate pair without a solver.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(super) enum Prefiltered {
+pub enum Prefiltered {
     /// Structurally proven: the two gates are the same canonical
     /// function of the same class representatives.
     Structural,
@@ -175,6 +212,11 @@ pub struct SbifPrefilter {
     /// outside every output/constraint cone, which the scan skips
     /// entirely. An empty mask disables the skipping.
     pub live: Vec<bool>,
+    /// Precomputed topological levels (index-addressed, one entry per
+    /// signal), letting the level scheduler reuse the traversal the
+    /// static-analysis framework already did instead of recomputing
+    /// `Netlist::levels()`. Leave empty to have the scan derive them.
+    pub levels: Vec<usize>,
 }
 
 impl SbifPrefilter {
@@ -367,7 +409,7 @@ pub fn forward_information_governed(
 /// A `rep()` answer an encoding depended on: `(queried, representative,
 /// polarity)`. The parallel commit replays these to decide whether a
 /// speculative result is still valid.
-pub(super) type RepTouch = (Sig, Sig, bool);
+pub type RepTouch = (Sig, Sig, bool);
 
 /// The representative of `s`, recorded in the touch log.
 fn rep_logged(classes: &EquivClasses, touched: &mut Vec<RepTouch>, s: Sig) -> (Sig, bool) {
@@ -395,8 +437,13 @@ fn rep_logged(classes: &EquivClasses, touched: &mut Vec<RepTouch>, s: Sig) -> (S
 /// The same argument covers the solver counters: the CDCL run is
 /// deterministic (conflict budget, no wall-clock cutoffs), so the
 /// returned [`SolverStats`] are reproducible per touch log.
+///
+/// Public as the reference oracle for the batched path: a
+/// [`WindowBatch`] check of the same `(a, b, ε)` over the same classes
+/// must return the same verdict (the differential property suite in
+/// `tests/parallel_levels.rs` enforces this on random netlists).
 #[allow(clippy::too_many_arguments)]
-pub(super) fn check_window_pair(
+pub fn check_window_pair(
     nl: &Netlist,
     classes: &EquivClasses,
     constraint: Option<Sig>,
@@ -434,6 +481,7 @@ pub(super) fn check_window_pair(
             &mut touched,
             root,
             cfg.window_depth,
+            None,
         );
     }
     let la = enc.lit(&mut solver, a);
@@ -466,19 +514,21 @@ pub(super) fn check_window_pair(
 /// function of `(a, b, ε)` and the touch log (see
 /// [`check_window_pair`]), which is what lets the parallel commit reuse
 /// speculative outcomes without perturbing any statistic.
-pub(super) struct WindowOutcome {
+#[derive(Debug, Clone)]
+pub struct WindowOutcome {
     /// The solver verdict.
-    pub(super) result: SolveResult,
+    pub result: SolveResult,
     /// Every `rep()` answer the encoding depended on.
-    pub(super) touched: Vec<RepTouch>,
+    pub touched: Vec<RepTouch>,
     /// Primary-input counterexample for SAT verdicts.
-    pub(super) cex: Option<Vec<bool>>,
+    pub cex: Option<Vec<bool>>,
     /// DRAT-check outcome for certified UNSAT verdicts.
-    pub(super) cert: Option<CertOutcome>,
-    /// The solver's counters for this one check.
-    pub(super) solver: SolverStats,
+    pub cert: Option<CertOutcome>,
+    /// The solver's counters for this one check (for a [`WindowBatch`]
+    /// check: the delta of the shared solver's counters).
+    pub solver: SolverStats,
     /// `Some` when the prefilter answered and no solver was built.
-    pub(super) prefiltered: Option<Prefiltered>,
+    pub prefiltered: Option<Prefiltered>,
 }
 
 /// Replays the UNSAT answer of a proof-logging solver through the
@@ -504,9 +554,24 @@ pub(crate) fn certify_solver_unsat(solver: &Solver) -> CertOutcome {
     certify_unsat(proof.formula(), &steps, &failed)
 }
 
+/// Adds a gate clause: guarded by an activation literal on the batched
+/// path ([`WindowBatch`]), plain on the per-window path.
+fn emit_clause<const N: usize>(solver: &mut Solver, guard: Option<Lit>, lits: [Lit; N]) {
+    match guard {
+        Some(g) => {
+            solver.add_clause_activated(g, lits);
+        }
+        None => {
+            solver.add_clause(lits);
+        }
+    }
+}
+
 /// Encodes the window `W_root` of depth `d_max`: a BFS backwards from
 /// `root` where every predecessor is first mapped to its class
-/// representative.
+/// representative. With a `guard`, every emitted clause is
+/// assumption-guarded (the batched path); variables are allocated
+/// unguarded either way.
 #[allow(clippy::too_many_arguments)]
 fn encode_window(
     nl: &Netlist,
@@ -517,6 +582,7 @@ fn encode_window(
     touched: &mut Vec<RepTouch>,
     root: Sig,
     depth: usize,
+    guard: Option<Lit>,
 ) {
     let mut queue: Vec<(Sig, usize)> = vec![(root, 0)];
     while let Some((s, d)) = queue.pop() {
@@ -527,7 +593,7 @@ fn encode_window(
         match *nl.gate(s) {
             Gate::Input => {}
             Gate::Const(v) => {
-                solver.add_clause([if v { out } else { !out }]);
+                emit_clause(solver, guard, [if v { out } else { !out }]);
             }
             Gate::Unary(op, x) => {
                 let lx = mapped_lit(classes, solver, enc, touched, x);
@@ -535,8 +601,8 @@ fn encode_window(
                     sbif_netlist::UnaryOp::Buf => lx,
                     sbif_netlist::UnaryOp::Not => !lx,
                 };
-                solver.add_clause([!out, rhs]);
-                solver.add_clause([out, !rhs]);
+                emit_clause(solver, guard, [!out, rhs]);
+                emit_clause(solver, guard, [out, !rhs]);
                 if d < depth {
                     queue.push((rep_logged(classes, touched, x).0, d + 1));
                 }
@@ -544,7 +610,7 @@ fn encode_window(
             Gate::Binary(op, x, y) => {
                 let lx = mapped_lit(classes, solver, enc, touched, x);
                 let ly = mapped_lit(classes, solver, enc, touched, y);
-                add_binop_clauses(solver, op, out, lx, ly);
+                add_binop_clauses(solver, guard, op, out, lx, ly);
                 if d < depth {
                     queue.push((rep_logged(classes, touched, x).0, d + 1));
                     queue.push((rep_logged(classes, touched, y).0, d + 1));
@@ -572,19 +638,26 @@ fn mapped_lit(
     }
 }
 
-/// CNF clauses for `out = x <op> y`.
-fn add_binop_clauses(solver: &mut Solver, op: sbif_netlist::BinOp, out: Lit, x: Lit, y: Lit) {
+/// CNF clauses for `out = x <op> y`, optionally activation-guarded.
+fn add_binop_clauses(
+    solver: &mut Solver,
+    guard: Option<Lit>,
+    op: sbif_netlist::BinOp,
+    out: Lit,
+    x: Lit,
+    y: Lit,
+) {
     use sbif_netlist::BinOp::*;
     let and = |solver: &mut Solver, o: Lit, a: Lit, b: Lit| {
-        solver.add_clause([!o, a]);
-        solver.add_clause([!o, b]);
-        solver.add_clause([o, !a, !b]);
+        emit_clause(solver, guard, [!o, a]);
+        emit_clause(solver, guard, [!o, b]);
+        emit_clause(solver, guard, [o, !a, !b]);
     };
     let xor = |solver: &mut Solver, o: Lit, a: Lit, b: Lit| {
-        solver.add_clause([!o, a, b]);
-        solver.add_clause([!o, !a, !b]);
-        solver.add_clause([o, !a, b]);
-        solver.add_clause([o, a, !b]);
+        emit_clause(solver, guard, [!o, a, b]);
+        emit_clause(solver, guard, [!o, !a, !b]);
+        emit_clause(solver, guard, [o, !a, b]);
+        emit_clause(solver, guard, [o, a, !b]);
     };
     match op {
         And => and(solver, out, x, y),

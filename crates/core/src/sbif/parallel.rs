@@ -1,78 +1,105 @@
-//! Parallel execution of the Alg. 1 window checks.
+//! Parallel execution of the Alg. 1 window checks: level-barrier
+//! dispatch with batched incremental window solving (DESIGN.md §7).
 //!
 //! The windowed SAT checks dominate SBIF's runtime and are independent
 //! of each other *except* through the growing equivalence classes: the
 //! check for signal `a` encodes window fanins by their current class
 //! representatives, and its outcome can merge classes that later checks
-//! then observe. A naive fan-out would therefore change which facts are
-//! provable — and the paper's flow depends on the classes being exactly
-//! the ones Alg. 1 computes.
+//! then observe. The first parallel engine speculated fixed-size chunks
+//! of the creation order against snapshots and committed them in order;
+//! it was bit-identical for every worker count but nearly idle — a
+//! window's fanins sit one pipeline stage back in that order, so almost
+//! every speculative check was stale by commit time (~2 % hit rate).
+//! Deeper snapshots do not help: the forwarded information of Alg. 1
+//! *chains* — a divider stage's equivalences are only provable once the
+//! previous stage's merges are in the classes, so any speculation that
+//! runs ahead of the committed state loses exactly the verdicts that
+//! matter.
 //!
-//! The engine here keeps the sequential semantics bit-identical while
-//! still using every core:
+//! This engine therefore restructures the dispatch around the
+//! netlist's topological levels (see [`LevelSchedule`]) and never
+//! speculates past a level boundary:
 //!
-//! * the signal order is cut into fixed-size **chunks**; each chunk is a
-//!   work item sent over an [`mpsc`] channel to one of `jobs` worker
-//!   threads (plain [`std::thread::scope`] — no external dependencies);
-//! * a worker owns its own [`Solver`](sbif_sat::Solver) per check and
-//!   runs the chunk **speculatively** against a snapshot of the classes,
-//!   recording for every check the set of `rep()` queries it made (the
-//!   *touch set*) and, for SAT outcomes, the counterexample model;
-//! * the coordinator **commits** chunks strictly in order, replaying the
-//!   sequential candidate scan: a speculative result is reused iff every
-//!   representative its touch set recorded still has the same value —
-//!   otherwise the check is re-run in place. Merges therefore happen in
-//!   exactly the sequential order, so the resulting [`EquivClasses`]
-//!   (and all logical statistics) are identical for any `jobs`;
-//! * counterexamples stream back with the results and are folded into
-//!   the simulation signatures at deterministic flush points (before a
-//!   committed signal, once [`SbifConfig::cex_flush`] of them are
-//!   buffered), splitting candidate buckets so spurious pairs are never
-//!   SAT-checked again.
+//! * the scan runs in **level-major order** — still a topological
+//!   order, so the classes are exactly the ones the sequential Alg. 1
+//!   computes over that order, and every representative a window
+//!   encodes lies at a strictly lower level than its root;
+//! * the **level is the barrier**: all window checks of level `L` are
+//!   dispatched speculatively against the committed state after level
+//!   `L−1`, and level `L` is committed before level `L+1` is
+//!   dispatched. A window of level `L` only touches representatives at
+//!   levels `< L`, all committed — the speculative verdicts are valid
+//!   by construction, except where two same-level scans interact
+//!   through a merge (validated per attempt, re-checked on the spot);
+//! * within a level, the signals' candidate scans are distributed
+//!   round-robin over [`LANES`] fixed lanes; each lane batches all its
+//!   window encodings into **one shared incremental SAT solver**
+//!   ([`WindowBatch`]: assumption-guarded windows, the constraint cone
+//!   encoded once, learnt clauses reused across sibling windows). Lane
+//!   solvers live for one [`LevelSchedule`] batch — a contiguous run of
+//!   whole levels with at least [`SbifConfig::batch_signals`] signals —
+//!   which amortizes solver setup across many levels while bounding
+//!   retired-clause growth;
+//! * the coordinator **commits** each level by replaying the candidate
+//!   scan sequentially: a speculative result is reused iff its recorded
+//!   rep relations still hold (see [`Attempt::valid_for`]) — otherwise
+//!   the check re-runs in place on a fresh per-window solver;
+//! * counterexamples are folded into the simulation signatures at
+//!   **level boundaries** (once [`SbifConfig::cex_flush`] of them are
+//!   buffered), between the commit of one level and the dispatch of the
+//!   next — dispatch and commit always scan the same buckets.
+//!
+//! Determinism: the scan order, the lane assignment (`pos % LANES`),
+//! the batch partition, and the commit order depend only on the
+//! netlist, the signatures, and the configuration — never on `jobs`,
+//! which only sets how many OS threads drain a level's lanes. Even the
+//! single-worker run executes the identical lane schedule. Classes,
+//! metrics, and every solver counter are therefore byte-identical for
+//! any worker count; lane solver effort is attributed **per batch** (at
+//! the batch's end, in lane order), fresh commit-side re-checks per
+//! check, which keeps governed conflict budgets deterministic too.
 
+use super::levels::{LevelSchedule, LANES};
 use super::{
     check_window_pair, EquivClasses, Prefiltered, RepTouch, SbifConfig, SbifPrefilter, SbifStats,
-    WindowOutcome,
+    WindowBatch, WindowOutcome,
 };
 use sbif_check::CertOutcome;
 use sbif_netlist::{Netlist, Sig};
 use sbif_sat::{SolveResult, SolverStats};
 use std::collections::HashMap;
-use std::sync::mpsc::{Receiver, Sender};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
-
-/// Signals per speculative work item. Small enough to keep snapshots
-/// fresh (stale snapshots waste checks), large enough to amortise the
-/// per-chunk channel round trip.
-const CHUNK: usize = 64;
 
 /// Candidate buckets of one *signature epoch* (between two refinement
 /// flushes the signatures, and hence the buckets, are immutable and can
-/// be shared with the workers through an `Arc`).
+/// be shared with the lanes).
 struct Epoch {
     /// Bucket id per signal.
     key_id: Vec<u32>,
-    /// Signature normalization flip per signal (ε of Alg. 1).
+    /// Signature normalization flip per signal (ε of Alg. 1). Depends
+    /// only on the first simulation word, so it is stable across
+    /// refinements — pair keys mean the same thing in every epoch.
     flip: Vec<bool>,
-    /// Bucket members in ascending signal order.
+    /// Bucket members in ascending *scan-position* order.
     buckets: Vec<Vec<Sig>>,
 }
 
 impl Epoch {
-    /// Candidate partners of `a`: earlier same-bucket signals,
-    /// topologically nearest first.
-    fn candidates(&self, a: Sig) -> impl Iterator<Item = Sig> + '_ {
+    /// Candidate partners of `a`: same-bucket signals at earlier scan
+    /// positions, nearest (in scan order) first.
+    fn candidates<'e>(&'e self, a: Sig, pos: &'e [usize]) -> impl Iterator<Item = Sig> + 'e {
         let bucket = &self.buckets[self.key_id[a.index()] as usize];
-        let upto = bucket.partition_point(|b| b.0 < a.0);
+        let upto = bucket.partition_point(|b| pos[b.index()] < pos[a.index()]);
         bucket[..upto].iter().rev().copied()
     }
 }
 
 /// Buckets signals by their normalized signature (complemented when the
 /// first simulated bit is set, so equivalent and antivalent signals
-/// share a bucket).
-fn build_epoch(signatures: &[Vec<u64>]) -> Epoch {
+/// share a bucket), members sorted by scan position.
+fn build_epoch(signatures: &[Vec<u64>], pos: &[usize]) -> Epoch {
     let mut ids: HashMap<Vec<u64>, u32> = HashMap::new();
     let n = signatures.len();
     let mut key_id = Vec::with_capacity(n);
@@ -80,8 +107,7 @@ fn build_epoch(signatures: &[Vec<u64>]) -> Epoch {
     let mut buckets: Vec<Vec<Sig>> = Vec::new();
     for (i, sig) in signatures.iter().enumerate() {
         let f = sig.first().is_some_and(|w| w & 1 == 1);
-        let key: Vec<u64> =
-            if f { sig.iter().map(|w| !w).collect() } else { sig.clone() };
+        let key: Vec<u64> = if f { sig.iter().map(|w| !w).collect() } else { sig.clone() };
         let next = buckets.len() as u32;
         let id = *ids.entry(key).or_insert(next);
         if id == next {
@@ -91,15 +117,20 @@ fn build_epoch(signatures: &[Vec<u64>]) -> Epoch {
         key_id.push(id);
         flip.push(f);
     }
+    for b in &mut buckets {
+        b.sort_unstable_by_key(|s| pos[s.index()]);
+    }
     Epoch { key_id, flip, buckets }
 }
 
-/// One speculative check outcome, keyed by `(a, b, ε)` in the chunk's
-/// result map.
+/// One speculative check outcome, keyed by `(a, b, ε)` in the level's
+/// attempt map. Everything here is a pure function of the committed
+/// level-boundary state and the lane schedule, so the maps are
+/// identical for any worker count.
 struct Attempt {
     result: SolveResult,
-    /// Every `rep()` answer the encoding depended on; the result is
-    /// reusable iff all of them still hold at commit time.
+    /// Every `rep()` answer the encoding depended on; see
+    /// [`valid_for`](Self::valid_for).
     touched: Vec<RepTouch>,
     /// Primary-input counterexample for SAT outcomes.
     cex: Option<Vec<bool>>,
@@ -108,189 +139,325 @@ struct Attempt {
     /// commit time reports the same certificate as a fresh check (the
     /// proof is a pure function of the touch set).
     cert: Option<CertOutcome>,
-    /// Solver counters of the speculative check — reported by the commit
-    /// on a cache hit, where a fresh check would have produced the exact
-    /// same numbers (deterministic solver over a touch-set-determined
-    /// encoding).
-    solver: SolverStats,
-    /// Prefilter verdict marker; like every other field a pure function
-    /// of the touch set (structural) or of `(a, b, ε)` alone
-    /// (signature), so cache hits report it faithfully.
+    /// Prefilter verdict marker; a pure function of the touch set
+    /// (structural) or of `(a, b, ε)` alone (signature), so cache hits
+    /// report it faithfully.
     prefiltered: Option<Prefiltered>,
+}
+
+impl Attempt {
+    /// Whether the speculative verdict is still valid for the commit's
+    /// `classes`. Representative *labels* alone do not matter — a
+    /// same-level merge into a lower-index class relabels
+    /// representatives without changing any function:
+    ///
+    /// 1. Every recorded relation `s = r ^ p` must still be *implied*
+    ///    by the commit classes — the encoding identified variables
+    ///    based on it, so a retracted relation voids the formula.
+    /// 2. For non-UNSAT verdicts the commit classes must not identify
+    ///    any two touched signals the speculation kept distinct: new
+    ///    identifications only *strengthen* the window formula, which
+    ///    preserves UNSAT but can turn SAT into UNSAT (this is exactly
+    ///    the forwarded information of Alg. 1 — those windows must
+    ///    re-run to profit from it).
+    fn valid_for(&self, classes: &EquivClasses) -> bool {
+        for &(s, r, p) in &self.touched {
+            let (rs, ps) = classes.rep(s);
+            let (rr, pr) = classes.rep(r);
+            if rs != rr || ps != (pr ^ p) {
+                return false;
+            }
+        }
+        if self.result != SolveResult::Unsat {
+            // Map commit representative → speculation representative;
+            // two spec-distinct reps collapsing onto one commit rep is
+            // a new identification.
+            let mut seen: HashMap<Sig, Sig> = HashMap::new();
+            for &(s, r, _) in &self.touched {
+                let (rs, _) = classes.rep(s);
+                match seen.entry(rs) {
+                    std::collections::hash_map::Entry::Occupied(e) => {
+                        if *e.get() != r {
+                            return false;
+                        }
+                    }
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(r);
+                    }
+                }
+            }
+        }
+        true
+    }
 }
 
 impl From<WindowOutcome> for Attempt {
     fn from(o: WindowOutcome) -> Self {
+        // The per-check solver delta is dropped: solver effort of the
+        // lane path is attributed per *batch* (see `Lane`).
         Attempt {
             result: o.result,
             touched: o.touched,
             cex: o.cex,
             cert: o.cert,
-            solver: o.solver,
             prefiltered: o.prefiltered,
         }
     }
 }
 
-struct WorkItem {
-    chunk_id: usize,
-    range: std::ops::Range<usize>,
-    snapshot: Arc<EquivClasses>,
+/// One speculation lane: a shared window solver plus this lane's
+/// running counters for the current batch.
+struct Lane<'nl> {
+    batch: WindowBatch<'nl>,
+    /// Per-window solver totals under `certify` (which cannot share a
+    /// solver — each check logs its own DRAT proof).
+    certify_total: SolverStats,
+    certify_checks: usize,
+    /// Candidate checks attempted, prefiltered ones included.
+    spec_attempts: usize,
+    /// Wall-clock spent in checks (lane-side, not deterministic).
+    sat_micros: u128,
+}
+
+impl<'nl> Lane<'nl> {
+    fn new(nl: &'nl Netlist, constraint: Option<Sig>, cfg: &SbifConfig) -> Self {
+        Lane {
+            batch: WindowBatch::new(nl, constraint, cfg),
+            certify_total: SolverStats::default(),
+            certify_checks: 0,
+            spec_attempts: 0,
+            sat_micros: 0,
+        }
+    }
+
+    /// Speculatively runs the candidate scan of one signal against the
+    /// committed level-boundary state, recording every attempt. The
+    /// chainlet mirrors the commit's control flow exactly — including
+    /// the break on the first accepted merge — so for a signal whose
+    /// scan no same-level merge perturbs, the commit replays this
+    /// attempt list verbatim.
+    #[allow(clippy::too_many_arguments)]
+    fn scan_signal(
+        &mut self,
+        nl: &Netlist,
+        constraint: Option<Sig>,
+        cfg: &SbifConfig,
+        prefilter: Option<&SbifPrefilter>,
+        classes: &EquivClasses,
+        epoch: &Epoch,
+        pos: &[usize],
+        a: Sig,
+        out: &mut Vec<KeyedAttempt>,
+    ) {
+        if prefilter.is_some_and(|pf| !pf.is_live(a)) {
+            return;
+        }
+        let mut tried: Vec<Sig> = Vec::new();
+        for b in epoch.candidates(a, pos) {
+            if tried.len() >= cfg.max_candidates {
+                break;
+            }
+            if prefilter.is_some_and(|pf| !pf.is_live(b)) {
+                continue;
+            }
+            let (ra, _) = classes.rep(a);
+            let (rb, _) = classes.rep(b);
+            if ra == rb || tried.contains(&rb) {
+                continue;
+            }
+            tried.push(rb);
+            let eps = epoch.flip[a.index()] == epoch.flip[b.index()];
+            let t0 = Instant::now();
+            let outcome =
+                match prefilter.and_then(|pf| pf.try_decide(nl, classes, a, b, eps, cfg.certify))
+                {
+                    Some(o) => o,
+                    None if cfg.certify => {
+                        // Proof logging needs a pristine solver per window.
+                        let o = check_window_pair(nl, classes, constraint, a, b, eps, cfg, None);
+                        self.certify_total.absorb(o.solver);
+                        self.certify_checks += 1;
+                        o
+                    }
+                    None => self.batch.check(classes, a, b, eps),
+                };
+            self.sat_micros += t0.elapsed().as_micros();
+            self.spec_attempts += 1;
+            // Mirror the commit's gating: a rejected certificate does
+            // not merge, so the scan continues past it.
+            let proven = outcome.result == SolveResult::Unsat
+                && outcome.cert.as_ref().is_none_or(|c| c.accepted);
+            out.push(((a.0, b.0, eps), Attempt::from(outcome)));
+            if proven {
+                break;
+            }
+        }
+    }
+}
+
+/// Everything the commit evolves as it walks the level-major order:
+/// classes, signatures, the derived buckets, and the buffered
+/// counterexamples awaiting a refinement flush.
+struct ScanState {
+    classes: EquivClasses,
+    signatures: Vec<Vec<u64>>,
     epoch: Arc<Epoch>,
+    /// Primary-input counterexamples buffered for the next flush.
+    pending: Vec<Vec<bool>>,
 }
 
-struct ChunkResult {
-    chunk_id: usize,
-    attempts: HashMap<(u32, u32, bool), Attempt>,
-    /// Worker-side stats: speculative check count and SAT wall-clock.
-    stats: SbifStats,
+impl ScanState {
+    fn new(signatures: Vec<Vec<u64>>, n: usize, pos: &[usize]) -> Self {
+        let epoch = Arc::new(build_epoch(&signatures, pos));
+        ScanState { classes: EquivClasses::new(n), signatures, epoch, pending: Vec::new() }
+    }
+
+    /// `true` iff a level boundary should fold the buffer now.
+    fn wants_flush(&self, cfg: &SbifConfig) -> bool {
+        !self.pending.is_empty() && self.pending.len() >= cfg.cex_flush.max(1)
+    }
+
+    /// Folds the buffered counterexamples into the signatures as one
+    /// simulation word (repeating them to fill all 64 bit lanes, so no
+    /// lane carries an unconstrained all-zero pattern) and rebuilds the
+    /// buckets.
+    fn flush(&mut self, nl: &Netlist, pos: &[usize]) {
+        let words: Vec<u64> = (0..nl.inputs().len())
+            .map(|i| {
+                let mut w = 0u64;
+                for k in 0..64 {
+                    if self.pending[k % self.pending.len()][i] {
+                        w |= 1 << k;
+                    }
+                }
+                w
+            })
+            .collect();
+        let vals = nl.simulate64(&words);
+        for (i, &v) in vals.iter().enumerate() {
+            self.signatures[i].push(v);
+        }
+        self.pending.clear();
+        self.epoch = Arc::new(build_epoch(&self.signatures, pos));
+    }
 }
 
-/// Worker loop: speculatively executes chunks against their snapshots,
-/// maintaining a local class copy so in-chunk merges chain correctly.
-fn worker(
+/// One speculative attempt keyed by its `(a, b, ε)` candidate triple.
+type KeyedAttempt = ((u32, u32, bool), Attempt);
+
+/// Runs the speculation phase of one level: every signal's scan
+/// chainlet on its assigned lane, on `jobs` OS threads when more than
+/// one lane has work. Returns the merged attempt map (merge order is
+/// lane order — deterministic, and keys are unique since each scan owns
+/// its root signal).
+#[allow(clippy::too_many_arguments)]
+fn dispatch_level(
     nl: &Netlist,
     constraint: Option<Sig>,
     cfg: &SbifConfig,
     prefilter: Option<&SbifPrefilter>,
-    rx: &Mutex<Receiver<WorkItem>>,
-    tx: &Sender<ChunkResult>,
-) {
-    loop {
-        let item = match rx.lock().expect("work queue poisoned").recv() {
-            Ok(item) => item,
-            Err(_) => return, // queue closed: done
-        };
-        let mut local: EquivClasses = (*item.snapshot).clone();
-        let mut attempts = HashMap::new();
-        let mut stats = SbifStats::default();
-        for i in item.range.clone() {
-            let a = Sig(i as u32);
-            if prefilter.is_some_and(|p| !p.is_live(a)) {
-                continue;
-            }
-            let mut tried: Vec<Sig> = Vec::new();
-            for b in item.epoch.candidates(a) {
-                if tried.len() >= cfg.max_candidates {
-                    break;
-                }
-                if prefilter.is_some_and(|p| !p.is_live(b)) {
-                    continue;
-                }
-                let (ra, _) = local.rep(a);
-                let (rb, _) = local.rep(b);
-                if ra == rb || tried.contains(&rb) {
-                    continue;
-                }
-                tried.push(rb);
-                let eps = item.epoch.flip[i] == item.epoch.flip[b.index()];
-                let t0 = Instant::now();
-                let outcome = check_window_pair(nl, &local, constraint, a, b, eps, cfg, prefilter);
-                stats.sat_micros += t0.elapsed().as_micros();
-                stats.sat_checks += 1;
-                // Mirror the commit's gating: a rejected certificate
-                // does not merge, so the speculative scan continues.
-                let proven = outcome.result == SolveResult::Unsat
-                    && outcome.cert.as_ref().is_none_or(|c| c.accepted);
-                attempts.insert((a.0, b.0, eps), Attempt::from(outcome));
-                if proven {
-                    local.union(a, b, !eps);
-                    break;
-                }
-            }
+    sched: &LevelSchedule,
+    state: &ScanState,
+    run: std::ops::Range<usize>,
+    lanes: &[Mutex<Lane<'_>>],
+    jobs: usize,
+) -> HashMap<(u32, u32, bool), Attempt> {
+    // Lane assignment by global scan position: deterministic, and
+    // spreads work evenly across lane solvers.
+    let mine = |lane: usize| run.clone().filter(move |p| p % LANES == lane);
+    let busy = (0..LANES).filter(|&l| mine(l).next().is_some()).count();
+    let scan_lane = |lane: usize, out: &mut Vec<KeyedAttempt>| {
+        let mut guard = lanes[lane].lock().expect("lane poisoned");
+        for p in mine(lane) {
+            guard.scan_signal(
+                nl,
+                constraint,
+                cfg,
+                prefilter,
+                &state.classes,
+                &state.epoch,
+                sched.pos(),
+                sched.order()[p],
+                out,
+            );
         }
-        if tx.send(ChunkResult { chunk_id: item.chunk_id, attempts, stats }).is_err() {
-            return; // coordinator gone
+    };
+    let mut per_lane: Vec<Vec<KeyedAttempt>> = (0..LANES).map(|_| Vec::new()).collect();
+    if jobs <= 1 || busy <= 1 {
+        for (lane, out) in per_lane.iter_mut().enumerate() {
+            scan_lane(lane, out);
         }
-    }
-}
-
-/// Folds the buffered counterexamples into the signatures as one
-/// simulation word (repeating them to fill all 64 bit lanes, so no lane
-/// carries an unconstrained all-zero pattern) and rebuilds the buckets.
-fn flush_refinement(
-    nl: &Netlist,
-    signatures: &mut [Vec<u64>],
-    epoch: &mut Arc<Epoch>,
-    pending: &mut Vec<Vec<bool>>,
-    stats: &mut SbifStats,
-) {
-    let words: Vec<u64> = (0..nl.inputs().len())
-        .map(|i| {
-            let mut w = 0u64;
-            for k in 0..64 {
-                if pending[k % pending.len()][i] {
-                    w |= 1 << k;
-                }
+    } else {
+        let slots: Vec<Mutex<&mut Vec<KeyedAttempt>>> =
+            per_lane.iter_mut().map(Mutex::new).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..jobs.min(busy) {
+                scope.spawn(|| loop {
+                    let lane = next.fetch_add(1, Ordering::Relaxed);
+                    if lane >= LANES {
+                        return;
+                    }
+                    let mut out = slots[lane].lock().expect("slot poisoned");
+                    scan_lane(lane, &mut out);
+                });
             }
-            w
-        })
-        .collect();
-    let vals = nl.simulate64(&words);
-    for (i, &v) in vals.iter().enumerate() {
-        signatures[i].push(v);
+        });
     }
-    pending.clear();
-    *epoch = Arc::new(build_epoch(signatures));
-    stats.refinements += 1;
+    per_lane.into_iter().flatten().collect()
 }
 
 /// Commits one signal: the sequential candidate scan of Alg. 1, served
-/// from the speculative cache where its touch sets still hold. Returns
-/// the number of cache hits (for the `wasted_checks` accounting).
+/// from the level's speculative attempts where they are still valid.
 #[allow(clippy::too_many_arguments)]
 fn commit_signal(
     nl: &Netlist,
     constraint: Option<Sig>,
     cfg: &SbifConfig,
     prefilter: Option<&SbifPrefilter>,
-    idx: usize,
-    classes: &mut EquivClasses,
+    a: Sig,
+    pos: &[usize],
+    state: &mut ScanState,
     stats: &mut SbifStats,
-    signatures: &mut [Vec<u64>],
-    epoch: &mut Arc<Epoch>,
-    pending_cex: &mut Vec<Vec<bool>>,
-    spec: Option<&HashMap<(u32, u32, bool), Attempt>>,
-) -> usize {
-    // Deterministic refinement flush point: between two signals.
-    if !pending_cex.is_empty() && pending_cex.len() >= cfg.cex_flush.max(1) {
-        flush_refinement(nl, signatures, epoch, pending_cex, stats);
-    }
-    let a = Sig(idx as u32);
+    spec: &HashMap<(u32, u32, bool), Attempt>,
+) {
     if prefilter.is_some_and(|p| !p.is_live(a)) {
-        return 0;
+        return;
     }
-    let ep = Arc::clone(epoch);
-    let mut hits = 0;
     let mut tried: Vec<Sig> = Vec::new();
-    for b in ep.candidates(a) {
+    let epoch = Arc::clone(&state.epoch);
+    for b in epoch.candidates(a, pos) {
         if tried.len() >= cfg.max_candidates {
             break;
         }
         if prefilter.is_some_and(|p| !p.is_live(b)) {
             continue;
         }
-        let (ra, _) = classes.rep(a);
-        let (rb, _) = classes.rep(b);
+        let (ra, _) = state.classes.rep(a);
+        let (rb, _) = state.classes.rep(b);
         if ra == rb || tried.contains(&rb) {
             continue;
         }
         tried.push(rb);
         stats.candidates += 1;
-        let eps = ep.flip[idx] == ep.flip[b.index()];
-        let cached = spec.and_then(|m| m.get(&(a.0, b.0, eps))).filter(|att| {
-            att.touched.iter().all(|&(s, r, p)| classes.rep(s) == (r, p))
-        });
-        let (result, cex, cert, solver, prefiltered) = match cached {
+        let eps = epoch.flip[a.index()] == epoch.flip[b.index()];
+        let classes = &state.classes;
+        let cached = spec.get(&(a.0, b.0, eps)).filter(|att| att.valid_for(classes));
+        let (result, cex, cert, prefiltered) = match cached {
             Some(att) => {
-                hits += 1;
-                (att.result, att.cex.clone(), att.cert.clone(), att.solver, att.prefiltered)
+                // The speculative verdict is valid; its solver effort is
+                // already in the ledger via the lane totals.
+                stats.spec_hits += 1;
+                (att.result, att.cex.clone(), att.cert.clone(), att.prefiltered)
             }
             None => {
                 let t0 = Instant::now();
                 let o = check_window_pair(nl, classes, constraint, a, b, eps, cfg, prefilter);
                 stats.sat_micros += t0.elapsed().as_micros();
-                (o.result, o.cex, o.cert, o.solver, o.prefiltered)
+                // Fresh re-checks are the only per-check attribution
+                // left; everything else lands per batch.
+                stats.solver.absorb(o.solver);
+                (o.result, o.cex, o.cert, o.prefiltered)
             }
         };
         stats.sat_checks += 1;
@@ -301,9 +468,6 @@ fn commit_signal(
             Some(Prefiltered::Structural) => stats.prefilter_proven += 1,
             Some(Prefiltered::Signature) => stats.prefilter_refuted += 1,
         }
-        // Solver effort is totalled here (commit side only), so the
-        // aggregate is the sequential one for every `jobs` value.
-        stats.solver.absorb(solver);
         match result {
             SolveResult::Unsat => {
                 // Under `certify`, the merge is gated on the independent
@@ -318,44 +482,50 @@ fn commit_signal(
                     }
                 }
                 stats.proven += 1;
-                classes.union(a, b, !eps);
+                state.classes.union(a, b, !eps);
                 break;
             }
             SolveResult::Sat => {
                 stats.refuted += 1;
                 if let Some(cex) = cex {
-                    pending_cex.push(cex);
+                    state.pending.push(cex);
                 }
             }
             SolveResult::Unknown => stats.unknown += 1,
         }
     }
-    hits
 }
 
 /// Runs the candidate detection and window checking over `signatures`
-/// with `cfg.jobs` worker threads (1 = fully in-process). The resulting
-/// classes and logical statistics are identical for every `jobs` value.
+/// with `cfg.jobs` worker threads. The level/lane/batch structure — and
+/// with it the resulting classes and *every* statistic except
+/// wall-clock — is identical for every `jobs` value (see the module
+/// docs).
 pub(super) fn run(
     nl: &Netlist,
     constraint: Option<Sig>,
-    mut signatures: Vec<Vec<u64>>,
+    signatures: Vec<Vec<u64>>,
     cfg: &SbifConfig,
     prefilter: Option<&SbifPrefilter>,
     governor: Option<&super::SbifGovernor>,
 ) -> (EquivClasses, SbifStats) {
     let n = nl.num_signals();
     let jobs = cfg.jobs.max(1);
-    let mut classes = EquivClasses::new(n);
-    let mut stats = SbifStats::default();
-    let mut epoch = Arc::new(build_epoch(&signatures));
-    let mut pending_cex: Vec<Vec<bool>> = Vec::new();
+    // Reuse the analysis framework's level map when the prefilter
+    // carries one; recompute only without it.
+    let levels = prefilter
+        .map(|p| p.levels.clone())
+        .filter(|l| l.len() == n)
+        .unwrap_or_else(|| nl.levels());
+    let sched = LevelSchedule::from_levels(levels, cfg.batch_signals);
+    let mut stats = SbifStats { levels: sched.num_levels(), ..SbifStats::default() };
+    let mut state = ScanState::new(signatures, n, sched.pos());
 
-    // Governed stop check, polled before every signal commit in every
-    // path below — the ledger it reads is commit-side, so a budget cut
-    // lands on the same signal for any `jobs` value. The deterministic
-    // budget is checked before the (racy) cancel flag so exhaustion
-    // always wins when both fire.
+    // Governed stop check, polled before every signal commit — the
+    // ledger it reads is commit-side and batch-attributed, so a budget
+    // cut lands on the same signal for any `jobs` value. The
+    // deterministic budget is checked before the (racy) cancel flag so
+    // exhaustion always wins when both fire.
     let stop = |stats: &SbifStats| -> Option<bool> {
         let g = governor?;
         if let Some(limit) = g.conflict_budget {
@@ -378,144 +548,75 @@ pub(super) fn run(
         }
     };
 
-    if jobs == 1 || n <= CHUNK {
-        for idx in 0..n {
+    'batches: for batch in sched.batches() {
+        let mut lanes: Vec<Mutex<Lane<'_>>> =
+            (0..LANES).map(|_| Mutex::new(Lane::new(nl, constraint, cfg))).collect();
+        for level_run in sched.level_runs(batch.clone()) {
             if let Some(cancelled) = stop(&stats) {
                 mark(&mut stats, cancelled);
-                break;
+                break 'batches;
             }
-            commit_signal(
+            // Deterministic refinement flush point: a level boundary,
+            // before the level is dispatched — dispatch and commit
+            // always scan the same buckets.
+            if state.wants_flush(cfg) {
+                state.flush(nl, sched.pos());
+                stats.refinements += 1;
+            }
+            let spec = dispatch_level(
                 nl,
                 constraint,
                 cfg,
                 prefilter,
-                idx,
-                &mut classes,
-                &mut stats,
-                &mut signatures,
-                &mut epoch,
-                &mut pending_cex,
-                None,
+                &sched,
+                &state,
+                level_run.clone(),
+                &lanes,
+                jobs,
             );
+            for p in level_run {
+                if let Some(cancelled) = stop(&stats) {
+                    mark(&mut stats, cancelled);
+                    break 'batches;
+                }
+                commit_signal(
+                    nl,
+                    constraint,
+                    cfg,
+                    prefilter,
+                    sched.order()[p],
+                    sched.pos(),
+                    &mut state,
+                    &mut stats,
+                    &spec,
+                );
+            }
         }
-        classes.compress();
-        return (classes, stats);
+        // Batch-boundary attribution, in lane order: deterministic for
+        // any worker count because the lane contents are.
+        for lane in lanes.drain(..) {
+            let lane = lane.into_inner().expect("lane poisoned");
+            let mut total = lane.batch.stats();
+            total.absorb(lane.certify_total);
+            stats.solver.absorb(total);
+            stats.solver_inits += lane.batch.solver_inits();
+            stats.batch_checks += lane.batch.checks() + lane.certify_checks;
+            stats.spec_attempts += lane.spec_attempts;
+            stats.sat_micros += lane.sat_micros;
+        }
     }
-
-    let num_chunks = n.div_ceil(CHUNK);
-    // Bound the dispatch window tightly: every in-flight chunk ahead of
-    // the commit frontier speculates against an ever-staler snapshot, and
-    // merges at a signal's near predecessors (the previous divider stage)
-    // invalidate its cached window checks. `jobs + 2` keeps every worker
-    // busy with minimal lag; larger windows measurably raise
-    // `wasted_checks` without improving utilization.
-    let inflight = jobs + 2;
-    let mut speculated = 0usize;
-    let mut hits = 0usize;
-    std::thread::scope(|scope| {
-        let (work_tx, work_rx) = mpsc::channel::<WorkItem>();
-        let work_rx = Arc::new(Mutex::new(work_rx));
-        let (res_tx, res_rx) = mpsc::channel::<ChunkResult>();
-        for _ in 0..jobs {
-            let rx = Arc::clone(&work_rx);
-            let tx = res_tx.clone();
-            scope.spawn(move || worker(nl, constraint, cfg, prefilter, &rx, &tx));
-        }
-        drop(res_tx);
-
-        let mut next_dispatch = 0usize;
-        let mut next_commit = 0usize;
-        let mut ready: HashMap<usize, ChunkResult> = HashMap::new();
-        let chunk_range = |c: usize| c * CHUNK..((c + 1) * CHUNK).min(n);
-        let mut workers_alive = true;
-        let mut stopped = false;
-        while !stopped && next_commit < num_chunks {
-            // Keep a bounded pipeline of chunks in flight; each is
-            // speculated against the freshest committed state.
-            while workers_alive
-                && next_dispatch < num_chunks
-                && next_dispatch < next_commit + inflight
-            {
-                let mut snap = classes.clone();
-                snap.compress();
-                if work_tx
-                    .send(WorkItem {
-                        chunk_id: next_dispatch,
-                        range: chunk_range(next_dispatch),
-                        snapshot: Arc::new(snap),
-                        epoch: Arc::clone(&epoch),
-                    })
-                    .is_err()
-                {
-                    workers_alive = false;
-                    break;
-                }
-                next_dispatch += 1;
-            }
-            if let Some(res) = ready.remove(&next_commit) {
-                stats.sat_micros += res.stats.sat_micros;
-                speculated += res.stats.sat_checks;
-                for idx in chunk_range(next_commit) {
-                    if let Some(cancelled) = stop(&stats) {
-                        mark(&mut stats, cancelled);
-                        stopped = true;
-                        break;
-                    }
-                    hits += commit_signal(
-                        nl,
-                        constraint,
-                        cfg,
-                        prefilter,
-                        idx,
-                        &mut classes,
-                        &mut stats,
-                        &mut signatures,
-                        &mut epoch,
-                        &mut pending_cex,
-                        Some(&res.attempts),
-                    );
-                }
-                next_commit += 1;
-                continue;
-            }
-            match res_rx.recv_timeout(std::time::Duration::from_secs(300)) {
-                Ok(r) => {
-                    ready.insert(r.chunk_id, r);
-                }
-                Err(_) => {
-                    // The workers are gone or the head chunk's result
-                    // was lost (worker panic): commit it in-process —
-                    // same results, just slower.
-                    for idx in chunk_range(next_commit) {
-                        if let Some(cancelled) = stop(&stats) {
-                            mark(&mut stats, cancelled);
-                            stopped = true;
-                            break;
-                        }
-                        commit_signal(
-                            nl,
-                            constraint,
-                            cfg,
-                            prefilter,
-                            idx,
-                            &mut classes,
-                            &mut stats,
-                            &mut signatures,
-                            &mut epoch,
-                            &mut pending_cex,
-                            None,
-                        );
-                    }
-                    next_commit += 1;
-                }
-            }
-        }
-        drop(work_tx);
-    });
-    stats.wasted_checks = speculated - hits;
+    stats.wasted_checks = stats.spec_attempts.saturating_sub(stats.spec_hits);
     if std::env::var_os("SBIF_PAR_DEBUG").is_some() {
-        eprintln!("speculated={speculated} hits={hits}");
+        eprintln!(
+            "levels={} batches={} speculated={} hits={} solver_inits={} batch_checks={}",
+            stats.levels,
+            sched.batches().len(),
+            stats.spec_attempts,
+            stats.spec_hits,
+            stats.solver_inits,
+            stats.batch_checks
+        );
     }
-    classes.compress();
-    (classes, stats)
+    state.classes.compress();
+    (state.classes, stats)
 }

@@ -499,6 +499,7 @@ impl<'a> DividerVerifier<'a> {
                     shadow: db.shadow,
                     planes: db.shadow_planes,
                     live: Vec::new(),
+                    levels: db.levels,
                 })
             } else {
                 None
@@ -660,10 +661,12 @@ impl<'a> DividerVerifier<'a> {
         Ok(analyze(&self.divider.netlist, &self.analysis_config()?, &Recorder::new()))
     }
 
-    /// Records the deterministic vc1 metrics. Wall-clock numbers and the
-    /// speculation accounting (`wasted_checks`, `sat_micros`) are
-    /// intentionally absent — they vary with the machine and the worker
-    /// count, and the metrics payload must not.
+    /// Records the deterministic vc1 metrics. Wall-clock numbers
+    /// (`sat_micros`) are intentionally absent — they vary with the
+    /// machine, and the metrics payload must not. The speculation
+    /// counters *are* recorded: under the level-barrier engine the lane
+    /// schedule is a pure function of `(netlist, config)`, so attempts,
+    /// hits, and solver inits are byte-identical at any `--jobs`.
     fn record_vc1_metrics(&self, report: &Vc1Report, classes: Option<&EquivClasses>) {
         let r = &self.recorder;
         let s = &report.sbif;
@@ -676,6 +679,14 @@ impl<'a> DividerVerifier<'a> {
         r.add("sbif.refuted", s.refuted as u64);
         r.add("sbif.unknown", s.unknown as u64);
         r.add("sbif.refinements", s.refinements as u64);
+        r.add("sbif.level.count", s.levels as u64);
+        r.add("sbif.level.spec_attempts", s.spec_attempts as u64);
+        r.add("sbif.level.spec_hits", s.spec_hits as u64);
+        if let Some(permille) = (s.spec_hits * 1000).checked_div(s.spec_attempts) {
+            r.gauge_max("sbif.level.spec_hit_permille", permille as u64);
+        }
+        r.add("sbif.batch.solver_inits", s.solver_inits as u64);
+        r.add("sbif.batch.checks", s.batch_checks as u64);
         r.add("sbif.sat.decisions", s.solver.decisions);
         r.add("sbif.sat.conflicts", s.solver.conflicts);
         r.add("sbif.sat.propagations", s.solver.propagations);

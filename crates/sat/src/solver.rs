@@ -98,6 +98,22 @@ impl SolverStats {
         self.learnts += other.learnts;
         self.deleted += other.deleted;
     }
+
+    /// The effort spent between an `earlier` snapshot of the same
+    /// solver's counters and this one — the per-call attribution tool
+    /// for a shared incremental solver (each counter is monotone, so the
+    /// difference is exact; saturating arithmetic only guards against
+    /// snapshots taken from a different solver).
+    pub fn since(&self, earlier: &SolverStats) -> SolverStats {
+        SolverStats {
+            decisions: self.decisions.saturating_sub(earlier.decisions),
+            conflicts: self.conflicts.saturating_sub(earlier.conflicts),
+            propagations: self.propagations.saturating_sub(earlier.propagations),
+            restarts: self.restarts.saturating_sub(earlier.restarts),
+            learnts: self.learnts.saturating_sub(earlier.learnts),
+            deleted: self.deleted.saturating_sub(earlier.deleted),
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -361,6 +377,42 @@ impl Solver {
                 true
             }
         }
+    }
+
+    // ----- incremental activation literals ---------------------------
+
+    /// Allocates a fresh *activation literal* for assumption-guarded
+    /// incremental solving: clauses added through
+    /// [`add_clause_activated`](Self::add_clause_activated) with this
+    /// literal are enforced only while it is passed as an assumption to
+    /// [`solve_with`](Self::solve_with). Because learnt clauses derived
+    /// from a guarded clause always contain the negated guard (an
+    /// assumption literal can never be resolved away), they are vacuously
+    /// satisfiable whenever the guard is not assumed — sibling problems
+    /// sharing the solver can therefore reuse each other's learnt clauses
+    /// without verdict contamination.
+    pub fn new_activation(&mut self) -> Lit {
+        Lit::pos(self.new_var())
+    }
+
+    /// Adds a clause guarded by the activation literal `act`: the solver
+    /// sees `¬act ∨ lits…`, so the clause constrains the search only
+    /// while `act` is assumed. Returns `false` if the clause set became
+    /// trivially unsatisfiable (only possible once `act` was retired).
+    pub fn add_clause_activated<I: IntoIterator<Item = Lit>>(
+        &mut self,
+        act: Lit,
+        lits: I,
+    ) -> bool {
+        self.add_clause(lits.into_iter().chain(std::iter::once(!act)))
+    }
+
+    /// Permanently retires an activation literal by asserting `¬act` at
+    /// the top level: every clause guarded by `act` becomes satisfied and
+    /// dead weight for the remaining solves. Returns `false` if the
+    /// clause set became trivially unsatisfiable.
+    pub fn retire_activation(&mut self, act: Lit) -> bool {
+        self.add_clause([!act])
     }
 
     fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool, lbd: u32) -> CRef {
@@ -1190,5 +1242,79 @@ mod tests {
         assert!(!s.final_conflict().is_empty());
         assert_eq!(s.solve_assuming(&[lit(2)]), SolveResult::Sat);
         assert!(s.final_conflict().is_empty());
+    }
+
+    #[test]
+    fn activated_clauses_only_bind_under_their_guard() {
+        // Two sibling problems over the shared variable x1: the first
+        // forces x1, the second forbids it. Each verdict must be as if
+        // the sibling's clauses were absent.
+        let mut s = solver_with_vars(1);
+        let g1 = s.new_activation();
+        let g2 = s.new_activation();
+        assert!(s.add_clause_activated(g1, [lit(1)]));
+        assert!(s.add_clause_activated(g2, [lit(-1)]));
+        assert_eq!(s.solve_assuming(&[g1]), SolveResult::Sat);
+        assert_eq!(s.model_value(Var(0)), Some(true));
+        assert_eq!(s.solve_assuming(&[g2]), SolveResult::Sat);
+        assert_eq!(s.model_value(Var(0)), Some(false));
+        // Both guards together expose the contradiction.
+        assert_eq!(s.solve_assuming(&[g1, g2]), SolveResult::Unsat);
+        // Retiring g1 keeps g2's problem alive and unchanged.
+        assert!(s.retire_activation(g1));
+        assert_eq!(s.solve_assuming(&[g2]), SolveResult::Sat);
+    }
+
+    #[test]
+    fn poisoned_sibling_guard_is_the_only_contamination_path() {
+        // A window-batch style sharing setup: an unguarded shared core
+        // (x3 → x1) plus two guarded windows. Window 1 (g1) asserts x1;
+        // window 2 (g2) asserts ¬x1 ∧ x3 — UNSAT on its own merits only
+        // through the shared core, never through window 1's clauses.
+        let mut s = solver_with_vars(3);
+        s.add_clause([lit(-3), lit(1)]);
+        let g1 = s.new_activation();
+        let g2 = s.new_activation();
+        assert!(s.add_clause_activated(g1, [lit(1)]));
+        assert!(s.add_clause_activated(g1, [lit(2)]));
+        assert!(s.add_clause_activated(g2, [lit(-1)]));
+        // Window 2 alone: satisfiable (set ¬x3); window 1's x1 clause
+        // must not leak in even after window 1 has been solved (learnt
+        // clauses from g1's window all carry ¬g1).
+        assert_eq!(s.solve_assuming(&[g1]), SolveResult::Sat);
+        assert_eq!(s.solve_assuming(&[g2]), SolveResult::Sat);
+        assert_eq!(s.solve_assuming(&[g2, lit(3)]), SolveResult::Unsat);
+        // Deliberately poison the sibling's guard: asserting g1 at the
+        // top level activates window 1 for everyone, and window 2's
+        // verdict flips — demonstrating that an asserted (not assumed)
+        // guard is exactly the contamination the batching must avoid.
+        assert!(s.add_clause([g1]));
+        assert_eq!(s.solve_assuming(&[g2]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn stats_since_reports_per_solve_deltas() {
+        let mut s = solver_with_vars(6);
+        let p = |i: i64, j: i64| lit(i * 2 + j + 1);
+        for i in 0..3 {
+            s.add_clause([p(i, 0), p(i, 1)]);
+        }
+        for j in 0..2 {
+            for i1 in 0..3 {
+                for i2 in (i1 + 1)..3 {
+                    s.add_clause([!p(i1, j), !p(i2, j)]);
+                }
+            }
+        }
+        let before = s.stats();
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        let delta = s.stats().since(&before);
+        assert!(delta.conflicts > 0);
+        assert!(delta.propagations > 0);
+        // A second snapshot pair over a no-op solve is all zero.
+        let before = s.stats();
+        assert_eq!(s.solve(), SolveResult::Unsat); // ok=false short-circuits
+        let delta = s.stats().since(&before);
+        assert_eq!(delta, SolverStats::default());
     }
 }

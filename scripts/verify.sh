@@ -130,6 +130,37 @@ timeout 60 ./target/release/sbif-verify --demo 6 --arch srt \
 # may beat it — either way the contract is exit 0 + inconclusive.
 grep -q "VERDICT: inconclusive (" "$FUZZ_TMP/srt-governed.out"
 
+echo "==> parallel gate (jobs-sweep determinism + sbif-serve differential)"
+# DESIGN.md §7: the level-barrier engine's classes, speculation
+# counters and canonical metrics bytes must be identical at --jobs
+# 1/2/4/8, on every architecture and under an exhausted governor
+# budget; the scheduler/batched-solver property suite rides along.
+cargo test -q --offline --test parallel_levels
+# The same contract through the daemon: two *separate* sbif-serve
+# instances (fresh in-memory caches — a shared cache would just replay
+# the first answer) pinned to 1 and 4 jobs must return byte-identical
+# result lines (verdict + escaped canonical metrics) for the same job.
+SOCK1="$FUZZ_TMP/serve-j1.sock"
+SOCK4="$FUZZ_TMP/serve-j4.sock"
+timeout 20 ./target/release/sbif-serve "$SOCK1" --jobs 1 > /dev/null &
+SERVE_J1=$!
+timeout 20 ./target/release/sbif-serve "$SOCK4" --jobs 4 > /dev/null &
+SERVE_J4=$!
+for s in "$SOCK1" "$SOCK4"; do
+    for _ in $(seq 100); do [ -S "$s" ] && break; sleep 0.1; done
+done
+./target/release/sbif-serve submit "$SOCK1" \
+    '{"op": "verify", "id": 1, "demo": 8}' \
+    > "$FUZZ_TMP/serve-metrics-1.json"
+./target/release/sbif-serve submit "$SOCK4" \
+    '{"op": "verify", "id": 1, "demo": 8}' \
+    > "$FUZZ_TMP/serve-metrics-4.json"
+grep -q '"verdict": "correct"' "$FUZZ_TMP/serve-metrics-1.json"
+cmp "$FUZZ_TMP/serve-metrics-1.json" "$FUZZ_TMP/serve-metrics-4.json"
+./target/release/sbif-serve stop "$SOCK1" > /dev/null
+./target/release/sbif-serve stop "$SOCK4" > /dev/null
+wait "$SERVE_J1" "$SERVE_J4"
+
 echo "==> bdd gate (differential + property harness)"
 # The BDD engine's own acceptance harness: every root of random
 # netlists differentially checked against exhaustive truth-table

@@ -136,7 +136,7 @@ fn prefilter_prunes_windows_and_preserves_classes() {
         };
         let db = analyze(&div.netlist, &acfg, &Recorder::new());
         let pf =
-            SbifPrefilter { shadow: db.shadow, planes: db.shadow_planes, live: Vec::new() };
+            SbifPrefilter { shadow: db.shadow, planes: db.shadow_planes, ..SbifPrefilter::default() };
         let (classes, stats) =
             forward_information_with(&div.netlist, Some(div.constraint), &sim, cfg, Some(&pf));
 
@@ -176,7 +176,7 @@ fn shadow_signatures_refute_without_a_solver() {
 
     // Shadow planes include a != b: every pair is told apart up front.
     let planes = vec![vec![0b0011u64], vec![0b0101u64]];
-    let pf = SbifPrefilter { shadow: signatures(&nl, &planes), planes, live: Vec::new() };
+    let pf = SbifPrefilter { shadow: signatures(&nl, &planes), planes, ..SbifPrefilter::default() };
     let (classes, stats) =
         forward_information_with(&nl, None, &sim, SbifConfig::default(), Some(&pf));
     assert!(stats.prefilter_refuted > 0, "{stats:?}");
@@ -208,7 +208,7 @@ fn live_mask_skips_dead_signals() {
     let db = analyze(&nl, &AnalysisConfig::default(), &Recorder::new());
     let mask = db.sbif_live_mask(&nl);
     assert!(!mask[dead.index()] && mask[x.index()]);
-    let pf = SbifPrefilter { shadow: Vec::new(), planes: Vec::new(), live: mask };
+    let pf = SbifPrefilter { live: mask, ..SbifPrefilter::default() };
     let (_, stats) = forward_information_with(&nl, None, &sim, SbifConfig::default(), Some(&pf));
     assert_eq!(stats.proven, 0, "masked scan never reaches the dead gate: {stats:?}");
     assert!(stats.sat_checks < base.sat_checks, "{stats:?} vs {base:?}");
